@@ -1,0 +1,46 @@
+"""Benchmark: openPMD backend comparison — why the paper picks ADIOS2.
+
+openPMD supports HDF5 as well as ADIOS2 (§II-B); the paper's integration
+chooses BP4.  This bench quantifies the reason on the virtual Dardel:
+parallel HDF5's single shared file is bounded by extent-lock churn and
+stripe-count parallelism, so it cannot scale with node count, while
+BP4's subfiling rides the aggregation curve of Fig. 6.
+"""
+
+from conftest import run_once
+
+from repro.cluster.presets import dardel
+from repro.darshan import write_throughput_gib
+from repro.util.tables import Table
+from repro.workloads import run_openpmd_scaled
+
+
+def test_bench_backend_comparison(benchmark, archive):
+    nodes_sweep = (1, 10, 50, 200)
+
+    def run():
+        out = {"BP4": [], "HDF5": []}
+        for nodes in nodes_sweep:
+            bp4 = run_openpmd_scaled(dardel(), nodes,
+                                     num_aggregators=nodes,
+                                     engine_ext=".bp4")
+            h5 = run_openpmd_scaled(dardel(), nodes, engine_ext=".h5")
+            out["BP4"].append(write_throughput_gib(bp4.log))
+            out["HDF5"].append(write_throughput_gib(h5.log))
+        return out
+
+    results = run_once(benchmark, run)
+    table = Table(["nodes", "openPMD+BP4 GiB/s", "openPMD+HDF5 GiB/s"],
+                  title="openPMD backend comparison on Dardel")
+    for i, nodes in enumerate(nodes_sweep):
+        table.add_row([nodes, f"{results['BP4'][i]:.2f}",
+                       f"{results['HDF5'][i]:.2f}"])
+    archive("backend_comparison", table.render())
+
+    # HDF5's shared file cannot scale with node count…
+    h5 = results["HDF5"]
+    assert max(h5) / min(h5) < 1.5
+    # …while BP4 pulls away decisively at scale
+    assert results["BP4"][-1] > 10 * h5[-1]
+    # at one node the two are comparable (both ~single-stream)
+    assert 0.2 < h5[0] < 2 * results["BP4"][0]

@@ -1,0 +1,45 @@
+"""Benchmark: BP4 vs BP5 — the engine-choice justification.
+
+§II-A: "This work explores the usage of the BP4 engine.  This is because
+BP4 prioritizes I/O efficiency at a large scale through aggressive
+optimization, while BP5 incorporates certain compromises to exert
+tighter control over the host memory usage."  This bench quantifies
+that trade-off on the virtual Dardel: BP5's bounded staging buffers cost
+a few percent of throughput across the aggregation sweep.
+"""
+
+from conftest import run_once
+
+from repro.cluster.presets import dardel
+from repro.darshan import write_throughput_gib
+from repro.util.tables import Table
+from repro.workloads import run_openpmd_scaled
+
+
+def test_bench_bp4_vs_bp5(benchmark, archive):
+    sweep = (1, 100, 400, 25600)
+
+    def run():
+        out = {}
+        for ext in (".bp4", ".bp5"):
+            out[ext] = [
+                write_throughput_gib(run_openpmd_scaled(
+                    dardel(), 200, num_aggregators=m, engine_ext=ext).log)
+                for m in sweep
+            ]
+        return out
+
+    results = run_once(benchmark, run)
+    table = Table(["aggregators", "BP4 GiB/s", "BP5 GiB/s", "BP5/BP4"],
+                  title="BP4 vs BP5 on Dardel (200 nodes)")
+    for i, m in enumerate(sweep):
+        bp4, bp5 = results[".bp4"][i], results[".bp5"][i]
+        table.add_row([m, f"{bp4:.2f}", f"{bp5:.2f}", f"{bp5 / bp4:.3f}"])
+    archive("bp4_vs_bp5", table.render())
+
+    for i, m in enumerate(sweep):
+        bp4, bp5 = results[".bp4"][i], results[".bp5"][i]
+        # BP5 never beats BP4, but stays within the same order —
+        # "certain compromises", not a collapse
+        assert bp5 <= bp4 * 1.001
+        assert bp5 > 0.5 * bp4

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 2 (original I/O throughput, 3 machines)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2
+from repro.experiments.paper_data import FIG2_ANCHORS, NODE_COUNTS
+
+
+def test_bench_fig2(benchmark, archive):
+    result = run_once(benchmark, run_fig2, node_counts=NODE_COUNTS)
+    archive("fig2", result.render())
+
+    dardel = result.get("Dardel")
+    assert dardel.y_at(200) > dardel.y_at(1), \
+        "Dardel's original I/O must improve with node count (paper: 0.09->0.41)"
+    disco = result.get("Discoverer")
+    assert disco.y_at(200) < disco.y_at(1), \
+        "Discoverer must decline (paper: -23%)"
+    for machine, anchors in FIG2_ANCHORS.items():
+        series = result.get(machine)
+        for nodes, paper_value in anchors.items():
+            measured = series.y_at(nodes)
+            assert 0.4 * paper_value <= measured <= 2.5 * paper_value, \
+                f"{machine}@{nodes}: {measured:.3f} vs paper {paper_value}"

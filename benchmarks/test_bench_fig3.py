@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 3 (original vs openPMD+BP4 on Dardel)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+from repro.experiments.paper_data import FIG3_BP4_START_GIB, NODE_COUNTS
+
+
+def test_bench_fig3(benchmark, archive):
+    result = run_once(benchmark, run_fig3, node_counts=NODE_COUNTS)
+    archive("fig3", result.render())
+
+    orig = result.get("BIT1 Original I/O")
+    bp4 = result.get("BIT1 openPMD + BP4")
+    # BP4 starts near the paper's 0.6 GiB/s and stays ahead everywhere
+    assert 0.4 <= bp4.y_at(1) <= 0.8, f"BP4 @1 node: {bp4.y_at(1):.2f}"
+    for n in NODE_COUNTS:
+        assert bp4.y_at(n) > orig.y_at(n)
+    # the original path peaks then declines (metadata cost growth)
+    peak_nodes, peak = orig.peak()
+    assert 1 < peak_nodes < 200
+    assert orig.y_at(200) < peak
+    # BP4's curve is (near-)monotone increasing — "steeper increase"
+    assert bp4.y_at(200) > 5 * bp4.y_at(1)

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 5 (per-process I/O cost split, 200 nodes)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+from repro.experiments.paper_data import (
+    FIG5_META_REDUCTION,
+    FIG5_ORIGINAL,
+    FIG5_WRITE_REDUCTION,
+)
+
+
+def test_bench_fig5(benchmark, archive):
+    result = run_once(benchmark, run_fig5, nodes=200)
+    archive("fig5", result.render())
+
+    # paper: metadata 17.868 s -> 0.014 s (99.92%), writes 1.043 -> 0.009
+    assert result.original.meta_seconds == \
+        _within(FIG5_ORIGINAL["meta"], 0.25)(result.original.meta_seconds)
+    assert result.meta_reduction >= FIG5_META_REDUCTION - 0.005
+    assert result.write_reduction >= FIG5_WRITE_REDUCTION - 0.03
+    # reads are consistent between the two configurations (§IV-B)
+    ratio = result.bp4.read_seconds / max(result.original.read_seconds, 1e-12)
+    assert 0.8 <= ratio <= 1.2
+    # metadata dominates the original path
+    assert result.original.meta_seconds > 5 * result.original.write_seconds
+
+
+def _within(center, rel):
+    def check(value):
+        assert abs(value - center) <= rel * center, \
+            f"{value} not within {rel:.0%} of {center}"
+        return value
+
+    return check

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 6 (throughput vs aggregators, 200 nodes)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+from repro.experiments.paper_data import FIG6_ANCHORS, FIG6_SWEEP
+
+
+def test_bench_fig6(benchmark, archive):
+    result = run_once(benchmark, run_fig6, aggregators=FIG6_SWEEP, nodes=200)
+    archive("fig6", result.render(y_format=lambda v: f"{v:.2f}"))
+
+    series = result.series[0]
+    # anchor comparison: 0.59 @1, 15.80 @400, 3.87 @25600 (GiB/s)
+    for m, paper in FIG6_ANCHORS.items():
+        measured = series.y_at(m)
+        assert 0.6 * paper <= measured <= 1.6 * paper, \
+            f"M={m}: {measured:.2f} vs paper {paper}"
+    # "consistent improvement ... until reaching a peak at 400"
+    peak_m, _peak = series.peak()
+    assert 200 <= peak_m <= 800, f"peak at {peak_m}, paper says 400"
+    # "slight decline ... [but] remains significantly higher than the
+    # starting point"
+    assert series.y_at(25600) > 3 * series.y_at(1)

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 8 (profiling.json memcpy times)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8(benchmark, archive):
+    result = run_once(benchmark, run_fig8, nodes=200)
+    archive("fig8", result.render())
+
+    # "memory copy operation execution times are entirely eliminated for
+    # the BIT1 openPMD + BP4 configuration with Blosc compression"
+    assert result.memcpy_eliminated
+    assert result.memcpy_us_compressed == 0.0
+    assert result.memcpy_us_uncompressed > 0.0
+    # the compressed run pays operator CPU instead
+    assert result.compress_us_compressed > 0.0
+    assert result.compress_us_uncompressed == 0.0

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 9 (Lustre striping grid, 200 nodes)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_fig9
+from repro.experiments.paper_data import (
+    FIG9_BEST_SECONDS,
+    FIG9_STRIPE_COUNTS,
+    FIG9_STRIPE_SIZES,
+)
+from repro.util.units import MiB
+
+
+def test_bench_fig9(benchmark, archive):
+    result = run_once(benchmark, run_fig9,
+                      stripe_sizes=FIG9_STRIPE_SIZES,
+                      stripe_counts=FIG9_STRIPE_COUNTS, nodes=200)
+    archive("fig9", result.render())
+
+    # full 5x7 grid, all positive millisecond-scale values
+    assert result.seconds.shape == (5, 7)
+    assert np.all(result.seconds > 0)
+    # the paper's best value (0.0089 s) falls inside our grid's range
+    assert result.seconds.min() <= FIG9_BEST_SECONDS <= result.seconds.max()
+    # "Smaller Lustre stripe sizes tend to yield better performance":
+    # per-op time grows with stripe size at every OST count
+    for j in range(len(FIG9_STRIPE_COUNTS)):
+        col = result.seconds[:, j]
+        assert col[0] < col[-1], "1 MiB stripes must beat 16 MiB per op"
+    # OST-count effects are secondary ("trends are not uniform"):
+    # varying the count changes times by far less than stripe size does
+    spread_by_count = result.seconds.max(axis=1) / result.seconds.min(axis=1)
+    spread_by_size = result.seconds.max(axis=0) / result.seconds.min(axis=0)
+    assert spread_by_size.min() > spread_by_count.max()

@@ -1,0 +1,24 @@
+"""Benchmark: restart-read throughput vs checkpoint layout (future work).
+
+The paper's §VI names "parallel post processing performance benchmarks"
+and "checkpoint restarts" as the next steps; this bench provides them on
+the virtual cluster.
+"""
+
+from conftest import run_once
+
+from repro.experiments.postproc import run_postproc
+
+
+def test_bench_postproc_restart_read(benchmark, archive):
+    result = run_once(benchmark, run_postproc, nodes=200,
+                      aggregators=(1, 10, 100, 400, 25600))
+    archive("postproc_restart_read", result.render())
+
+    rates = dict(zip(result.aggregators, result.read_gib_s))
+    # a single-subfile checkpoint restarts at single-stream speed;
+    # aggregated layouts restart at near write-side aggregate rates
+    assert rates[400] > 10 * rates[1]
+    # extreme subfiling hits the same interleave wall as Fig. 6's writes
+    assert rates[25600] < rates[400]
+    assert all(r > 0 for r in result.read_gib_s)

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table II (file census, 4 configs × 10 node counts)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_table2
+from repro.experiments.paper_data import NODE_COUNTS, TABLE2
+
+
+def test_bench_table2(benchmark, archive):
+    result = run_once(benchmark, run_table2, node_counts=NODE_COUNTS)
+    archive("table2", result.render())
+
+    # file counts are exact closed forms — compare to every paper cell
+    for key in ("original", "bp4_default", "bp4_1aggr", "bp4_blosc_1aggr"):
+        for nodes, paper_files in TABLE2[key]["files"].items():
+            measured = result.stats[key][nodes].total_files
+            assert measured == paper_files, \
+                f"{key}@{nodes} nodes: {measured} files vs paper {paper_files}"
+
+    # sizes: within 10% of every paper average
+    for key in ("bp4_default", "bp4_1aggr", "bp4_blosc_1aggr", "original"):
+        for nodes, paper_avg in TABLE2[key]["avg"].items():
+            measured = result.stats[key][nodes].avg_size_bytes
+            assert measured == pytest.approx(paper_avg, rel=0.10), \
+                f"{key}@{nodes}: avg {measured:.0f} vs paper {paper_avg:.0f}"
+
+    # the Blosc savings shrink from ~11% (1 node) to ~4% (200 nodes)
+    def total(key, nodes):
+        s = result.stats[key][nodes]
+        return s.total_files * s.avg_size_bytes
+
+    saving_1 = 1 - total("bp4_blosc_1aggr", 1) / total("bp4_1aggr", 1)
+    saving_200 = 1 - total("bp4_blosc_1aggr", 200) / total("bp4_1aggr", 200)
+    assert saving_1 > saving_200
+    assert saving_1 == pytest.approx(0.1111, abs=0.04)
+    assert saving_200 == pytest.approx(0.0368, abs=0.03)

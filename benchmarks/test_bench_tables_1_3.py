@@ -1,0 +1,60 @@
+"""Benchmark: Table I (IOR command lines) and Table III/Listing 1 (lfs).
+
+These two artifacts are command-line surfaces rather than sweeps; the
+bench executes them end to end and archives the rendered text.
+"""
+
+from conftest import run_once
+
+from repro.cluster.presets import dardel
+from repro.fs import SyntheticPayload, mount
+from repro.ior import parse_command_line, run_ior
+from repro.experiments.paper_data import (
+    LISTING1_STRIPE_COUNT,
+    LISTING1_STRIPE_SIZE,
+    TABLE3_COMMAND,
+)
+
+TABLE1_FPP = "srun -n 25600 ior -N=25600 -a POSIX -F -C -e"
+TABLE1_SHARED = "srun -n 25600 ior -N=25600 -a POSIX -C -e"
+
+
+def test_bench_table1_ior_commands(benchmark, archive):
+    def run_both():
+        machine = dardel()
+        fpp = run_ior(machine, parse_command_line(TABLE1_FPP))
+        shared = run_ior(machine, parse_command_line(TABLE1_SHARED))
+        return fpp, shared
+
+    fpp, shared = run_once(benchmark, run_both)
+    text = "\n".join([
+        "Table I: IOR command lines on Dardel LFS (200 nodes)",
+        f"$ {TABLE1_FPP}",
+        f"  -> {fpp.write_gib_s:.2f} GiB/s write",
+        f"$ {TABLE1_SHARED}",
+        f"  -> {shared.write_gib_s:.2f} GiB/s write",
+    ])
+    archive("table1", text)
+    assert fpp.write_gib_s > shared.write_gib_s
+    assert fpp.config.file_per_proc and not shared.config.file_per_proc
+
+
+def test_bench_table3_lfs_striping(benchmark, archive):
+    def configure():
+        lfs = mount(dardel().storage_named("lfs"))
+        lfs.vfs.mkdir("/io_openPMD")
+        # lfs setstripe -c 8 -S 16M io_openPMD
+        lfs.lfs_setstripe("/io_openPMD", stripe_count=8, stripe_size="16M")
+        lfs.vfs.mkdir("/io_openPMD/dat_file.bp4")
+        ino = lfs.vfs.create("/io_openPMD/dat_file.bp4/data.0")
+        lfs.vfs.write(ino, 0, SyntheticPayload(64 * 2**20))
+        return lfs, lfs.lfs_getstripe("/io_openPMD/dat_file.bp4/data.0")
+
+    lfs, listing = run_once(benchmark, configure)
+    archive("table3_listing1", f"$ {TABLE3_COMMAND}\n"
+            "$ lfs getstripe io_openPMD/dat_file.bp4/data.0\n" + listing)
+
+    st = lfs.vfs.stat("/io_openPMD/dat_file.bp4/data.0")
+    assert st.stripe_count == LISTING1_STRIPE_COUNT
+    assert st.stripe_size == LISTING1_STRIPE_SIZE
+    assert "raid0" in listing

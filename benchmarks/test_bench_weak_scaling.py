@@ -1,0 +1,23 @@
+"""Benchmark: weak scaling (fixed per-rank load) — extension study."""
+
+from conftest import run_once
+
+from repro.experiments.weak_scaling import run_weak_scaling
+
+
+def test_bench_weak_scaling(benchmark, archive):
+    result = run_once(benchmark, run_weak_scaling,
+                      node_counts=(1, 5, 20, 50, 200))
+    archive("weak_scaling", result.render(y_format=lambda v: f"{v:.4f}"))
+
+    orig = result.get("BIT1 Original I/O")
+    bp4 = result.get("BIT1 openPMD + BP4")
+    # the original path's per-node rate collapses under weak scaling
+    assert orig.y_at(200) < 0.3 * orig.y_at(1)
+    # BP4 retains a much larger fraction of its single-node rate
+    retention_bp4 = bp4.y_at(200) / bp4.y_at(1)
+    retention_orig = orig.y_at(200) / orig.y_at(1)
+    assert retention_bp4 > 2 * retention_orig
+    # and BP4 is absolutely faster per node everywhere
+    for n in orig.xs:
+        assert bp4.y_at(n) > orig.y_at(n)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Checkpoint/restart through openPMD — the iteration-0 overwrite pattern.
+
+The paper's adaptor writes "iteration 0 … to record data that is
+periodically overwritten, such as the latest system state for
+simulation continuation".  This example:
+
+1. runs a simulation halfway, checkpointing every ``dmpstep`` steps;
+2. "crashes" it, then restores a brand-new simulation — on a DIFFERENT
+   rank count — from the openPMD checkpoint series;
+3. finishes the restored run and verifies particle conservation against
+   an uninterrupted reference run.
+"""
+
+import numpy as np
+
+from repro import Bit1Simulation, PosixIO, VirtualComm, dardel, mount, small_use_case
+from repro.io_adaptor import Bit1OpenPMDWriter, restore_from_openpmd
+
+
+def main() -> None:
+    config = small_use_case(ncells=64, particles_per_cell=40,
+                            last_step=200, datfile=50, dmpstep=100)
+    fs = mount(dardel().default_storage)
+
+    # -- first run: crashes after its step-100 checkpoint -----------------
+    comm_a = VirtualComm(4, ranks_per_node=2)
+    posix = PosixIO(fs, comm_a)
+    writer = Bit1OpenPMDWriter(posix, comm_a, "/run/ckpt")
+    sim_a = Bit1Simulation(config, comm_a, writers=[writer])
+    sim_a.run(nsteps=100)  # hits the dmpstep=100 checkpoint exactly
+    counts_at_ckpt = {name: sim_a.total_count(name)
+                      for name in sim_a.species_names()}
+    writer.finalize(sim_a)
+    print(f"first run checkpointed at step {sim_a.step_index}: "
+          f"{counts_at_ckpt}")
+    print("…simulated crash…")
+
+    # -- restart on 8 ranks instead of 4 ------------------------------------
+    comm_b = VirtualComm(8, ranks_per_node=4)
+    posix_b = PosixIO(fs, comm_b)
+    sim_b = Bit1Simulation(config, comm_b)
+    restore_from_openpmd(sim_b, posix_b, comm_b, "/run/ckpt/bit1_dmp.bp4")
+    restored = {name: sim_b.total_count(name)
+                for name in sim_b.species_names()}
+    print(f"restored on {comm_b.size} ranks: {restored}")
+    assert restored == counts_at_ckpt, "restart must restore every particle"
+
+    # particles land on the rank that owns their subdomain
+    for rank, sub in enumerate(sim_b.subdomains):
+        for name in sim_b.species_names():
+            x = sim_b.particles[rank][name].positions()
+            assert np.all((x >= sub.x_min) & (x < sub.x_max)), \
+                f"rank {rank} holds particles outside its subdomain"
+    print("domain decomposition after restart: OK")
+
+    sim_b.step_index = 100
+    sim_b.run()  # continue to last_step
+    print(f"restored run finished at step {sim_b.step_index}")
+
+    # -- reference: uninterrupted run with the same seed ----------------------
+    sim_ref = Bit1Simulation(config, VirtualComm(4, 2))
+    sim_ref.run()
+    for name in ("e", "D+"):
+        a, b = sim_b.total_count(name), sim_ref.total_count(name)
+        drift = abs(a - b) / max(b, 1)
+        print(f"{name}: restored {a} vs reference {b} "
+              f"({drift:.2%} Monte Carlo drift)")
+        assert drift < 0.05, "restored run diverged beyond MC noise"
+
+    print("checkpoint/restart round trip: OK")
+
+
+if __name__ == "__main__":
+    main()

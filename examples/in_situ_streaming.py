@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""In-situ analysis over the ADIOS2 SST engine — the paper's future work.
+
+§VI: "future research should thoroughly investigate … the Sustainable
+Staging Transport (SST).  The ADIOS2 SST engine enables the direct
+connection of data producers and consumers … for in-situ processing,
+analysis, and visualization."
+
+This example couples a running BIT1 simulation (producer) to an in-situ
+analysis consumer through the streaming engine: every ``datfile`` steps
+the density profile is published — no files — and the consumer fits the
+neutral-decay rate live while the simulation keeps running.  It also
+demonstrates the particle load-balancing extension mid-run.
+"""
+
+import numpy as np
+
+from repro import Bit1Simulation, PosixIO, VirtualComm, dardel, mount, small_use_case
+from repro.adios2 import SSTEngine, SSTReader, reset_streams
+from repro.pic.loadbalance import rebalance
+
+
+class StreamingDiagnostics:
+    """A writer that publishes profiles to SST instead of files."""
+
+    def __init__(self, posix, comm):
+        self.engine = SSTEngine(posix, comm, "/run/live.sst",
+                                queue_depth=64)
+        self.comm = comm
+
+    def write_diagnostics(self, sim, step):
+        self.engine.begin_step()
+        for name in sim.species_names():
+            profile = sim.global_density(name)
+            self.engine.put(f"/density/{name}", "double",
+                            (len(profile),), 0, (0,), (len(profile),),
+                            profile)
+        self.engine.put("/step", "double", (1,), 0, (0,), (1,),
+                        np.array([float(step)]))
+        self.engine.end_step()
+
+    def write_checkpoint(self, sim, step):
+        pass  # checkpoints stay on the file path in a real deployment
+
+    def finalize(self, sim):
+        self.engine.close()
+
+
+def main() -> None:
+    reset_streams()
+    config = small_use_case(ncells=64, particles_per_cell=100,
+                            last_step=400, datfile=40, dmpstep=400)
+    config = config.with_(ionization_rate=6.0e-13)
+    fs = mount(dardel().default_storage)
+    comm = VirtualComm(4, ranks_per_node=2)
+    posix = PosixIO(fs, comm)
+
+    producer = StreamingDiagnostics(posix, comm)
+    sim = Bit1Simulation(config, comm, writers=[producer])
+    consumer = SSTReader("live", comm)
+
+    print("producer: BIT1 publishing density profiles over SST")
+    print("consumer: live neutral-inventory analysis\n")
+    print(f"{'step':>6} {'neutrals':>12} {'decay fit R*ne':>16}")
+
+    inventories, times = [], []
+    steps_per_burst = config.datfile
+    while sim.step_index < config.last_step:
+        sim.run(nsteps=steps_per_burst)
+        step_data = consumer.begin_step()       # drain the latest sample
+        nD = consumer.get(step_data, "/density/D")
+        step = consumer.get(step_data, "/step")[0]
+        volume = np.full(len(nD), sim.grid.dx)
+        volume[0] = volume[-1] = sim.grid.dx / 2
+        inventory = float((nD * volume).sum())
+        inventories.append(inventory)
+        times.append(step * config.dt)
+        if len(inventories) >= 2 and inventories[-1] > 0:
+            # live fit of dn/dt = -n * (n_e R) from the streamed samples
+            rate = -np.polyfit(times, np.log(inventories), 1)[0]
+            print(f"{int(step):>6} {inventory:>12.4e} {rate:>16.4e}")
+        else:
+            print(f"{int(step):>6} {inventory:>12.4e} {'(warming up)':>16}")
+        if sim.step_index == config.last_step // 2:
+            report = rebalance(sim)
+            print(f"  [mid-run load balance: imbalance "
+                  f"{report.before_imbalance:.2f} -> "
+                  f"{report.after_imbalance:.2f}, "
+                  f"{report.migrated} particles migrated]")
+
+    producer.finalize(sim)
+    expected = config.species[0].density * config.ionization_rate
+    rate = -np.polyfit(times, np.log(inventories), 1)[0]
+    print(f"\nfitted n_e*R = {rate:.3e} s^-1, expected {expected:.3e} s^-1 "
+          f"({abs(rate - expected) / expected:.1%} off)")
+    print(f"files written by the diagnostic stream: "
+          f"{len(fs.vfs.files_under('/'))} (in-situ: zero)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The paper's I/O tuning story at full scale, on your laptop.
+
+Reruns the key evaluation sweeps of §IV on the virtual Dardel model
+(25600-rank workloads, synthetic payloads, virtual time):
+
+1. original I/O vs openPMD+BP4 across node counts (Figs. 2/3);
+2. the aggregator sweep on 200 nodes (Fig. 6);
+3. compression trade-offs (Fig. 7 / Table II);
+4. Lustre striping (`lfs setstripe`) effects (Table III / Fig. 9).
+
+Pass ``--full`` for the complete sweeps used by the benchmark harness;
+the default runs a reduced grid in a few seconds.
+"""
+
+import argparse
+
+from repro import dardel, run_openpmd_scaled, run_original_scaled, write_throughput_gib
+from repro.darshan import avg_seconds_per_write, file_stats_from_sizes
+from repro.util.tables import Table
+from repro.util.units import MiB, format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's complete sweeps")
+    args = parser.parse_args()
+
+    machine = dardel()
+    nodes_sweep = (1, 2, 5, 10, 20, 30, 40, 50, 100, 200) if args.full \
+        else (1, 10, 200)
+    aggr_sweep = (1, 25, 50, 100, 200, 400, 800, 1600, 6400, 25600) \
+        if args.full else (1, 400, 25600)
+
+    print("== 1. original vs openPMD+BP4 (write throughput, GiB/s) ==")
+    t = Table(["nodes", "original", "openPMD+BP4"])
+    for nodes in nodes_sweep:
+        orig = run_original_scaled(machine, nodes)
+        bp4 = run_openpmd_scaled(machine, nodes, num_aggregators=nodes)
+        t.add_row([nodes, f"{write_throughput_gib(orig.log):.3f}",
+                   f"{write_throughput_gib(bp4.log):.3f}"])
+    print(t.render())
+
+    print("\n== 2. aggregator sweep on 200 nodes (Fig. 6) ==")
+    t = Table(["aggregators", "GiB/s"])
+    for m in aggr_sweep:
+        res = run_openpmd_scaled(machine, 200, num_aggregators=m)
+        t.add_row([m, f"{write_throughput_gib(res.log):.2f}"])
+    print(t.render())
+    print("paper: 0.59 at 1, peak 15.80 at 400, 3.87 at 25600")
+
+    print("\n== 3. compression & storage efficiency (Table II flavour) ==")
+    t = Table(["config", "files", "avg size", "max size"])
+    for label, kwargs in (
+        ("BP4 + 1 AGGR", dict(num_aggregators=1)),
+        ("BP4 + Blosc + 1 AGGR", dict(num_aggregators=1, compressor="blosc")),
+        ("BP4 + bzip2 + 1 AGGR", dict(num_aggregators=1, compressor="bzip2")),
+    ):
+        res = run_openpmd_scaled(machine, 200, **kwargs)
+        st = file_stats_from_sizes(res.file_sizes())
+        t.add_row([label, st.total_files, format_size(st.avg_size_bytes),
+                   format_size(st.max_size_bytes)])
+    print(t.render())
+    print("paper: Blosc saves 3.68% at 200 nodes; bzip2 saves ~nothing")
+
+    print("\n== 4. Lustre striping (Table III: lfs setstripe -c 8 -S 16M) ==")
+    t = Table(["stripe size", "stripe count", "s per write op"])
+    grid = ((1 * MiB, 1), (1 * MiB, 8), (16 * MiB, 1), (16 * MiB, 8)) \
+        if not args.full else tuple(
+            (s * MiB, c) for s in (1, 2, 4, 8, 16) for c in (1, 2, 4, 8, 16, 32, 48))
+    for size, count in grid:
+        res = run_openpmd_scaled(machine, 200, num_aggregators=1,
+                                 compressor="blosc", stripe_count=count,
+                                 stripe_size=size)
+        t.add_row([format_size(size), count,
+                   f"{avg_seconds_per_write(res.log):.5f}"])
+        if (size, count) == (16 * MiB, 8):
+            # show the Listing 1 view of the striped output
+            lfs = res.fs
+            data0 = f"{res.outdir}/dmp_file.bp4/data.0"
+            print(lfs.lfs_getstripe(data0))
+    print(t.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: run a small BIT1 simulation with both I/O paths and
+compare them with Darshan — the paper's whole story in one script.
+
+Steps:
+
+1. build the (laptop-sized) ionization use case — electrons, D+ ions
+   and D neutrals, ionization only, no field solve (§III-C);
+2. run it on a 8-rank virtual job against Dardel's Lustre model, writing
+   through BOTH the original stdio path and the openPMD + ADIOS2 BP4
+   adaptor;
+3. finalize the Darshan monitor and print the write throughput and the
+   per-process cost split;
+4. read a particle array back from the openPMD checkpoint to show the
+   round trip.
+"""
+
+import numpy as np
+
+from repro import (
+    Bit1Simulation,
+    DarshanMonitor,
+    PosixIO,
+    VirtualComm,
+    cost_split,
+    dardel,
+    mount,
+    small_use_case,
+    write_throughput_gib,
+)
+from repro.darshan import render_totals
+from repro.io_adaptor import Bit1OpenPMDWriter, OriginalIOWriter
+from repro.openpmd import Access, Series
+
+
+def main() -> None:
+    config = small_use_case(last_step=200)
+    machine = dardel()
+    fs = mount(machine.default_storage)
+    comm = VirtualComm(8, ranks_per_node=4)
+    monitor = DarshanMonitor(comm.size, exe="quickstart")
+    posix = PosixIO(fs, comm, monitor)
+
+    original = OriginalIOWriter(posix, comm, "/run/original")
+    openpmd = Bit1OpenPMDWriter(posix, comm, "/run/openpmd")
+    sim = Bit1Simulation(config, comm, writers=[original, openpmd])
+
+    print(f"running {config.name}: {config.ncells} cells, "
+          f"{sim.total_count('e')} electrons on {comm.size} ranks")
+    sim.run()
+    print(f"done at step {sim.step_index}; "
+          f"D neutrals remaining: {sim.total_count('D')} "
+          f"(ionization converted the rest)")
+
+    log = monitor.finalize(machine=machine.name, config="quickstart")
+    split = cost_split(log)
+    print(f"\nDarshan: {write_throughput_gib(log):.4f} GiB/s write "
+          f"throughput (virtual time)")
+    print(f"per-process avg: read {split.read_seconds:.4f}s, "
+          f"meta {split.meta_seconds:.4f}s, write {split.write_seconds:.4f}s")
+
+    print("\nfiles written:")
+    for path in fs.vfs.files_under("/run")[:12]:
+        print(f"  {path}  ({fs.vfs.stat(path).size} B)")
+
+    # read back the checkpoint through the openPMD read API
+    series = Series(posix, comm, "/run/openpmd/bit1_dmp.bp4",
+                    Access.READ_ONLY)
+    x = series.load_particles(0, "e", "position", "x")
+    print(f"\ncheckpoint read-back: {len(x)} electron positions, "
+          f"range [{x.min():.4f}, {x.max():.4f}] m")
+    assert np.all((x >= 0) & (x <= config.length))
+
+    print("\ndarshan-parser --total (first lines):")
+    print("\n".join(render_totals(log).splitlines()[:16]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Two-stream instability — the classic kinetic PIC validation.
+
+Two counter-streaming cold electron beams are unstable: the electrostatic
+two-stream mode grows exponentially at a rate of order the plasma
+frequency (peak growth γ = ω_p/2 for symmetric beams at the most
+unstable wavenumber; Birdsall & Langdon ch. 5).  This example drives the
+full field-solving PIC cycle, measures the growth rate of the field
+energy from the simulation, and streams the phase-space evolution
+through the openPMD adaptor so the vortex formation is stored in
+standard form.
+"""
+
+import numpy as np
+
+from repro import PosixIO, VirtualComm, dardel, mount
+from repro.openpmd import Access, Dataset, Series
+from repro.pic import (
+    Grid1D,
+    ParticleArrays,
+    deposit_charge,
+    electric_field,
+    leapfrog_step,
+    plasma_frequency,
+    solve_poisson_periodic,
+)
+from repro.pic.constants import EPS0, ME, QE
+from repro.pic.mover import initial_half_kick
+
+
+def main() -> None:
+    n0 = 5.0e12                 # per-beam density [m^-3]
+    grid = Grid1D(128, 1.0)
+    npart = 20000               # per beam
+    wp = plasma_frequency(2 * n0)   # total electron density
+    v0 = 0.18 * wp * grid.length / (2 * np.pi)  # beam speed
+    dt = 0.05 / wp
+
+    weight = n0 * grid.length / npart
+    ions = ParticleArrays("i", 1.0, QE)  # immobile neutralising background
+    x = (np.arange(npart) + 0.5) * grid.length / npart
+    ions.add(np.concatenate([x, x]), 0, 0, 0, weight)
+
+    beams = ParticleArrays("e", ME, -QE)
+    rng = np.random.default_rng(7)
+    jitter = 1e-4 * grid.length
+    beams.add(np.mod(x + rng.normal(0, jitter, npart), grid.length),
+              +v0, 0, 0, weight)
+    beams.add(np.mod(x + rng.normal(0, jitter, npart), grid.length),
+              -v0, 0, 0, weight)
+
+    def field():
+        rho = deposit_charge(grid, [ions, beams])
+        phi = solve_poisson_periodic(grid, rho)
+        return electric_field(grid, phi, periodic=True)
+
+    fs = mount(dardel().default_storage)
+    comm = VirtualComm(1, 1)
+    posix = PosixIO(fs, comm)
+    series = Series(posix, comm, "/run/two_stream.bp4", Access.CREATE)
+
+    initial_half_kick(grid, beams, field(), dt)
+    energies = []
+    steps = 600
+    print(f"two counter-streaming beams, v0 = ±{v0:.3e} m/s, "
+          f"ω_p = {wp:.3e} rad/s")
+    for step in range(steps):
+        e = field()
+        leapfrog_step(grid, beams, e, dt, periodic=True)
+        field_energy = 0.5 * EPS0 * np.sum(e[:-1] ** 2) * grid.dx
+        energies.append(field_energy)
+        if step % 100 == 0:
+            it = series.iterations[step]
+            comp = it.meshes["field_energy"].scalar
+            comp.reset_dataset(Dataset(np.float64, (1,)))
+            comp.store_chunk(np.array([field_energy]), (0,), rank=0)
+            vx = it.particles["e"]["momentum"]["x"]
+            vx.reset_dataset(Dataset(np.float64, (len(beams),)))
+            vx.store_chunk(beams.vx[: len(beams)].copy(), (0,), rank=0)
+            it.close()
+            print(f"  step {step:4d}: field energy {field_energy:.3e} J/m^2")
+    series.close()
+
+    # fit the exponential growth phase (skip the initial transient and
+    # stop before nonlinear saturation: the steepest sustained window)
+    log_e = np.log(np.asarray(energies) + 1e-300)
+    t = np.arange(steps) * dt
+    window = slice(50, 350)
+    gamma = np.polyfit(t[window], log_e[window], 1)[0] / 2  # energy ~ e^{2γt}
+    print(f"\nmeasured growth rate γ = {gamma:.3e} rad/s")
+    print(f"ω_p reference          = {wp:.3e} rad/s "
+          f"(theory peak γ = ω_p/2 = {wp / 2:.3e})")
+    assert 0.1 * wp < gamma < 1.0 * wp, "growth rate outside kinetic band"
+    saturated = np.asarray(energies)
+    assert saturated[-1] > 100 * saturated[0], "instability must grow"
+    print("two-stream instability reproduced; phase space stored via openPMD")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "Enabling High-Throughput Parallel I/O in
+Particle-in-Cell Monte Carlo Simulations with openPMD and Darshan I/O
+Monitoring" (Williams et al., CLUSTER 2024).
+
+The package builds the paper's entire stack from scratch in Python:
+
+* :mod:`repro.pic` — a BIT1-like 1D3V electrostatic PIC Monte Carlo code;
+* :mod:`repro.mpi` — a simulated MPI communicator (in-process SPMD);
+* :mod:`repro.cluster` — virtual machine models of Discoverer, Dardel, Vega;
+* :mod:`repro.fs` — virtual filesystem + Lustre/NFS/CephFS performance models;
+* :mod:`repro.darshan` — I/O monitoring (counters, logs, parser, reports);
+* :mod:`repro.compression` — Blosc-like and bzip2 codecs;
+* :mod:`repro.adios2` — BP4/BP5 engines with two-level aggregation;
+* :mod:`repro.openpmd` — the openPMD standard layer (Series/Iterations/Records);
+* :mod:`repro.io_adaptor` — BIT1's original output and the openPMD adaptor;
+* :mod:`repro.ior` — the IOR benchmark;
+* :mod:`repro.workloads` / :mod:`repro.experiments` — the paper's use case
+  and one driver per figure/table of the evaluation.
+
+Quickstart::
+
+    from repro import Bit1Simulation, VirtualComm, small_use_case
+    sim = Bit1Simulation(small_use_case(), VirtualComm(4, 2))
+    sim.run()
+"""
+
+from repro.cluster import Machine, dardel, discoverer, machine_by_name, vega
+from repro.darshan import DarshanLog, DarshanMonitor, cost_split, write_throughput_gib
+from repro.fs import LustreFilesystem, PosixIO, mount
+from repro.io_adaptor import Bit1OpenPMDWriter, OriginalIOWriter
+from repro.ior import IORConfig, run_ior
+from repro.mpi import VirtualComm, comm_for_nodes
+from repro.openpmd import Access, Dataset, Series
+from repro.pic import Bit1Config, Bit1Simulation, SpeciesConfig
+from repro.workloads import (
+    Bit1DataModel,
+    paper_use_case,
+    run_openpmd_scaled,
+    run_original_scaled,
+    sheath_case,
+    small_use_case,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "Bit1Config",
+    "Bit1DataModel",
+    "Bit1OpenPMDWriter",
+    "Bit1Simulation",
+    "DarshanLog",
+    "DarshanMonitor",
+    "Dataset",
+    "IORConfig",
+    "LustreFilesystem",
+    "Machine",
+    "OriginalIOWriter",
+    "PosixIO",
+    "Series",
+    "SpeciesConfig",
+    "VirtualComm",
+    "comm_for_nodes",
+    "cost_split",
+    "dardel",
+    "discoverer",
+    "machine_by_name",
+    "mount",
+    "paper_use_case",
+    "run_ior",
+    "run_openpmd_scaled",
+    "run_original_scaled",
+    "sheath_case",
+    "small_use_case",
+    "vega",
+    "write_throughput_gib",
+]

@@ -1,0 +1,105 @@
+"""Two-level aggregation: N ranks funnel into M subfiles.
+
+"For optimal I/O performance in BIT1, N processes must distribute their
+output across M files" (§IV-C).  ADIOS2's default allocates one
+aggregator per node (a single shared file among the MPI processes of each
+node); the ``OPENPMD_ADIOS2_BP5_NumAgg`` parameter overrides the desired
+number of output files.  This module computes the rank→aggregator map and
+the per-aggregator byte loads; the engines use it every flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.comm import VirtualComm
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """Immutable rank→aggregator assignment for one engine instance."""
+
+    num_ranks: int
+    aggregator_ranks: np.ndarray   # (M,) global ranks that own subfiles
+    agg_index_of_rank: np.ndarray  # (N,) subfile index each rank sends to
+
+    @property
+    def num_aggregators(self) -> int:
+        return len(self.aggregator_ranks)
+
+    def per_aggregator_bytes(self, per_rank_bytes: np.ndarray) -> np.ndarray:
+        """Sum each subfile's incoming bytes (vectorised bincount)."""
+        per_rank_bytes = np.asarray(per_rank_bytes)
+        if per_rank_bytes.shape != (self.num_ranks,):
+            raise ValueError(
+                f"expected ({self.num_ranks},) byte array, "
+                f"got {per_rank_bytes.shape}"
+            )
+        return np.bincount(self.agg_index_of_rank, weights=per_rank_bytes,
+                           minlength=self.num_aggregators).astype(np.int64)
+
+    def remote_bytes(self, per_rank_bytes: np.ndarray) -> np.ndarray:
+        """Bytes each rank ships to a *different* rank (network traffic)."""
+        per_rank_bytes = np.asarray(per_rank_bytes)
+        own_agg_rank = self.aggregator_ranks[self.agg_index_of_rank]
+        is_local = own_agg_rank == np.arange(self.num_ranks)
+        return np.where(is_local, 0, per_rank_bytes)
+
+
+def plan_aggregation(comm: VirtualComm,
+                     num_aggregators: int | None = None) -> AggregationPlan:
+    """Build the aggregation plan ADIOS2 would use.
+
+    ``num_aggregators=None`` reproduces the BP4 default: one aggregator
+    (and hence one subfile) per node.  Explicit values spread aggregators
+    evenly over nodes first (so 2 per node at M = 2×nodes, matching the
+    paper's observation that the 400-aggregator optimum on 200 nodes is
+    "two aggregators per node"), and ranks are assigned to the nearest
+    aggregator on their node where possible.
+    """
+    n = comm.size
+    if num_aggregators is None:
+        agg_ranks = comm.node_leaders()
+    else:
+        if not 1 <= num_aggregators <= n:
+            raise ValueError(
+                f"num_aggregators must be in [1, {n}], got {num_aggregators}"
+            )
+        # evenly spaced ranks: this lands ceil(M/nodes) aggregators per
+        # node for M >= nodes and spreads across nodes for M < nodes
+        agg_ranks = np.unique(
+            np.floor(np.arange(num_aggregators) * (n / num_aggregators))
+            .astype(np.int64)
+        )
+    # each rank sends to the closest aggregator at or below it
+    agg_index = np.searchsorted(agg_ranks, np.arange(n), side="right") - 1
+    agg_index = np.clip(agg_index, 0, len(agg_ranks) - 1)
+    return AggregationPlan(
+        num_ranks=n,
+        aggregator_ranks=agg_ranks,
+        agg_index_of_rank=agg_index,
+    )
+
+
+def gather_cost_seconds(plan: AggregationPlan, per_rank_bytes: np.ndarray,
+                        comm: VirtualComm) -> np.ndarray:
+    """Per-rank virtual seconds for shuffling chunks to the aggregators.
+
+    Senders pay their outgoing volume at NIC bandwidth; aggregators pay
+    their incoming volume.  Node-local transfers are modelled at memory
+    speed (effectively free at these sizes) — shared-memory transport.
+    """
+    nic = comm.config.bandwidth
+    out = np.zeros(comm.size, dtype=np.float64)
+    remote = plan.remote_bytes(per_rank_bytes).astype(np.float64)
+    out += remote / nic
+    incoming = plan.per_aggregator_bytes(per_rank_bytes).astype(np.float64)
+    own = np.zeros(comm.size, dtype=np.float64)
+    np.add.at(own, plan.aggregator_ranks, incoming)
+    local_own = np.zeros(comm.size, dtype=np.float64)
+    np.add.at(local_own, plan.aggregator_ranks[plan.agg_index_of_rank],
+              np.where(remote > 0, 0.0, per_rank_bytes))
+    out += np.maximum(own - local_own, 0.0) / nic
+    return out

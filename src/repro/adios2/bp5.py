@@ -1,0 +1,23 @@
+"""The BP5 engine: BP4's layout plus a second metadata file ``mmd.0``.
+
+"However, for BP5, there is a second metadata file (mmd.0) in the
+directory, which BP4 and BP3 do not have" (§III-D).  BP5 trades some of
+BP4's aggressive buffering for bounded host memory; modelled here as a
+smaller default staging granularity.
+"""
+
+from __future__ import annotations
+
+from repro.adios2.engine import BPEngineBase
+
+
+class BP5Engine(BPEngineBase):
+    """ADIOS2 BP5 file engine (``*.bp5`` directory, with ``mmd.0``)."""
+
+    engine_type = "BP5"
+    extension = ".bp5"
+    extra_meta_files: tuple[str, ...] = ("mmd.0",)
+    #: BP5 bounds host memory: stage at most 16 MiB per aggregator before
+    #: draining ("certain compromises to exert tighter control over the
+    #: host memory usage", §II-A)
+    default_buffer_chunk: int | None = 16 * 1024 * 1024

@@ -1,0 +1,541 @@
+"""ADIOS2 BP engine: steps, staging, operators, aggregation, subfiles.
+
+Reproduces the write path of the BP4/BP5 file engines (§II-A, Fig. 1):
+an output "file" is a *directory* containing one data subfile per
+aggregator (``data.0`` … ``data.M-1``), a metadata file (``md.0``), an
+index table (``md.idx``) and, when profiling is on, ``profiling.json``
+(BP5 adds a second metadata file ``mmd.0``).
+
+Within a step, ranks ``put`` chunks of variables.  ``end_step``:
+
+1. stages every chunk — an uncompressed put pays a staging **memcpy**
+   (profiled; this is what Fig. 8 shows), a compressed put instead pays
+   operator CPU and *skips the copy* (compressors emit straight into the
+   staging buffer);
+2. shuffles chunks to their aggregator ranks (network cost);
+3. appends each aggregator's block to its subfile with the collective
+   write-rate model, or overwrites in place when the step is a rewrite of
+   an earlier step (BIT1's iteration-0 checkpoint semantics — on-disk
+   size stays one copy while transferred bytes accumulate);
+4. appends index/metadata records (rank 0).
+
+Functional mode (real payloads) produces a self-describing container:
+``md.0`` holds JSON-lines chunk records and the subfiles hold the (maybe
+compressed) bytes, so a fresh engine can re-open the directory and read
+every variable back — checkpoint/restart round-trips work end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adios2.aggregation import AggregationPlan, gather_cost_seconds, plan_aggregation
+from repro.adios2.profiling import EngineProfile
+from repro.adios2.variables import Attribute, Chunk, Variable
+from repro.compression.api import Compressor, get_compressor
+from repro.fs.payload import RealPayload, SyntheticPayload
+from repro.fs.posix import PosixIO
+from repro.mpi.comm import VirtualComm
+
+#: metadata size model (bytes) — calibrated so BP directory md files stay
+#: in the few-hundred-KiB range Table II implies
+MD0_HEADER = 1024
+MD0_STEP_BASE = 512
+MD0_PER_AGG = 64
+MDIDX_HEADER = 64
+MDIDX_PER_STEP = 64
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs (the paper's tuning surface)."""
+
+    #: number of subfiles/aggregators; None = ADIOS2 default (1 per node).
+    #: This is the ``OPENPMD_ADIOS2_BP5_NumAgg`` parameter of §IV-C.
+    num_aggregators: int | None = None
+    #: operator applied to every put ("blosc", "bzip2", or None)
+    compressor: str | None = None
+    #: emit profiling.json on close (OPENPMD_ADIOS2_HAVE_PROFILING=1)
+    profiling: bool = False
+    #: staging-copy bandwidth for the memcpy accounting, bytes/s
+    memcpy_bandwidth: float = 8.0e9
+    #: staging-buffer bound per aggregator; None = unbounded (BP4's
+    #: "aggressive optimization"), a value = BP5's "tighter control over
+    #: the host memory usage": flushes happen in bounded batches
+    buffer_chunk_size: int | None = None
+
+
+@dataclass
+class _IndexEntry:
+    """One stored chunk (functional mode)."""
+
+    step_key: str
+    var: str
+    dtype: str
+    rank: int
+    subfile: int
+    offset: int
+    stored_nbytes: int
+    raw_nbytes: int
+    global_shape: tuple[int, ...]
+    chunk_offset: tuple[int, ...]
+    chunk_extent: tuple[int, ...]
+    compressed: bool
+    #: crc32 of the stored bytes; 0 for synthetic/no-verify chunks
+    checksum: int = 0
+
+
+@dataclass
+class _Slot:
+    """Reserved in-place region for a rewritable step (per subfile)."""
+
+    offset: int
+    reserved: int
+
+
+class IntegrityError(RuntimeError):
+    """Stored data failed its checksum (corrupt checkpoint/diagnostics)."""
+
+
+class BPEngineBase:
+    """Shared implementation of the BP-family file engines."""
+
+    engine_type = "BP"
+    extension = ".bp"
+    extra_meta_files: tuple[str, ...] = ()
+    #: engine-default staging bound (overridden per subclass); None =
+    #: buffer the whole step (BP4)
+    default_buffer_chunk: int | None = None
+
+    def __init__(self, posix: PosixIO, comm: VirtualComm, path: str,
+                 mode: str = "w", config: EngineConfig | None = None):
+        if mode not in ("w", "r", "a"):
+            raise ValueError(f"unsupported engine mode {mode!r}")
+        self.posix = posix
+        self.comm = comm
+        self.path = path if path.endswith(self.extension) else path + self.extension
+        self.mode = mode
+        self.config = config or EngineConfig()
+        self.compressor: Compressor | None = (
+            get_compressor(self.config.compressor)
+            if self.config.compressor else None
+        )
+        self.plan: AggregationPlan = plan_aggregation(
+            comm, self.config.num_aggregators)
+        self.profile = EngineProfile(comm.size, self.engine_type)
+        self._index: list[_IndexEntry] = []
+        self._slots: dict[str, list[_Slot]] = {}
+        self._subfile_tails = np.zeros(self.plan.num_aggregators, dtype=np.int64)
+        self._step = -1
+        self._in_step = False
+        self._closed = False
+        self._cur_vars: dict[str, Variable] = {}
+        self._cur_bulk: list[tuple[str, np.ndarray, np.ndarray, str]] = []
+        self._attributes: dict[str, Attribute] = {}
+        if mode in ("w", "a"):
+            self._create_layout(truncate=(mode == "w"))
+        else:
+            self._open_for_read()
+
+    # -- layout ---------------------------------------------------------------
+
+    def _subfile_path(self, i: int) -> str:
+        return f"{self.path}/data.{i}"
+
+    def _create_layout(self, truncate: bool) -> None:
+        root_rank = 0
+        if not self.posix.exists(self.path):
+            self.posix.mkdir(root_rank, self.path, parents=True)
+        m = self.plan.num_aggregators
+        agg_ranks = self.plan.aggregator_ranks
+        self._data_fds = self.posix.open_group(
+            agg_ranks, [self._subfile_path(i) for i in range(m)],
+            create=True, truncate=truncate,
+        )
+        self._md_fd = self.posix.open(root_rank, f"{self.path}/md.0",
+                                      create=True, truncate=truncate)
+        self._idx_fd = self.posix.open(root_rank, f"{self.path}/md.idx",
+                                       create=True, truncate=truncate)
+        self._extra_fds = {
+            name: self.posix.open(root_rank, f"{self.path}/{name}",
+                                  create=True, truncate=truncate)
+            for name in self.extra_meta_files
+        }
+        if truncate:
+            self._append_md(MD0_HEADER, real=self._header_json())
+            self._append_idx(MDIDX_HEADER)
+
+    def _header_json(self) -> bytes:
+        head = {
+            "engine": self.engine_type,
+            "nranks": self.comm.size,
+            "aggregators": int(self.plan.num_aggregators),
+            "compressor": self.config.compressor,
+        }
+        return (json.dumps({"header": head}) + "\n").encode()
+
+    def _attributes_json(self) -> bytes:
+        doc = {"attributes": {name: attr.value
+                              for name, attr in self._attributes.items()}}
+        try:
+            return (json.dumps(doc) + "\n").encode()
+        except TypeError:  # non-JSON attribute values: store repr
+            doc = {"attributes": {name: repr(attr.value)
+                                  for name, attr in self._attributes.items()}}
+            return (json.dumps(doc) + "\n").encode()
+
+    def _append_md(self, nbytes_model: int, real: bytes | None = None) -> None:
+        # metadata appends are buffered rank-0 stream writes, not part of
+        # the contended data phase — cost them uncontended
+        payload = (RealPayload(real, entropy="metadata") if real is not None
+                   else SyntheticPayload(nbytes_model, "metadata"))
+        with self.posix.phase(writers=1):
+            self.posix.write(0, self._md_fd, payload)
+            for fd in getattr(self, "_extra_fds", {}).values():
+                self.posix.write(0, fd, SyntheticPayload(
+                    max(nbytes_model // 2, 16), "metadata"))
+
+    def _append_idx(self, nbytes: int) -> None:
+        with self.posix.phase(writers=1):
+            self.posix.write(0, self._idx_fd,
+                             SyntheticPayload(nbytes, "metadata"))
+
+    # -- write-side API -----------------------------------------------------------
+
+    def begin_step(self) -> int:
+        self._check_writable()
+        if self._in_step:
+            raise RuntimeError("previous step not ended")
+        self._step += 1
+        self._in_step = True
+        self._cur_vars = {}
+        self._cur_bulk = []
+        return self._step
+
+    def define_attribute(self, name: str, value) -> Attribute:
+        attr = Attribute(name, value)
+        self._attributes[name] = attr
+        return attr
+
+    @property
+    def attributes(self) -> dict:
+        """Attribute values (write side: as defined; read side: loaded)."""
+        return {name: attr.value for name, attr in self._attributes.items()}
+
+    def declare_variable(self, name: str, dtype: str,
+                         global_shape: tuple[int, ...],
+                         entropy: str = "particle_float32") -> Variable:
+        self._check_in_step()
+        var = self._cur_vars.get(name)
+        if var is None:
+            var = Variable(name=name, dtype=dtype,
+                           global_shape=tuple(global_shape), entropy=entropy)
+            self._cur_vars[name] = var
+        return var
+
+    def put(self, name: str, dtype: str, global_shape: tuple[int, ...],
+            rank: int, offset: tuple[int, ...], extent: tuple[int, ...],
+            data, entropy: str = "particle_float32") -> Chunk:
+        """Stage one rank's chunk (functional path)."""
+        var = self.declare_variable(name, dtype, global_shape, entropy)
+        return var.put_chunk(rank, tuple(offset), tuple(extent), data)
+
+    def put_group(self, name: str, ranks: np.ndarray,
+                  nbytes_each: int | np.ndarray,
+                  entropy: str = "particle_float32") -> None:
+        """Stage symmetric synthetic chunks for many ranks (modeled path)."""
+        self._check_in_step()
+        ranks = np.asarray(ranks)
+        nbytes = np.broadcast_to(
+            np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
+        self._cur_bulk.append((name, ranks, nbytes, entropy))
+
+    # -- flush ------------------------------------------------------------------------
+
+    def end_step(self, overwrite_key: str | None = None) -> None:
+        """Flush the step; ``overwrite_key`` names a rewritable slot.
+
+        Passing the same key again overwrites the earlier step's extents
+        in place — the paper's "iteration 0 is chosen to record data that
+        is periodically overwritten" checkpoint pattern.
+        """
+        self._check_in_step()
+        n = self.comm.size
+        staged = np.zeros(n, dtype=np.float64)
+        for var in self._cur_vars.values():
+            staged += var.per_rank_bytes(n)
+        for _name, ranks, nbytes, _entropy in self._cur_bulk:
+            np.add.at(staged, ranks, nbytes.astype(np.float64))
+        self.profile.add_bytes(np.arange(n), staged)
+
+        stored = self._apply_operator(staged)
+        gather = gather_cost_seconds(self.plan, stored, self.comm)
+        self.comm.clocks += gather
+        self.profile.add("aggregation", np.arange(n), gather)
+
+        per_agg = self.plan.per_aggregator_bytes(stored)
+        offsets = self._allocate(overwrite_key, per_agg)
+        active = per_agg > 0
+        agg_ranks = self.plan.aggregator_ranks
+        if active.any():
+            bound = self.config.buffer_chunk_size or self.default_buffer_chunk
+            if bound is not None and int(per_agg[active].max()) > bound:
+                # memory-bounded staging (BP5): drain the buffer in
+                # bounded batches -- more, smaller collective writes
+                remaining = per_agg[active].astype(np.int64).copy()
+                offs = offsets[active].astype(np.int64).copy()
+                while (remaining > 0).any():
+                    batch = np.minimum(remaining, bound)
+                    live = batch > 0
+                    costs = self.posix.write_aggregate(
+                        agg_ranks[active][live],
+                        self._data_fds[active][live],
+                        batch[live], overwrite_offset=offs[live],
+                    )
+                    self.profile.add("write", agg_ranks[active][live], costs)
+                    offs += batch
+                    remaining -= batch
+            else:
+                costs = self.posix.write_aggregate(
+                    agg_ranks[active], self._data_fds[active],
+                    per_agg[active], overwrite_offset=offsets[active],
+                )
+                self.profile.add("write", agg_ranks[active], costs)
+        self._materialize_chunks(offsets)
+        self._write_step_metadata(overwrite_key)
+        self.profile.steps += 1
+        self._in_step = False
+        self.comm.barrier()
+
+    def _apply_operator(self, staged: np.ndarray) -> np.ndarray:
+        """Compression / memcpy accounting; returns stored bytes per rank."""
+        n = self.comm.size
+        ranks = np.arange(n)
+        if self.compressor is None:
+            memcpy_s = staged / self.config.memcpy_bandwidth
+            self.comm.clocks += memcpy_s
+            self.profile.add("memcpy", ranks, memcpy_s)
+            # real chunks are stored as-is
+            for var in self._cur_vars.values():
+                for chunk in var.chunks:
+                    chunk.stored = chunk.payload  # type: ignore[attr-defined]
+                    chunk.stored_compressed = False  # type: ignore[attr-defined]
+            return staged.copy()
+        cpu_s = staged / self.compressor.compress_bandwidth
+        self.comm.clocks += cpu_s
+        self.profile.add("compress", ranks, cpu_s)
+        stored = np.zeros(n, dtype=np.float64)
+        for var in self._cur_vars.values():
+            for chunk in var.chunks:
+                result = self.compressor.compress(chunk.payload)
+                chunk.stored = result.payload  # type: ignore[attr-defined]
+                chunk.stored_compressed = True  # type: ignore[attr-defined]
+                stored[chunk.rank] += result.compressed_nbytes
+        for name, ranks_b, nbytes, entropy in self._cur_bulk:
+            ratio = self.compressor.synthetic_ratio(entropy)
+            np.add.at(stored, ranks_b, np.round(nbytes * ratio))
+        return stored
+
+    def _allocate(self, key: str | None, per_agg: np.ndarray) -> np.ndarray:
+        """Subfile offsets for this step's blocks (append or in-place)."""
+        m = self.plan.num_aggregators
+        offsets = np.empty(m, dtype=np.int64)
+        if key is None:
+            offsets[:] = self._subfile_tails
+            self._subfile_tails += per_agg
+            return offsets
+        slots = self._slots.get(key)
+        if slots is None:
+            offsets[:] = self._subfile_tails
+            self._subfile_tails += per_agg
+            self._slots[key] = [
+                _Slot(int(offsets[i]), int(per_agg[i])) for i in range(m)
+            ]
+            return offsets
+        for i, slot in enumerate(slots):
+            if per_agg[i] <= slot.reserved:
+                offsets[i] = slot.offset  # in-place overwrite
+            else:
+                offsets[i] = self._subfile_tails[i]
+                self._subfile_tails[i] += per_agg[i]
+                slots[i] = _Slot(int(offsets[i]), int(per_agg[i]))
+        return offsets
+
+    def _materialize_chunks(self, agg_offsets: np.ndarray) -> None:
+        """Lay real chunk bytes into the subfiles and index them."""
+        if not self._cur_vars:
+            return
+        cursor = agg_offsets.astype(np.int64).copy()
+        vfs = self.posix.fs.vfs
+        step_key = f"step{self._step}"
+        for name in sorted(self._cur_vars):
+            var = self._cur_vars[name]
+            for chunk in var.chunks:
+                stored = getattr(chunk, "stored", chunk.payload)
+                sub = int(self.plan.agg_index_of_rank[chunk.rank])
+                off = int(cursor[sub])
+                checksum = 0
+                if isinstance(stored, RealPayload):
+                    blob = stored.tobytes()
+                    checksum = zlib.crc32(blob)
+                    ino = vfs.lookup(self._subfile_path(sub))
+                    vfs.write_content(ino, off, blob)
+                self._index.append(_IndexEntry(
+                    step_key=step_key,
+                    var=name,
+                    dtype=var.dtype,
+                    rank=chunk.rank,
+                    subfile=sub,
+                    offset=off,
+                    stored_nbytes=stored.nbytes,
+                    raw_nbytes=chunk.nbytes,
+                    global_shape=var.global_shape,
+                    chunk_offset=chunk.offset,
+                    chunk_extent=chunk.extent,
+                    compressed=bool(getattr(chunk, "stored_compressed", False)),
+                    checksum=checksum,
+                ))
+                cursor[sub] += stored.nbytes
+
+    def _write_step_metadata(self, overwrite_key: str | None) -> None:
+        n_entries = sum(len(v.chunks) for v in self._cur_vars.values())
+        if n_entries:
+            lines = []
+            start = len(self._index) - n_entries
+            for e in self._index[start:]:
+                d = vars(e).copy()
+                d["global_shape"] = list(e.global_shape)
+                d["chunk_offset"] = list(e.chunk_offset)
+                d["chunk_extent"] = list(e.chunk_extent)
+                lines.append(json.dumps(d))
+            self._append_md(0, real=("\n".join(lines) + "\n").encode())
+        else:
+            self._append_md(
+                MD0_STEP_BASE + MD0_PER_AGG * self.plan.num_aggregators)
+        self._append_idx(MDIDX_PER_STEP)
+
+    # -- read-side API ------------------------------------------------------------------
+
+    def _open_for_read(self) -> None:
+        self._data_fds = np.zeros(0, dtype=np.int64)
+        md_fd = self.posix.open(0, f"{self.path}/md.0")
+        size = self.posix.fs.vfs.size_of(self.posix._fds[md_fd].ino)
+        blob = self.posix.read(0, md_fd, size)
+        self.posix.close(0, md_fd)
+        for line in blob.decode(errors="ignore").splitlines():
+            line = line.strip().rstrip("\x00")
+            if not line or not line.startswith("{"):
+                continue
+            d = json.loads(line)
+            if "header" in d:
+                continue
+            if "attributes" in d:
+                for name, value in d["attributes"].items():
+                    self._attributes[name] = Attribute(name, value)
+                continue
+            d["global_shape"] = tuple(d["global_shape"])
+            d["chunk_offset"] = tuple(d["chunk_offset"])
+            d["chunk_extent"] = tuple(d["chunk_extent"])
+            self._index.append(_IndexEntry(**d))
+
+    def available_variables(self) -> dict[str, list[str]]:
+        """Map variable name → step keys in which it appears."""
+        out: dict[str, list[str]] = {}
+        for e in self._index:
+            out.setdefault(e.var, [])
+            if e.step_key not in out[e.var]:
+                out[e.var].append(e.step_key)
+        return out
+
+    def get(self, name: str, step_key: str | None = None,
+            rank: int = 0) -> np.ndarray:
+        """Assemble a variable from its chunks (functional mode).
+
+        ``step_key=None`` returns the latest version — which, for
+        overwritten checkpoint steps, is the most recent rewrite.
+        """
+        entries = [e for e in self._index if e.var == name]
+        if step_key is not None:
+            entries = [e for e in entries if e.step_key == step_key]
+        if not entries:
+            raise KeyError(f"no stored chunks for variable {name!r}"
+                           + (f" at {step_key!r}" if step_key else ""))
+        last_key = entries[-1].step_key
+        entries = [e for e in entries if e.step_key == last_key]
+        dtype = _numpy_dtype(entries[0].dtype)
+        out = np.zeros(entries[0].global_shape, dtype=dtype)
+        vfs = self.posix.fs.vfs
+        for e in entries:
+            ino = vfs.lookup(self._subfile_path(e.subfile))
+            raw = vfs.read(ino, e.offset, e.stored_nbytes)
+            if e.checksum and zlib.crc32(raw) != e.checksum:
+                raise IntegrityError(
+                    f"checksum mismatch reading {e.var!r} "
+                    f"(subfile data.{e.subfile} @ {e.offset}): the "
+                    f"checkpoint is corrupt")
+            cost = float(self.posix.fs.perf.read_op_cost(e.stored_nbytes))
+            self.posix._charge(rank, cost)
+            self.posix._notify("read", rank, e.stored_nbytes, cost, "POSIX",
+                               inos=ino)
+            if e.compressed:
+                codec = self.compressor or get_compressor("blosc")
+                raw = codec.decompress_bytes(raw)
+            arr = np.frombuffer(raw[: e.raw_nbytes], dtype=dtype)
+            arr = arr.reshape(e.chunk_extent)
+            sel = tuple(slice(o, o + x)
+                        for o, x in zip(e.chunk_offset, e.chunk_extent))
+            out[sel] = arr
+        return out
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._in_step:
+            raise RuntimeError("cannot close an engine mid-step")
+        if self.mode in ("w", "a"):
+            if self._attributes:
+                self._append_md(0, real=self._attributes_json())
+            if self.config.profiling:
+                fd = self.posix.open(0, f"{self.path}/profiling.json",
+                                     create=True, truncate=True)
+                self.posix.write(0, fd, RealPayload(
+                    self.profile.to_json().encode(), entropy="metadata"))
+                self.posix.close(0, fd)
+            self.posix.close_group(self.plan.aggregator_ranks, self._data_fds)
+            self.posix.close(0, self._md_fd)
+            self.posix.close(0, self._idx_fd)
+            for fd in self._extra_fds.values():
+                self.posix.close(0, fd)
+        self._closed = True
+
+    # -- guards --------------------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self.mode == "r":
+            raise RuntimeError("engine opened read-only")
+
+    def _check_in_step(self) -> None:
+        self._check_writable()
+        if not self._in_step:
+            raise RuntimeError("call begin_step() first")
+
+    def __enter__(self) -> "BPEngineBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _numpy_dtype(adios_name: str) -> np.dtype:
+    table = {"float": np.float32, "double": np.float64,
+             "int32_t": np.int32, "int64_t": np.int64,
+             "uint64_t": np.uint64, "uint8_t": np.uint8}
+    return np.dtype(table[adios_name])

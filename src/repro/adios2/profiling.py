@@ -1,0 +1,83 @@
+"""ADIOS2 engine profiling — the ``profiling.json`` transport report.
+
+Setting ``OPENPMD_ADIOS2_HAVE_PROFILING=1`` makes ADIOS2 drop a
+``profiling.json`` into the output directory with per-rank transport
+timings.  The paper's Fig. 8 reads the *memory copy* times out of this
+file and shows them "entirely eliminated" when Blosc compression is on —
+because the compressor emits straight into the staging buffer instead of
+a staging memcpy.
+
+The reproduction tracks, per rank, microseconds spent in:
+
+* ``memcpy`` — staging copies of uncompressed puts;
+* ``compress`` — operator CPU time;
+* ``aggregation`` — shuffling chunks to aggregator ranks;
+* ``write`` — POSIX write calls issued by aggregators;
+* ``meta`` — metadata/index maintenance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+PROFILE_CATEGORIES = ("memcpy", "compress", "aggregation", "write", "meta")
+
+
+class EngineProfile:
+    """Columnar per-rank microsecond counters for one engine."""
+
+    def __init__(self, nranks: int, engine_type: str = "BP4"):
+        self.nranks = nranks
+        self.engine_type = engine_type
+        self.us = {c: np.zeros(nranks, dtype=np.float64)
+                   for c in PROFILE_CATEGORIES}
+        self.bytes_put = np.zeros(nranks, dtype=np.float64)
+        self.steps = 0
+
+    def add(self, category: str, ranks, seconds) -> None:
+        """Accumulate seconds (converted to µs) for one or many ranks."""
+        if category not in self.us:
+            raise KeyError(f"unknown profile category {category!r}")
+        ranks = np.atleast_1d(np.asarray(ranks))
+        us = np.broadcast_to(np.asarray(seconds, dtype=np.float64) * 1e6,
+                             ranks.shape)
+        np.add.at(self.us[category], ranks, us)
+
+    def add_bytes(self, ranks, nbytes) -> None:
+        ranks = np.atleast_1d(np.asarray(ranks))
+        vals = np.broadcast_to(np.asarray(nbytes, dtype=np.float64), ranks.shape)
+        np.add.at(self.bytes_put, ranks, vals)
+
+    def total_us(self, category: str) -> float:
+        return float(self.us[category].sum())
+
+    def mean_us(self, category: str) -> float:
+        return float(self.us[category].mean())
+
+    def to_json(self) -> str:
+        """Render in the spirit of ADIOS2's profiling.json (rank records)."""
+        # summarise instead of dumping 25600 rank dicts: quartiles + totals
+        records = {
+            "engine": self.engine_type,
+            "nranks": self.nranks,
+            "steps": self.steps,
+            "bytes_put_total": float(self.bytes_put.sum()),
+            "transports": [],
+        }
+        for cat in PROFILE_CATEGORIES:
+            arr = self.us[cat]
+            records["transports"].append({
+                "category": cat,
+                "total_us": float(arr.sum()),
+                "mean_us": float(arr.mean()),
+                "max_us": float(arr.max()),
+                "p50_us": float(np.percentile(arr, 50)),
+                "p95_us": float(np.percentile(arr, 95)),
+            })
+        return json.dumps(records, indent=2)
+
+    @property
+    def json_nbytes(self) -> int:
+        return len(self.to_json().encode())

@@ -1,0 +1,231 @@
+"""The Sustainable Staging Transport (SST) engine — streaming, no files.
+
+The paper's future work (§VI): "The ADIOS2 SST engine enables the direct
+connection of data producers and consumers via the ADIOS2 write/read
+APIs, facilitating the movement of data between processes for in-situ
+processing, analysis, and visualization."
+
+This implementation provides exactly that for the virtual cluster: a
+writer-side engine with the BP step API whose steps never touch the
+filesystem — each ``end_step`` publishes the step to an in-memory stream
+that one or more :class:`SSTReader` consumers drain, paying network
+(not storage) costs.  Consumers attach by stream name, as SST consumers
+attach via the engine's contact file.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adios2.engine import EngineConfig
+from repro.adios2.profiling import EngineProfile
+from repro.adios2.variables import Variable
+from repro.fs.payload import Payload, RealPayload, SyntheticPayload
+from repro.mpi.comm import VirtualComm
+
+#: the "contact file" registry: stream name -> live stream
+_STREAMS: dict[str, "_Stream"] = {}
+
+
+@dataclass
+class StepData:
+    """One published step: variable name → assembled payload info."""
+
+    step: int
+    variables: dict[str, dict] = field(default_factory=dict)
+    total_bytes: int = 0
+
+
+@dataclass
+class _Stream:
+    """Shared state between one producer and its consumers."""
+
+    name: str
+    queue_depth: int
+    steps: deque = field(default_factory=deque)
+    published: int = 0
+    closed: bool = False
+    dropped: int = 0
+
+
+def open_streams() -> list[str]:
+    """Names of currently-advertised SST streams (debug/monitoring)."""
+    return sorted(name for name, s in _STREAMS.items() if not s.closed)
+
+
+class SSTEngine:
+    """Writer side of the staging transport."""
+
+    engine_type = "SST"
+    extension = ".sst"
+
+    def __init__(self, posix, comm: VirtualComm, path: str,
+                 mode: str = "w", config: EngineConfig | None = None,
+                 queue_depth: int = 2):
+        if mode != "w":
+            raise ValueError("SSTEngine is write-side; use SSTReader to read")
+        self.posix = posix  # unused for data; kept for protocol parity
+        self.comm = comm
+        self.config = config or EngineConfig()
+        name = path.rsplit("/", 1)[-1]
+        if name.endswith(".sst"):
+            name = name[: -len(".sst")]
+        if name in _STREAMS and not _STREAMS[name].closed:
+            raise RuntimeError(f"SST stream {name!r} already being produced")
+        self.stream = _Stream(name=name, queue_depth=queue_depth)
+        _STREAMS[name] = self.stream
+        self.profile = EngineProfile(comm.size, "SST")
+        self._step = -1
+        self._in_step = False
+        self._cur_vars: dict[str, Variable] = {}
+        self._closed = False
+
+    # -- write protocol (matches the BP engines) ----------------------------
+
+    def begin_step(self) -> int:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._in_step:
+            raise RuntimeError("previous step not ended")
+        self._step += 1
+        self._in_step = True
+        self._cur_vars = {}
+        return self._step
+
+    def declare_variable(self, name: str, dtype: str,
+                         global_shape: tuple[int, ...],
+                         entropy: str = "particle_float32") -> Variable:
+        if not self._in_step:
+            raise RuntimeError("call begin_step() first")
+        var = self._cur_vars.get(name)
+        if var is None:
+            var = Variable(name=name, dtype=dtype,
+                           global_shape=tuple(global_shape), entropy=entropy)
+            self._cur_vars[name] = var
+        return var
+
+    def put(self, name: str, dtype: str, global_shape, rank, offset,
+            extent, data, entropy: str = "particle_float32"):
+        var = self.declare_variable(name, dtype, global_shape, entropy)
+        return var.put_chunk(rank, tuple(offset), tuple(extent), data)
+
+    def put_group(self, name: str, ranks: np.ndarray, nbytes_each,
+                  entropy: str = "particle_float32") -> None:
+        # streaming of synthetic groups: only sizes matter
+        var = self.declare_variable(name, "uint8_t",
+                                    (int(np.broadcast_to(
+                                        np.asarray(nbytes_each), np.asarray(
+                                            ranks).shape).sum()),),
+                                    entropy)
+        offset = 0
+        ranks = np.asarray(ranks)
+        sizes = np.broadcast_to(np.asarray(nbytes_each, dtype=np.int64),
+                                ranks.shape)
+        for r, n in zip(ranks, sizes):
+            var.put_chunk(int(r), (offset,), (int(n),),
+                          SyntheticPayload(int(n), entropy))
+            offset += int(n)
+
+    def end_step(self, overwrite_key: str | None = None) -> StepData:
+        """Publish the step to the stream (network cost, no storage)."""
+        if not self._in_step:
+            raise RuntimeError("call begin_step() first")
+        data = StepData(step=self._step)
+        per_rank = np.zeros(self.comm.size)
+        for name, var in self._cur_vars.items():
+            chunks = []
+            for c in var.chunks:
+                per_rank[c.rank] += c.nbytes
+                chunks.append({
+                    "rank": c.rank,
+                    "offset": c.offset,
+                    "extent": c.extent,
+                    "payload": c.payload,
+                })
+            data.variables[name] = {
+                "dtype": var.dtype,
+                "global_shape": var.global_shape,
+                "chunks": chunks,
+            }
+            data.total_bytes += var.total_bytes
+        # producers ship their chunks over the NIC
+        cost = per_rank / self.comm.config.bandwidth
+        self.comm.clocks += cost
+        self.profile.add("aggregation", np.arange(self.comm.size), cost)
+        if len(self.stream.steps) >= self.stream.queue_depth:
+            # SST discard policy when consumers lag (bounded memory)
+            self.stream.steps.popleft()
+            self.stream.dropped += 1
+        self.stream.steps.append(data)
+        self.stream.published += 1
+        self._in_step = False
+        return data
+
+    def close(self) -> None:
+        if self._in_step:
+            raise RuntimeError("cannot close an engine mid-step")
+        self.stream.closed = True
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class SSTReader:
+    """Consumer side: attaches to a live stream and drains steps."""
+
+    def __init__(self, name: str, comm: VirtualComm | None = None):
+        if name.endswith(".sst"):
+            name = name[: -len(".sst")]
+        stream = _STREAMS.get(name)
+        if stream is None:
+            raise ConnectionError(
+                f"no SST stream named {name!r} is being produced; "
+                f"advertised: {open_streams()}"
+            )
+        self.stream = stream
+        self.comm = comm
+        self.consumed = 0
+
+    def begin_step(self) -> StepData | None:
+        """Next available step, or None if the producer closed."""
+        while not self.stream.steps:
+            if self.stream.closed:
+                return None
+            raise BlockingIOError("no step available yet (producer active)")
+        data = self.stream.steps.popleft()
+        self.consumed += 1
+        if self.comm is not None:
+            self.comm.clocks += data.total_bytes / self.comm.config.bandwidth
+        return data
+
+    def get(self, data: StepData, name: str) -> np.ndarray:
+        """Assemble a variable from a received step (real payloads)."""
+        from repro.adios2.engine import _numpy_dtype
+
+        entry = data.variables.get(name)
+        if entry is None:
+            raise KeyError(f"step {data.step} carries no variable {name!r}")
+        out = np.zeros(entry["global_shape"],
+                       dtype=_numpy_dtype(entry["dtype"]))
+        for chunk in entry["chunks"]:
+            payload = chunk["payload"]
+            if isinstance(payload, SyntheticPayload):
+                raise NotImplementedError(
+                    "synthetic chunks carry no data to assemble")
+            arr = np.frombuffer(payload.tobytes(), dtype=out.dtype)
+            sel = tuple(slice(o, o + e) for o, e in
+                        zip(chunk["offset"], chunk["extent"]))
+            out[sel] = arr.reshape(chunk["extent"])
+        return out
+
+
+def reset_streams() -> None:
+    """Clear the stream registry (test isolation)."""
+    _STREAMS.clear()

@@ -1,0 +1,34 @@
+"""Post-processing analysis of BIT1 output (the consumer the paper's
+parallel I/O exists to serve)."""
+
+from repro.analysis.moments import (
+    MomentProfiles,
+    compute_moments,
+    debye_profile,
+    moments_from_particles,
+    pressure_profile,
+)
+from repro.analysis.reader import Bit1SeriesReader, DiagnosticsFrame, PhaseSpace
+from repro.analysis.timeseries import (
+    ExponentialFit,
+    detect_steady_state,
+    fit_exponential,
+    ionization_rate_from_history,
+    moving_average,
+)
+
+__all__ = [
+    "Bit1SeriesReader",
+    "DiagnosticsFrame",
+    "ExponentialFit",
+    "MomentProfiles",
+    "PhaseSpace",
+    "compute_moments",
+    "debye_profile",
+    "detect_steady_state",
+    "fit_exponential",
+    "ionization_rate_from_history",
+    "moments_from_particles",
+    "moving_average",
+    "pressure_profile",
+]

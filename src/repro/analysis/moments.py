@@ -1,0 +1,96 @@
+"""Velocity-moment analysis of particle data.
+
+What a plasma physicist computes from BIT1's phase-space output: the
+density, mean-velocity and temperature profiles (0th/1st/2nd velocity
+moments) on the grid, from either a live :class:`~repro.pic.species.
+ParticleArrays` or arrays read back through openPMD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pic.constants import EV
+from repro.pic.grid import Grid1D
+
+
+@dataclass(frozen=True)
+class MomentProfiles:
+    """Per-node moment profiles for one species."""
+
+    density: np.ndarray          # [m^-3]
+    mean_velocity: np.ndarray    # vx drift [m/s]
+    temperature_ev: np.ndarray   # isotropic T [eV]
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.density)
+
+
+def compute_moments(grid: Grid1D, x: np.ndarray, vx: np.ndarray,
+                    vy: np.ndarray, vz: np.ndarray,
+                    weight: np.ndarray, mass: float) -> MomentProfiles:
+    """CIC-weighted moments of a particle population on grid nodes.
+
+    Empty nodes get zero density, zero drift and zero temperature (no
+    NaNs), so profiles remain plottable near evacuated regions.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not (len(x) == len(vx) == len(vy) == len(vz) == len(weight)):
+        raise ValueError("phase-space arrays must share a length")
+    nnodes = grid.nnodes
+    w0 = np.zeros(nnodes)        # Σ w
+    w1 = np.zeros(nnodes)        # Σ w vx
+    w2 = np.zeros(nnodes)        # Σ w |v|²
+    if len(x):
+        xi = np.clip(x / grid.dx, 0.0, grid.ncells - 1e-12)
+        left = np.floor(xi).astype(np.int64)
+        frac = xi - left
+        v2 = np.asarray(vx) ** 2 + np.asarray(vy) ** 2 + np.asarray(vz) ** 2
+        for target, values in ((w0, weight),
+                               (w1, weight * np.asarray(vx)),
+                               (w2, weight * v2)):
+            np.add.at(target, left, values * (1.0 - frac))
+            np.add.at(target, left + 1, values * frac)
+    volume = np.full(nnodes, grid.dx)
+    volume[0] = volume[-1] = grid.dx / 2.0
+    density = w0 / volume
+    occupied = w0 > 0
+    mean_v = np.zeros(nnodes)
+    mean_v[occupied] = w1[occupied] / w0[occupied]
+    # T from the full 3V spread around the (vx-only) drift:
+    # <|v|²> − u², divided by 3 degrees of freedom
+    t_ev = np.zeros(nnodes)
+    spread = np.zeros(nnodes)
+    spread[occupied] = w2[occupied] / w0[occupied] - mean_v[occupied] ** 2
+    t_ev[occupied] = np.maximum(spread[occupied], 0.0) * mass / (3.0 * EV)
+    return MomentProfiles(density=density, mean_velocity=mean_v,
+                          temperature_ev=t_ev)
+
+
+def moments_from_particles(grid: Grid1D, particles) -> MomentProfiles:
+    """Moments of a live :class:`ParticleArrays`."""
+    n = len(particles)
+    return compute_moments(
+        grid,
+        particles.x[:n], particles.vx[:n], particles.vy[:n],
+        particles.vz[:n], particles.weight[:n], particles.mass,
+    )
+
+
+def pressure_profile(moments: MomentProfiles) -> np.ndarray:
+    """Scalar pressure p = n k T  [Pa] (with T supplied in eV)."""
+    return moments.density * moments.temperature_ev * EV
+
+
+def debye_profile(moments: MomentProfiles) -> np.ndarray:
+    """Local electron Debye length per node (inf where density is 0)."""
+    from repro.pic.constants import EPS0, QE
+
+    out = np.full(moments.nnodes, np.inf)
+    occ = (moments.density > 0) & (moments.temperature_ev > 0)
+    out[occ] = np.sqrt(EPS0 * moments.temperature_ev[occ] * EV
+                       / (moments.density[occ] * QE * QE))
+    return out

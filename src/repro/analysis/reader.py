@@ -1,0 +1,118 @@
+"""Structured loading of BIT1's openPMD output — the consumer side.
+
+The paper's §I motivation: parallel I/O "enable[s] the post-processing
+of critical information".  This module is that post-processing entry
+point: given a BIT1 openPMD series (the ``*_dat.bp4`` / ``*_dmp.bp4``
+pair the adaptor writes), it reconstructs typed views — phase-space
+snapshots, density profiles, distribution functions — for analysis code
+that knows nothing about engines or chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.io_adaptor.naming import SPECIES_NAMES
+from repro.openpmd.series import Access, Series
+
+
+@dataclass(frozen=True)
+class PhaseSpace:
+    """One species' particle arrays from a checkpoint."""
+
+    species: str
+    x: np.ndarray
+    vx: np.ndarray
+    vy: np.ndarray
+    vz: np.ndarray
+    weight: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def kinetic_energy(self, mass: float) -> float:
+        return float(0.5 * mass * np.sum(
+            self.weight * (self.vx**2 + self.vy**2 + self.vz**2)))
+
+
+@dataclass
+class DiagnosticsFrame:
+    """One diagnostic iteration: profiles + distribution functions."""
+
+    iteration: int
+    densities: dict[str, np.ndarray] = field(default_factory=dict)
+    dfv: dict[str, np.ndarray] = field(default_factory=dict)
+    dfe: dict[str, np.ndarray] = field(default_factory=dict)
+    dfa: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class Bit1SeriesReader:
+    """Typed reader over the adaptor's output layout."""
+
+    def __init__(self, posix, comm, outdir: str, prefix: str = "bit1",
+                 engine_ext: str = ".bp4"):
+        self.diag = Series(posix, comm,
+                           f"{outdir.rstrip('/')}/{prefix}_dat{engine_ext}",
+                           Access.READ_ONLY)
+        self.ckpt = Series(posix, comm,
+                           f"{outdir.rstrip('/')}/{prefix}_dmp{engine_ext}",
+                           Access.READ_ONLY)
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def phase_space(self, bit1_species: str) -> PhaseSpace:
+        """The latest checkpointed phase space of one species."""
+        sp = SPECIES_NAMES.get(bit1_species, bit1_species)
+        return PhaseSpace(
+            species=bit1_species,
+            x=self.ckpt.load_particles(0, sp, "position", "x"),
+            vx=self.ckpt.load_particles(0, sp, "momentum", "x"),
+            vy=self.ckpt.load_particles(0, sp, "momentum", "y"),
+            vz=self.ckpt.load_particles(0, sp, "momentum", "z"),
+            weight=self.ckpt.load_particles(0, sp, "weighting"),
+        )
+
+    def checkpoint_step(self) -> int:
+        """The step the latest checkpoint was taken at (if recorded)."""
+        attrs = self.ckpt._read_engine.attributes
+        value = attrs.get("/data/0/checkpointStep")
+        return int(value) if value is not None else 0
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def iterations(self) -> list[int]:
+        return self.diag.read_iterations()
+
+    def frame(self, iteration: int) -> DiagnosticsFrame:
+        """All per-species diagnostics of one snapshot."""
+        out = DiagnosticsFrame(iteration=iteration)
+        for bit1_name, sp in SPECIES_NAMES.items():
+            for target, kind in ((out.densities, "density"),
+                                 (out.dfv, "dfv"), (out.dfe, "dfe"),
+                                 (out.dfa, "dfa")):
+                try:
+                    target[bit1_name] = self.diag.load_mesh(
+                        iteration, f"{sp}_{kind}")
+                except KeyError:
+                    continue
+        return out
+
+    def density_history(self, bit1_species: str) -> tuple[np.ndarray, np.ndarray]:
+        """(iterations, total inventory) integrated from density profiles."""
+        sp = SPECIES_NAMES.get(bit1_species, bit1_species)
+        its = self.iterations()
+        totals = []
+        kept = []
+        for it in its:
+            try:
+                profile = self.diag.load_mesh(it, f"{sp}_density")
+            except KeyError:
+                continue
+            kept.append(it)
+            # trapezoid over nodes: interior nodes weight dx, ends dx/2
+            w = np.ones(len(profile))
+            w[0] = w[-1] = 0.5
+            totals.append(float((profile * w).sum()))
+        return np.asarray(kept), np.asarray(totals)

@@ -1,0 +1,99 @@
+"""Time-series analysis of BIT1 diagnostics.
+
+Tools for the quantities the paper's use case produces over time: the
+neutral-inventory decay (∂n/∂t = −n·n_e·R), steady-state detection for
+the histories BIT1 logs, and generic exponential fitting used by the
+in-situ example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """y(t) ≈ amplitude · exp(rate · t)."""
+
+    rate: float
+    amplitude: float
+    r_squared: float
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        return self.amplitude * np.exp(self.rate * np.asarray(t))
+
+    @property
+    def halving_time(self) -> float:
+        """Time to halve (for decays; inf if not decaying)."""
+        if self.rate >= 0:
+            return float("inf")
+        return float(np.log(2.0) / -self.rate)
+
+
+def fit_exponential(times: np.ndarray, values: np.ndarray) -> ExponentialFit:
+    """Least-squares fit in log space (values must be positive)."""
+    t = np.asarray(times, dtype=np.float64)
+    y = np.asarray(values, dtype=np.float64)
+    if len(t) != len(y):
+        raise ValueError("times and values must share a length")
+    if len(t) < 2:
+        raise ValueError("need at least two samples to fit")
+    if np.any(y <= 0):
+        raise ValueError("exponential fit requires positive values")
+    logy = np.log(y)
+    slope, intercept = np.polyfit(t, logy, 1)
+    predicted = slope * t + intercept
+    ss_res = float(np.sum((logy - predicted) ** 2))
+    ss_tot = float(np.sum((logy - logy.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ExponentialFit(rate=float(slope),
+                          amplitude=float(np.exp(intercept)),
+                          r_squared=r2)
+
+
+def ionization_rate_from_history(steps: np.ndarray, counts: np.ndarray,
+                                 dt: float) -> float:
+    """Recover n_e·R from a neutral-count history (the use case's law).
+
+    Returns the decay constant λ in n(t) = n₀·exp(−λ t), which the
+    physics sets to n_e·R.
+    """
+    fit = fit_exponential(np.asarray(steps) * dt, counts)
+    return -fit.rate
+
+
+def detect_steady_state(values: np.ndarray, window: int = 20,
+                        rel_tol: float = 0.01) -> int | None:
+    """First index at which a trailing window is flat within rel_tol.
+
+    Returns None if the series never settles.  Used on wall-flux and
+    particle-count histories to decide when a sheath run has converged.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    for i in range(window, len(v) + 1):
+        chunk = v[i - window:i]
+        mean = chunk.mean()
+        if mean == 0:
+            if np.all(chunk == 0):
+                return i - window
+            continue
+        if (chunk.max() - chunk.min()) / abs(mean) <= rel_tol:
+            return i - window
+    return None
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Simple trailing moving average (same length; warm-up truncated)."""
+    v = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or len(v) == 0:
+        return v.copy()
+    kernel = np.ones(min(window, len(v))) / min(window, len(v))
+    full = np.convolve(v, kernel, mode="valid")
+    pad = np.array([v[: i + 1].mean() for i in range(min(window, len(v)) - 1)])
+    return np.concatenate([pad, full])

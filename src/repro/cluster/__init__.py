@@ -1,0 +1,29 @@
+"""Virtual cluster descriptions: nodes, networks, storage systems, presets."""
+
+from repro.cluster.machine import (
+    Machine,
+    NetworkSpec,
+    NodeSpec,
+    StorageSystem,
+    StorageTuning,
+)
+from repro.cluster.presets import (
+    all_machines,
+    dardel,
+    discoverer,
+    machine_by_name,
+    vega,
+)
+
+__all__ = [
+    "Machine",
+    "NetworkSpec",
+    "NodeSpec",
+    "StorageSystem",
+    "StorageTuning",
+    "all_machines",
+    "dardel",
+    "discoverer",
+    "machine_by_name",
+    "vega",
+]

@@ -1,0 +1,176 @@
+"""Virtual machine (supercomputer) descriptions.
+
+A :class:`Machine` bundles the hardware facts the paper lists for each
+system (§III-C) with the calibration constants of its storage performance
+model.  Machines are plain data; the filesystem subpackage turns a
+machine's :class:`StorageSystem` into a live performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from repro.util.units import GiB, MiB, PiB, TiB
+from repro.util.validation import require_positive
+
+FilesystemKind = Literal["lustre", "nfs", "cephfs"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: sockets × cores and memory."""
+
+    sockets: int = 2
+    cores_per_socket: int = 64
+    memory_bytes: float = 256 * GiB
+    cpu_model: str = "AMD EPYC 7H12"
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect: the paper quotes aggregate bandwidth and topology."""
+
+    name: str = "Slingshot"
+    topology: str = "dragonfly"
+    #: injection bandwidth per node NIC, bytes/s
+    nic_bandwidth: float = 25.0 * GiB
+    #: one-way small-message latency, seconds
+    latency: float = 2.0e-6
+
+
+@dataclass(frozen=True)
+class StorageTuning:
+    """Calibration constants for one storage system's performance model.
+
+    These are the knobs the reproduction tunes so that the *shape* and the
+    anchor points of the paper's figures come out; see DESIGN.md §4.  All
+    rates are bytes/s, latencies seconds.  The mechanisms they feed
+    (``repro.fs.perfmodel``):
+
+    * *stream/OST terms* — an aggregate write phase with M files runs at
+      ``min(client_stream_bandwidth * M**agg_beta,
+      num_osts * ost_stream_bandwidth * interleave(streams_per_ost))``;
+      the sub-linear ``agg_beta`` rise and the interleave decline together
+      produce the paper's Fig. 6 aggregator curve (peak at a few hundred
+      aggregators, decline at extreme aggregation).
+    * *sync term* — BIT1's original stdio output fsyncs each flushed
+      buffer; fsync cost grows with writers-per-OST queueing and lands in
+      Darshan's metadata time (Fig. 5's 17.868 s/process).
+    * *MDS term* — opens/creates/closes/stat cost grows with concurrent
+      clients.
+    """
+
+    #: sustained sequential write bandwidth of one OST (or one server)
+    ost_stream_bandwidth: float = 0.55 * GiB
+    #: effective bandwidth of a single client/aggregator write stream
+    client_stream_bandwidth: float = 0.59 * GiB
+    #: exponent of aggregate-stream scaling with the number of writers
+    agg_beta: float = 0.55
+    #: interleave penalty: files-per-OST scale where seek costs kick in
+    interleave_knee: float = 20.0
+    #: interleave penalty exponent
+    interleave_gamma: float = 0.55
+    #: metadata server base service latency per op (open/create/close/stat)
+    mds_latency: float = 55.0e-6
+    #: metadata ops/s the MDS sustains before queueing dominates
+    mds_rate: float = 26_000.0
+    #: exponent shaping MDS queueing growth with concurrent clients
+    mds_gamma: float = 0.62
+    #: per-write-RPC fixed latency
+    write_rpc_latency: float = 320.0e-6
+    #: writers-per-OST scale where write RPC queueing kicks in
+    write_queue_knee: float = 8.0
+    #: write RPC queueing exponent
+    write_queue_gamma: float = 0.97
+    #: per-read-RPC fixed latency
+    read_rpc_latency: float = 220.0e-6
+    #: base cost of one fsync (commit to stable storage)
+    sync_latency: float = 10.0e-3
+    #: writers-per-OST scale where fsync queueing kicks in
+    sync_knee: float = 30.0
+    #: fsync queueing exponent
+    sync_gamma: float = 1.32
+    #: largest bulk-transfer RPC the client issues (Lustre default 4 MiB)
+    rpc_max_size: int = 4 * MiB
+    #: relative std-dev of multiplicative run-to-run noise (Vega's jitter)
+    noise_sigma: float = 0.0
+    #: fraction of nominal bandwidth lost to unrelated cluster traffic
+    background_load: float = 0.0
+
+
+@dataclass(frozen=True)
+class StorageSystem:
+    """One storage target of a machine (a machine may expose several)."""
+
+    name: str
+    kind: FilesystemKind
+    capacity_bytes: float
+    num_osts: int = 1
+    default_stripe_count: int = 1
+    default_stripe_size: int = 1 * 2**20
+    tuning: StorageTuning = field(default_factory=StorageTuning)
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_bytes", self.capacity_bytes)
+        require_positive("num_osts", self.num_osts)
+        if self.default_stripe_count > self.num_osts:
+            raise ValueError("default stripe count exceeds OST count")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A named HPC system: nodes + network + storage systems."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    network: NetworkSpec
+    storage: tuple[StorageSystem, ...]
+    os_name: str = "Linux"
+    compiler: str = "GCC"
+    mpi_flavor: str = "MPICH"
+
+    def __post_init__(self) -> None:
+        require_positive("num_nodes", self.num_nodes)
+        if not self.storage:
+            raise ValueError("machine needs at least one storage system")
+        names = [s.name for s in self.storage]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate storage names: {names}")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.cores
+
+    def storage_named(self, name: str) -> StorageSystem:
+        for s in self.storage:
+            if s.name == name:
+                return s
+        raise KeyError(f"{self.name} has no storage system named {name!r}; "
+                       f"available: {[s.name for s in self.storage]}")
+
+    @property
+    def default_storage(self) -> StorageSystem:
+        """The storage the paper benchmarks on (first listed = LFS)."""
+        return self.storage[0]
+
+    def max_ranks(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    def with_storage_tuning(self, storage_name: str, **changes: float) -> "Machine":
+        """Return a copy with tuning constants of one storage replaced.
+
+        Used by the ablation benches to explore sensitivity of the
+        reproduction to individual calibration constants.
+        """
+        new_storage = []
+        for s in self.storage:
+            if s.name == storage_name:
+                s = replace(s, tuning=replace(s.tuning, **changes))
+            new_storage.append(s)
+        return replace(self, storage=tuple(new_storage))

@@ -1,0 +1,29 @@
+"""Compression substrate: Blosc-like (shuffle+deflate) and bzip2 codecs."""
+
+from repro.compression.api import (
+    CompressResult,
+    Compressor,
+    NullCompressor,
+    available_compressors,
+    get_compressor,
+    register,
+)
+from repro.compression.blosc import BloscCompressor, shuffle, unshuffle
+from repro.compression.bzip2 import Bzip2Compressor
+from repro.compression.probe import probe_block, probe_report, probed_ratio
+
+__all__ = [
+    "BloscCompressor",
+    "Bzip2Compressor",
+    "CompressResult",
+    "Compressor",
+    "NullCompressor",
+    "available_compressors",
+    "get_compressor",
+    "probe_block",
+    "probe_report",
+    "probed_ratio",
+    "register",
+    "shuffle",
+    "unshuffle",
+]

@@ -1,0 +1,135 @@
+"""Compressor interface and registry.
+
+ADIOS2 on Dardel was compiled "with Blosc and bzip2 compression enabled"
+(§III-C); this package provides both as operators over
+:mod:`repro.fs.payload` payloads:
+
+* a :class:`~repro.fs.payload.RealPayload` is actually compressed (and
+  can be decompressed back bit-exactly);
+* a :class:`~repro.fs.payload.SyntheticPayload` is size-scaled by the
+  compressor's *probed* ratio for the payload's entropy class — measured
+  once on a real representative block (see :mod:`repro.compression.probe`)
+  so modeled-mode sizes stay anchored to real codec behaviour.
+
+Compression also reports a virtual CPU cost (seconds) so the performance
+accounting can include codec overhead — the paper observes compression
+"introduces overhead, resulting in slightly reduced performance".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.fs.payload import Payload, RealPayload, SyntheticPayload
+
+
+@dataclass(frozen=True)
+class CompressResult:
+    """Outcome of compressing one payload."""
+
+    payload: Payload
+    original_nbytes: int
+    compressed_nbytes: int
+    cpu_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """compressed/original (1.0 = incompressible, smaller is better)."""
+        if self.original_nbytes == 0:
+            return 1.0
+        return self.compressed_nbytes / self.original_nbytes
+
+
+class Compressor(ABC):
+    """A codec usable by the ADIOS2 engine operator chain."""
+
+    #: registry key and the name used in openPMD TOML configs
+    name: str = "none"
+    #: virtual compression speed for synthetic payloads, bytes/s
+    compress_bandwidth: float = 1.5e9
+    #: virtual decompression speed, bytes/s
+    decompress_bandwidth: float = 2.5e9
+
+    @abstractmethod
+    def compress_bytes(self, data: bytes) -> bytes:
+        """Compress real bytes."""
+
+    @abstractmethod
+    def decompress_bytes(self, data: bytes) -> bytes:
+        """Invert :meth:`compress_bytes`."""
+
+    def synthetic_ratio(self, entropy: str) -> float:
+        """Probed compressed/original ratio for an entropy class."""
+        from repro.compression.probe import probed_ratio
+
+        return probed_ratio(self, entropy)
+
+    def compress(self, payload: Payload) -> CompressResult:
+        """Compress either payload kind; returns the result + accounting."""
+        n = payload.nbytes
+        cpu = n / self.compress_bandwidth
+        if isinstance(payload, SyntheticPayload):
+            ratio = self.synthetic_ratio(payload.entropy)
+            out = SyntheticPayload(max(int(round(n * ratio)), 16 if n else 0),
+                                   payload.entropy)
+            return CompressResult(out, n, out.nbytes, cpu)
+        blob = self.compress_bytes(payload.tobytes())
+        out = RealPayload(blob, entropy=payload.entropy)
+        return CompressResult(out, n, len(blob), cpu)
+
+    def decompress(self, payload: RealPayload) -> bytes:
+        if not isinstance(payload, RealPayload):
+            raise TypeError("can only decompress real payloads")
+        return self.decompress_bytes(payload.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NullCompressor(Compressor):
+    """Identity codec — the "no compression" configurations."""
+
+    name = "none"
+    compress_bandwidth = 1e18
+    decompress_bandwidth = 1e18
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return data
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        return data
+
+    def synthetic_ratio(self, entropy: str) -> float:
+        return 1.0
+
+
+_REGISTRY: dict[str, type[Compressor]] = {"none": NullCompressor}
+
+
+def register(cls: type[Compressor]) -> type[Compressor]:
+    """Class decorator adding a codec to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_compressor(name: str | None) -> Compressor:
+    """Instantiate a codec by registry name (``None`` → identity)."""
+    if name is None:
+        name = "none"
+    key = name.lower()
+    if key not in _REGISTRY:
+        # import side-effect registration of the built-ins
+        import repro.compression.blosc  # noqa: F401
+        import repro.compression.bzip2  # noqa: F401
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; "
+                       f"registered: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()
+
+
+def available_compressors() -> list[str]:
+    import repro.compression.blosc  # noqa: F401
+    import repro.compression.bzip2  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,76 @@
+"""Blosc-like codec: byte shuffle + fast deflate.
+
+Blosc's defining trick is the *byte shuffle*: element byte-planes are
+transposed before a fast entropy coder, so the slowly-varying high-order
+bytes of neighbouring floats land next to each other and compress well.
+The real Blosc library is not available offline; this implementation
+reproduces the pipeline with numpy (shuffle) + zlib level 1 (fast LZ),
+which preserves the property the paper relies on: float particle data
+compresses ~10 % (Table II's 81 → 72 MiB) at high speed, while plain
+bzip2 on the same bytes barely compresses at all.
+
+The container format is self-describing: a small header records the
+typesize and original length so decompression round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.compression.api import Compressor, register
+
+_MAGIC = b"RBL1"  # repro-blosc v1
+_HEADER = struct.Struct("<4sIQ")  # magic, typesize, original length
+
+
+def shuffle(data: bytes, typesize: int) -> bytes:
+    """Byte-transpose: group byte-plane i of every element together."""
+    if typesize <= 1 or len(data) < typesize * 2:
+        return data
+    n = len(data) - (len(data) % typesize)
+    head = np.frombuffer(data[:n], dtype=np.uint8).reshape(-1, typesize)
+    return np.ascontiguousarray(head.T).tobytes() + data[n:]
+
+
+def unshuffle(data: bytes, typesize: int, original_len: int) -> bytes:
+    """Invert :func:`shuffle`."""
+    if typesize <= 1 or original_len < typesize * 2:
+        return data
+    n = original_len - (original_len % typesize)
+    head = np.frombuffer(data[:n], dtype=np.uint8).reshape(typesize, -1)
+    return np.ascontiguousarray(head.T).tobytes() + data[n:]
+
+
+@register
+class BloscCompressor(Compressor):
+    """Shuffle + zlib-1, the fast-path codec the paper selects."""
+
+    name = "blosc"
+    #: Blosc is memory-bandwidth-fast; zlib-1 after shuffle is the model
+    compress_bandwidth = 1.2e9
+    decompress_bandwidth = 2.0e9
+
+    def __init__(self, typesize: int = 4, clevel: int = 1):
+        if typesize < 1:
+            raise ValueError("typesize must be >= 1")
+        if not 0 <= clevel <= 9:
+            raise ValueError("clevel must be in [0, 9]")
+        self.typesize = typesize
+        self.clevel = clevel
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        shuffled = shuffle(data, self.typesize)
+        packed = zlib.compress(shuffled, self.clevel)
+        return _HEADER.pack(_MAGIC, self.typesize, len(data)) + packed
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        magic, typesize, orig_len = _HEADER.unpack(data[: _HEADER.size])
+        if magic != _MAGIC:
+            raise ValueError("not a repro-blosc container")
+        shuffled = zlib.decompress(data[_HEADER.size:])
+        if len(shuffled) != orig_len:
+            raise ValueError("corrupt repro-blosc container")
+        return unshuffle(shuffled, typesize, orig_len)

@@ -1,0 +1,33 @@
+"""The paper's primary contribution, under its canonical name.
+
+The high-throughput parallel I/O path — the openPMD adaptor over the
+ADIOS2 BP4 engine, its original-I/O baseline, and the tuning surface
+(aggregation, compression, striping) — lives in :mod:`repro.io_adaptor`,
+:mod:`repro.openpmd` and :mod:`repro.adios2`; this package re-exports
+the contribution's public face for discoverability.
+"""
+
+from repro.adios2 import BP4Engine, BP5Engine, EngineConfig, plan_aggregation
+from repro.io_adaptor import (
+    Bit1OpenPMDWriter,
+    CorruptCheckpointError,
+    OriginalIOWriter,
+    restore_from_openpmd,
+    restore_from_original,
+)
+from repro.openpmd import Access, Dataset, Series
+
+__all__ = [
+    "Access",
+    "BP4Engine",
+    "BP5Engine",
+    "Bit1OpenPMDWriter",
+    "CorruptCheckpointError",
+    "Dataset",
+    "EngineConfig",
+    "OriginalIOWriter",
+    "Series",
+    "plan_aggregation",
+    "restore_from_openpmd",
+    "restore_from_original",
+]

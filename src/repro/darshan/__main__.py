@@ -1,0 +1,58 @@
+"""darshan-parser CLI for saved logs.
+
+Usage::
+
+    python -m repro.darshan job.darshan.json.gz            # totals + files
+    python -m repro.darshan --total job.darshan.json.gz    # counters only
+    python -m repro.darshan --summary job.darshan.json.gz  # job overview
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.darshan.log import DarshanLog
+from repro.darshan.parser import render, render_file_records, render_totals
+from repro.darshan.report import job_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.darshan",
+                                     description=__doc__)
+    parser.add_argument("logfile", help="a saved .darshan.json.gz log")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--total", action="store_true",
+                      help="counter totals only")
+    mode.add_argument("--files", action="store_true",
+                      help="per-file records only")
+    mode.add_argument("--summary", action="store_true",
+                      help="job overview as JSON")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max file records to print")
+    args = parser.parse_args(argv)
+
+    try:
+        log = DarshanLog.load(args.logfile)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.logfile}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.total:
+        print(render_totals(log))
+    elif args.files:
+        print(render_file_records(log, args.limit))
+    elif args.summary:
+        print(json.dumps(job_summary(log), indent=2))
+    else:
+        print(render(log, args.limit))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # printing into a closed pipe (| head) is fine
+        sys.stderr.close()
+        raise SystemExit(0)

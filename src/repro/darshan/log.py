@@ -1,0 +1,149 @@
+"""Darshan log records: the frozen output of one monitored job.
+
+Real Darshan writes one compressed binary log per job; this module keeps
+the same information (job header, per-module per-rank counters, per-file
+records) in plain dataclasses with JSON(+gzip) serialisation so logs can
+be saved, reloaded and parsed offline — the workflow the paper uses
+("extracting the throughput and amount of data stored by each file on the
+file system using Darshan 3.4.2 logs").
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+LOG_FORMAT_VERSION = 1
+
+
+@dataclass
+class ModuleRecord:
+    """Per-rank counters of one module (arrays indexed by rank)."""
+
+    name: str
+    counters: dict[str, np.ndarray]
+
+    def total(self, counter: str) -> float:
+        return float(self.counters[counter].sum())
+
+    def per_rank(self, counter: str) -> np.ndarray:
+        return self.counters[counter]
+
+
+@dataclass
+class FileRecord:
+    """Aggregated per-file counters (summed over ranks)."""
+
+    path: str
+    opens: float = 0.0
+    reads: float = 0.0
+    writes: float = 0.0
+    fsyncs: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    cumulative_time: float = 0.0
+
+
+@dataclass
+class DarshanLog:
+    """One job's frozen instrumentation record."""
+
+    jobid: int
+    exe: str
+    nprocs: int
+    runtime_seconds: float
+    machine: str = ""
+    config: str = ""
+    modules: dict[str, ModuleRecord] = field(default_factory=dict)
+    files: list[FileRecord] = field(default_factory=list)
+    format_version: int = LOG_FORMAT_VERSION
+
+    # -- convenience totals --------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        """Sum a fully-qualified counter (e.g. ``POSIX_BYTES_WRITTEN``)."""
+        for mod in self.modules.values():
+            if name in mod.counters:
+                return mod.total(name)
+        raise KeyError(name)
+
+    def counter_per_rank(self, name: str) -> np.ndarray:
+        for mod in self.modules.values():
+            if name in mod.counters:
+                return mod.per_rank(name)
+        raise KeyError(name)
+
+    def total_bytes_written(self) -> float:
+        return sum(
+            mod.total(f"{mod.name}_BYTES_WRITTEN") for mod in self.modules.values()
+        )
+
+    def total_bytes_read(self) -> float:
+        return sum(
+            mod.total(f"{mod.name}_BYTES_READ") for mod in self.modules.values()
+        )
+
+    def per_rank_time(self, category: str) -> np.ndarray:
+        """Per-rank time for ``F_READ_TIME``/``F_WRITE_TIME``/``F_META_TIME``."""
+        out = np.zeros(self.nprocs)
+        for mod in self.modules.values():
+            out += mod.counters[f"{mod.name}_{category}"]
+        return out
+
+    # -- (de)serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "jobid": self.jobid,
+            "exe": self.exe,
+            "nprocs": self.nprocs,
+            "runtime_seconds": self.runtime_seconds,
+            "machine": self.machine,
+            "config": self.config,
+            "modules": {
+                name: {c: arr.tolist() for c, arr in mod.counters.items()}
+                for name, mod in self.modules.items()
+            },
+            "files": [vars(f).copy() for f in self.files],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DarshanLog":
+        if d.get("format_version") != LOG_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported log format version {d.get('format_version')!r}"
+            )
+        modules = {
+            name: ModuleRecord(
+                name=name,
+                counters={c: np.asarray(v, dtype=np.float64) for c, v in mod.items()},
+            )
+            for name, mod in d["modules"].items()
+        }
+        files = [FileRecord(**f) for f in d["files"]]
+        return cls(
+            jobid=d["jobid"],
+            exe=d["exe"],
+            nprocs=d["nprocs"],
+            runtime_seconds=d["runtime_seconds"],
+            machine=d.get("machine", ""),
+            config=d.get("config", ""),
+            modules=modules,
+            files=files,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write a gzipped JSON log (``.darshan.json.gz`` by convention)."""
+        raw = json.dumps(self.to_dict()).encode()
+        with gzip.open(path, "wb") as fh:
+            fh.write(raw)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DarshanLog":
+        with gzip.open(path, "rb") as fh:
+            return cls.from_dict(json.loads(fh.read().decode()))

@@ -1,0 +1,144 @@
+"""Derived performance metrics from Darshan logs.
+
+The quantities the paper extracts from its Darshan 3.4.2 logs:
+
+* **write throughput** — Darshan's ``agg_perf_by_slowest`` estimator:
+  total bytes moved divided by the slowest rank's cumulative I/O time.
+  This is the y-axis of Figs. 2, 3, 4, 6 and 7.
+* **average per-process cost split** — mean seconds per process spent in
+  reads, metadata and writes (Fig. 5; the famous 17.868 s → 0.014 s
+  metadata collapse).
+* **file statistics** — count / average size / max size of the files a
+  job wrote (Table II), computed from the filesystem the job ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.darshan.log import DarshanLog
+from repro.util.units import format_size, to_gib
+
+
+@dataclass(frozen=True)
+class CostSplit:
+    """Average per-process I/O seconds by category (Fig. 5)."""
+
+    read_seconds: float
+    meta_seconds: float
+    write_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.read_seconds + self.meta_seconds + self.write_seconds
+
+    def normalized(self) -> "CostSplit":
+        """Scale so the largest category is 1.0 (the figure is normalized)."""
+        peak = max(self.read_seconds, self.meta_seconds, self.write_seconds)
+        if peak == 0:
+            return self
+        return CostSplit(self.read_seconds / peak, self.meta_seconds / peak,
+                         self.write_seconds / peak)
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """Table II row triple for one configuration at one node count."""
+
+    total_files: int
+    avg_size_bytes: float
+    max_size_bytes: float
+
+    def formatted(self) -> tuple[str, str, str]:
+        return (str(self.total_files), format_size(self.avg_size_bytes),
+                format_size(self.max_size_bytes))
+
+
+def agg_perf_by_slowest(log: DarshanLog, include_meta: bool = True) -> float:
+    """Darshan's job throughput estimate, bytes/s.
+
+    ``total bytes moved / slowest rank's I/O time``.  ``include_meta``
+    matches Darshan's default of charging metadata stalls to the job
+    (without it, fsync-heavy workloads look misleadingly fast).
+    """
+    total = log.total_bytes_written() + log.total_bytes_read()
+    per_rank = log.per_rank_time("F_WRITE_TIME") + log.per_rank_time("F_READ_TIME")
+    if include_meta:
+        per_rank = per_rank + log.per_rank_time("F_META_TIME")
+    slowest = float(per_rank.max())
+    if slowest <= 0:
+        return 0.0
+    return total / slowest
+
+
+def write_throughput(log: DarshanLog, include_meta: bool = True) -> float:
+    """Write-only throughput estimate, bytes/s (the paper's metric)."""
+    total = log.total_bytes_written()
+    per_rank = log.per_rank_time("F_WRITE_TIME")
+    if include_meta:
+        per_rank = per_rank + log.per_rank_time("F_META_TIME")
+    slowest = float(per_rank.max())
+    if slowest <= 0:
+        return 0.0
+    return total / slowest
+
+
+def write_throughput_gib(log: DarshanLog, include_meta: bool = True) -> float:
+    """Write throughput in GiB/s, as plotted in the paper."""
+    return to_gib(write_throughput(log, include_meta=include_meta))
+
+
+def cost_split(log: DarshanLog) -> CostSplit:
+    """Average per-process read/meta/write seconds (Fig. 5)."""
+    n = max(log.nprocs, 1)
+    return CostSplit(
+        read_seconds=float(log.per_rank_time("F_READ_TIME").sum()) / n,
+        meta_seconds=float(log.per_rank_time("F_META_TIME").sum()) / n,
+        write_seconds=float(log.per_rank_time("F_WRITE_TIME").sum()) / n,
+    )
+
+
+def avg_seconds_per_write(log: DarshanLog) -> float:
+    """Mean seconds per write operation across the job (Fig. 9 metric)."""
+    writes = 0.0
+    time = 0.0
+    for mod in log.modules.values():
+        writes += mod.total(f"{mod.name}_WRITES")
+        time += mod.total(f"{mod.name}_F_WRITE_TIME")
+    if writes == 0:
+        return 0.0
+    return time / writes
+
+
+def file_stats_from_sizes(sizes: np.ndarray) -> FileStats:
+    """Aggregate a size array into the Table II triple."""
+    sizes = np.asarray(sizes)
+    if sizes.size == 0:
+        return FileStats(0, 0.0, 0.0)
+    return FileStats(
+        total_files=int(sizes.size),
+        avg_size_bytes=float(sizes.mean()),
+        max_size_bytes=float(sizes.max()),
+    )
+
+
+def job_summary(log: DarshanLog) -> dict:
+    """One-job overview (what ``darshan-job-summary`` prints up top)."""
+    split = cost_split(log)
+    return {
+        "jobid": log.jobid,
+        "exe": log.exe,
+        "nprocs": log.nprocs,
+        "runtime_seconds": log.runtime_seconds,
+        "machine": log.machine,
+        "config": log.config,
+        "bytes_written": log.total_bytes_written(),
+        "bytes_read": log.total_bytes_read(),
+        "write_throughput_gib_s": write_throughput_gib(log),
+        "avg_read_s": split.read_seconds,
+        "avg_meta_s": split.meta_seconds,
+        "avg_write_s": split.write_seconds,
+        "files_touched": len(log.files),
+    }

@@ -1,0 +1,240 @@
+"""Darshan runtime: per-rank, per-module, per-file I/O instrumentation.
+
+The :class:`DarshanMonitor` attaches to the POSIX layer (the same
+boundary real Darshan wraps with link-time interposition) and accumulates
+counters into columnar per-rank arrays — cheap enough to instrument
+25600-rank virtual jobs.
+
+Lifecycle mirrors the real tool: create a monitor per job, run the job,
+then :meth:`finalize` to freeze a :class:`~repro.darshan.log.DarshanLog`
+record that the parser/report tooling consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.darshan.counters import (
+    BYTE_FIELDS,
+    COUNT_FIELDS,
+    MODULES,
+    OP_TO_COUNT,
+    OP_TO_TIME,
+    SIZE_BUCKET_NAMES,
+    TIME_FIELDS,
+    size_bucket_index,
+)
+from repro.darshan.log import DarshanLog, FileRecord, ModuleRecord
+
+
+class _ModuleCounters:
+    """Columnar per-rank counters for one module (POSIX or STDIO)."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.counts = {f: np.zeros(nprocs, dtype=np.float64) for f in COUNT_FIELDS}
+        self.bytes = {f: np.zeros(nprocs, dtype=np.float64) for f in BYTE_FIELDS}
+        self.times = {f: np.zeros(nprocs, dtype=np.float64) for f in TIME_FIELDS}
+        self.size_hist = np.zeros((nprocs, len(SIZE_BUCKET_NAMES)), dtype=np.int64)
+
+
+class _FileTable:
+    """Columnar per-file counters, indexed directly by inode id.
+
+    Group operations touch tens of thousands of files at once, so the
+    per-file plane is numpy arrays grown on demand — the same columnar
+    idiom as the virtual filesystem's inode table.
+    """
+
+    _FIELDS = ("opens", "reads", "writes", "fsyncs",
+               "bytes_read", "bytes_written", "time")
+
+    def __init__(self, capacity: int = 256):
+        self._cap = capacity
+        self.paths: dict[int, str] = {}
+        for f in self._FIELDS:
+            setattr(self, f, np.zeros(capacity))
+
+    def ensure(self, max_ino: int) -> None:
+        if max_ino < self._cap:
+            return
+        new_cap = max(self._cap * 2, max_ino + 1)
+        for f in self._FIELDS:
+            old = getattr(self, f)
+            new = np.zeros(new_cap)
+            new[: self._cap] = old
+            setattr(self, f, new)
+        self._cap = new_cap
+
+    def register(self, ino: int, path: str) -> None:
+        self.ensure(ino)
+        self.paths.setdefault(ino, path)
+
+
+class DarshanMonitor:
+    """Runtime counter collection for one simulated job."""
+
+    def __init__(self, nprocs: int, jobid: int = 1, exe: str = "bit1"):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.jobid = jobid
+        self.exe = exe
+        self._modules = {m: _ModuleCounters(nprocs) for m in MODULES}
+        self._files = _FileTable()
+        self._finalized: DarshanLog | None = None
+
+    # -- registration hooks (called by the POSIX layer) ---------------------
+
+    def register_file(self, ino: int, path: str) -> None:
+        self._files.register(ino, path)
+
+    def register_files(self, inos: np.ndarray, paths: Sequence[str]) -> None:
+        inos = np.asarray(inos)
+        if inos.size:
+            self._files.ensure(int(inos.max()))
+        for ino, path in zip(inos, paths):
+            self._files.paths.setdefault(int(ino), path)
+
+    # -- the single recording entry point ------------------------------------
+
+    def record(self, kind: str, ranks, nbytes, seconds, api: str,
+               inos=None, n_ops=1) -> None:
+        """Account one (possibly group) operation.
+
+        ``ranks``/``nbytes``/``seconds``/``n_ops`` broadcast against each
+        other; ``inos`` optionally attributes the op to files.
+        """
+        if self._finalized is not None:
+            # after shutdown real Darshan no longer interposes; post-job
+            # I/O (e.g. reading results back) is simply not recorded
+            return
+        mod = self._modules.get(api)
+        if mod is None:  # unknown module: fold into POSIX
+            mod = self._modules["POSIX"]
+        ranks = np.atleast_1d(np.asarray(ranks))
+        nbytes_arr = np.broadcast_to(
+            np.asarray(nbytes, dtype=np.float64), ranks.shape)
+        seconds_arr = np.broadcast_to(
+            np.asarray(seconds, dtype=np.float64), ranks.shape)
+        ops_arr = np.broadcast_to(
+            np.asarray(n_ops, dtype=np.float64), ranks.shape)
+
+        count_field = OP_TO_COUNT.get(kind)
+        if count_field is not None:
+            np.add.at(mod.counts[count_field], ranks, ops_arr)
+        time_field = OP_TO_TIME[kind]
+        np.add.at(mod.times[time_field], ranks, seconds_arr)
+
+        if kind == "write":
+            np.add.at(mod.bytes["BYTES_WRITTEN"], ranks, nbytes_arr)
+            per_op = nbytes_arr / np.maximum(ops_arr, 1.0)
+            buckets = size_bucket_index(per_op)
+            np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
+        elif kind == "read":
+            np.add.at(mod.bytes["BYTES_READ"], ranks, nbytes_arr)
+            per_op = nbytes_arr / np.maximum(ops_arr, 1.0)
+            buckets = size_bucket_index(per_op)
+            np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
+
+        if inos is not None:
+            self._record_files(kind, inos, nbytes_arr, seconds_arr, ops_arr)
+
+    def _record_files(self, kind: str, inos, nbytes, seconds, ops) -> None:
+        inos = np.atleast_1d(np.asarray(inos, dtype=np.int64))
+        if inos.size == 0:
+            return
+        self._files.ensure(int(inos.max()))
+        # one shared file touched by many ranks broadcasts the ino up;
+        # one op per file broadcasts the metrics up — take the widest
+        shape = np.broadcast_shapes(inos.shape, np.shape(nbytes))
+        inos = np.broadcast_to(inos, shape)
+        nbytes = np.broadcast_to(nbytes, shape)
+        seconds = np.broadcast_to(seconds, shape)
+        ops = np.broadcast_to(ops, shape)
+        ft = self._files
+        if kind == "write":
+            np.add.at(ft.writes, inos, ops)
+            np.add.at(ft.bytes_written, inos, nbytes)
+        elif kind == "read":
+            np.add.at(ft.reads, inos, ops)
+            np.add.at(ft.bytes_read, inos, nbytes)
+        elif kind == "sync":
+            np.add.at(ft.fsyncs, inos, ops)
+        elif kind in ("open", "create"):
+            np.add.at(ft.opens, inos, ops)
+        np.add.at(ft.time, inos, seconds)
+
+    # -- queries used while the job runs --------------------------------------
+
+    def total_bytes_written(self, module: str | None = None) -> float:
+        mods = [self._modules[module]] if module else self._modules.values()
+        return float(sum(m.bytes["BYTES_WRITTEN"].sum() for m in mods))
+
+    def total_bytes_read(self, module: str | None = None) -> float:
+        mods = [self._modules[module]] if module else self._modules.values()
+        return float(sum(m.bytes["BYTES_READ"].sum() for m in mods))
+
+    def per_rank_time(self, field: str) -> np.ndarray:
+        """Per-rank cumulative time for one of the F_*_TIME fields."""
+        out = np.zeros(self.nprocs)
+        for m in self._modules.values():
+            out += m.times[field]
+        return out
+
+    def per_rank_io_time(self) -> np.ndarray:
+        """Per-rank read+write+meta time across modules."""
+        out = np.zeros(self.nprocs)
+        for f in TIME_FIELDS:
+            out += self.per_rank_time(f)
+        return out
+
+    # -- finalization -----------------------------------------------------------
+
+    def finalize(self, runtime_seconds: float | None = None,
+                 machine: str = "", config: str = "") -> DarshanLog:
+        """Freeze the counters into an immutable log record."""
+        if self._finalized is not None:
+            return self._finalized
+        modules = {}
+        for name, m in self._modules.items():
+            counters: dict[str, np.ndarray] = {}
+            for f, arr in m.counts.items():
+                counters[f"{name}_{f}"] = arr.copy()
+            for f, arr in m.bytes.items():
+                counters[f"{name}_{f}"] = arr.copy()
+            for f, arr in m.times.items():
+                counters[f"{name}_{f}"] = arr.copy()
+            for j, bname in enumerate(SIZE_BUCKET_NAMES):
+                counters[f"{name}_{bname}"] = m.size_hist[:, j].astype(np.float64)
+            modules[name] = ModuleRecord(name=name, counters=counters)
+        ft = self._files
+        files = [
+            FileRecord(
+                path=path,
+                opens=float(ft.opens[ino]),
+                reads=float(ft.reads[ino]),
+                writes=float(ft.writes[ino]),
+                fsyncs=float(ft.fsyncs[ino]),
+                bytes_read=float(ft.bytes_read[ino]),
+                bytes_written=float(ft.bytes_written[ino]),
+                cumulative_time=float(ft.time[ino]),
+            )
+            for ino, path in self._files.paths.items()
+        ]
+        if runtime_seconds is None:
+            runtime_seconds = float(self.per_rank_io_time().max())
+        self._finalized = DarshanLog(
+            jobid=self.jobid,
+            exe=self.exe,
+            nprocs=self.nprocs,
+            runtime_seconds=runtime_seconds,
+            machine=machine,
+            config=config,
+            modules=modules,
+            files=files,
+        )
+        return self._finalized

@@ -1,0 +1,38 @@
+"""Per-figure/table experiment drivers reproducing the paper's evaluation."""
+
+from repro.experiments.common import ExperimentResult, SeriesResult
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.postproc import PostprocResult, run_postproc
+from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.weak_scaling import run_weak_scaling
+
+__all__ = [
+    "ExperimentResult",
+    "Fig5Result",
+    "PostprocResult",
+    "SensitivityResult",
+    "Fig8Result",
+    "Fig9Result",
+    "SeriesResult",
+    "Table2Result",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_postproc",
+    "run_sensitivity",
+    "run_table2",
+    "run_weak_scaling",
+]

@@ -1,0 +1,79 @@
+"""Run every experiment driver and print the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments            # full sweeps (a few minutes)
+    python -m repro.experiments --quick    # reduced sweeps (seconds)
+    python -m repro.experiments fig6 fig9  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_postproc,
+    run_sensitivity,
+    run_table2,
+    run_weak_scaling,
+)
+from repro.experiments.common import subset
+from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
+
+ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+       "table2", "postproc", "weak_scaling", "sensitivity")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments",
+                                     description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=list(ALL),
+                        help=f"which to run (default: all of {ALL})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps for a fast look")
+    args = parser.parse_args(argv)
+
+    nodes = subset(NODE_COUNTS, args.quick)
+    aggrs = subset(FIG6_SWEEP, args.quick)
+    table = {
+        "fig2": lambda: run_fig2(node_counts=nodes).render(),
+        "fig3": lambda: run_fig3(node_counts=nodes).render(),
+        "fig4": lambda: run_fig4(node_counts=nodes).render(),
+        "fig5": lambda: run_fig5().render(),
+        "fig6": lambda: run_fig6(aggregators=aggrs).render(
+            y_format=lambda v: f"{v:.2f}"),
+        "fig7": lambda: run_fig7(node_counts=nodes).render(),
+        "fig8": lambda: run_fig8().render(),
+        "fig9": lambda: run_fig9().render(),
+        "table2": lambda: run_table2(node_counts=nodes).render(),
+        "postproc": lambda: run_postproc().render(),
+        "weak_scaling": lambda: run_weak_scaling(
+            node_counts=subset((1, 5, 20, 50, 200), args.quick)).render(
+            y_format=lambda v: f"{v:.4f}"),
+        "sensitivity": lambda: run_sensitivity(
+            nodes=50 if args.quick else 200).render(),
+    }
+    for name in args.experiments:
+        fn = table.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; choose from {ALL}",
+                  file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        print(fn())
+        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Fig. 4 — BIT1 configurations vs the IOR benchmark on Dardel.
+
+Adds the two Table I IOR reference lines (FilePerProc and shared file,
+``-a POSIX -C -e``) to the Fig. 3 comparison.  "BIT1 Original I/O …
+fail[s] to achieve competitive levels compared to the IOR benchmarks.
+Conversely, BIT1 openPMD + BP4 with aggregation demonstrates superior
+performance."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.presets import dardel
+from repro.darshan.report import write_throughput_gib
+from repro.experiments.common import ExperimentResult, SeriesResult, resolve_machine
+from repro.experiments.paper_data import NODE_COUNTS, RANKS_PER_NODE
+from repro.ior.benchmark import run_ior
+from repro.ior.config import table1_file_per_proc, table1_shared
+from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
+
+
+def run_fig4(node_counts: Sequence[int] = NODE_COUNTS,
+             machine=None, seed: int = 0) -> ExperimentResult:
+    """Reproduce Fig. 4: BIT1 curves plus IOR reference curves."""
+    machine = resolve_machine(machine) if machine is not None else dardel()
+    result = ExperimentResult(
+        name=f"Fig 4: BIT1 vs IOR Write Throughput on {machine.name} (GiB/s)",
+        x_name="nodes",
+    )
+    series = {
+        "BIT1 Original I/O": SeriesResult(label="BIT1 Original I/O"),
+        "BIT1 openPMD + BP4": SeriesResult(label="BIT1 openPMD + BP4"),
+        "IOR FilePerProc": SeriesResult(label="IOR FilePerProc"),
+        "IOR Shared": SeriesResult(label="IOR Shared"),
+    }
+    for nodes in node_counts:
+        ntasks = nodes * RANKS_PER_NODE
+        res_o = run_original_scaled(machine, nodes, seed=seed)
+        series["BIT1 Original I/O"].add(nodes, write_throughput_gib(res_o.log))
+        res_p = run_openpmd_scaled(machine, nodes, num_aggregators=nodes,
+                                   seed=seed)
+        series["BIT1 openPMD + BP4"].add(nodes, write_throughput_gib(res_p.log))
+        fpp = run_ior(machine, table1_file_per_proc(ntasks), seed=seed)
+        series["IOR FilePerProc"].add(nodes, fpp.write_gib_s)
+        shared = run_ior(machine, table1_shared(ntasks), seed=seed)
+        series["IOR Shared"].add(nodes, shared.write_gib_s)
+    result.series = list(series.values())
+    result.notes.append(
+        "Table I commands: 'ior -N=<tasks> -a POSIX [-F] -C -e'")
+    result.notes.append(
+        "IOR FilePerProc at 25600 tasks matches the extreme-aggregation "
+        "regime of Fig. 6 (25600 files)")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run_fig4().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,110 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+Every experiment driver prints its measured values next to these, and
+EXPERIMENTS.md records the deltas.  Values come from the text of
+Williams et al. (CLUSTER 2024); figures without printed data points
+contribute only their stated anchors.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import GiB, KiB, MiB
+
+#: node counts used across the scaling studies (Table II's columns)
+NODE_COUNTS = (1, 2, 5, 10, 20, 30, 40, 50, 100, 200)
+
+#: ranks per node on all three machines (2× 64-core EPYC)
+RANKS_PER_NODE = 128
+
+# -- Fig. 2: original file I/O write throughput (GiB/s anchors) -------------
+
+FIG2_ANCHORS = {
+    "Discoverer": {1: 0.26, 200: 0.20},   # "declining by 23%"
+    "Dardel": {1: 0.09, 200: 0.41},       # "increasing …"
+    # Vega: "inconsistent performance, lacking clear scaling behavior"
+}
+
+# -- Fig. 3/4: openPMD + BP4 --------------------------------------------------
+
+FIG3_BP4_START_GIB = 0.6        # "starting with a higher write throughput of 0.6"
+FIG4_IOR_TASKS = 25600
+
+# -- Fig. 5: average I/O cost per process on 200 nodes (seconds) -------------
+
+FIG5_ORIGINAL = {"read": 0.20, "meta": 17.868, "write": 1.043}
+FIG5_BP4 = {"read": 0.20, "meta": 0.014, "write": 0.009}
+FIG5_META_REDUCTION = 0.9992    # "approximately 99.92%"
+FIG5_WRITE_REDUCTION = 0.9914   # "around 99.14%"
+
+# -- Fig. 6: aggregator sweep on 200 nodes (GiB/s) ----------------------------
+
+FIG6_ANCHORS = {1: 0.59, 400: 15.80, 25600: 3.87}
+FIG6_SWEEP = (1, 25, 50, 100, 200, 400, 800, 1600, 6400, 25600)
+FIG6_PEAK_AGGREGATORS = 400     # "two aggregators per node"
+
+# -- Fig. 7: Blosc + 1 aggregator ---------------------------------------------
+
+FIG7_ORIGINAL_PEAK = {"nodes": 40, "gib_s": 0.54}
+FIG7_CROSSOVER_RANGE = (10, 50)  # original overtakes compressed BP4 here
+
+# -- Fig. 9: Lustre striping study ----------------------------------------------
+
+FIG9_STRIPE_SIZES = tuple(int(s * MiB) for s in (1, 2, 4, 8, 16))
+FIG9_STRIPE_COUNTS = (1, 2, 4, 8, 16, 32, 48)
+FIG9_BEST_SECONDS = 0.0089
+FIG9_4M_1TO2_DELTA = -0.04      # "decreases by approximately 4%"
+FIG9_16M_1TO2_DELTA = +0.0787   # "increases by approximately 7.87%"
+
+# -- Table II: file census ---------------------------------------------------------
+# {config: {"files": {...}, "avg": {...}, "max": {...}}} keyed by node count
+
+TABLE2 = {
+    "original": {
+        "files": {1: 262, 2: 518, 5: 1286, 10: 2566, 20: 5126, 30: 7686,
+                  40: 10246, 50: 12806, 100: 25606, 200: 51206},
+        "avg": {1: 1.9 * MiB, 2: 939 * KiB, 5: 381 * KiB, 10: 192 * KiB,
+                20: 98 * KiB, 30: 67 * KiB, 40: 51 * KiB, 50: 41 * KiB,
+                100: 22 * KiB, 200: 13 * KiB},
+        "max": {1: 3.8 * MiB, 2: 1.9 * MiB, 5: 763 * KiB, 10: 383 * KiB,
+                20: 194 * KiB, 30: 130 * KiB, 40: 98 * KiB, 50: 79 * KiB,
+                100: 40 * KiB, 200: 25 * KiB},
+    },
+    "bp4_default": {
+        "files": {1: 6, 2: 7, 5: 10, 10: 15, 20: 25, 30: 35, 40: 45,
+                  50: 55, 100: 105, 200: 205},
+        "avg": {1: 81 * MiB, 2: 70 * MiB, 5: 51 * MiB, 10: 37 * MiB,
+                20: 25 * MiB, 30: 20 * MiB, 40: 17 * MiB, 50: 16 * MiB,
+                100: 12 * MiB, 200: 9.4 * MiB},
+        "max": {1: 476 * MiB, 2: 239 * MiB, 5: 97 * MiB, 10: 53 * MiB,
+                20: 106 * MiB, 30: 158 * MiB, 40: 211 * MiB, 50: 263 * MiB,
+                100: 526 * MiB, 200: 1.1 * GiB},
+    },
+    "bp4_1aggr": {
+        "files": {n: 6 for n in NODE_COUNTS},
+        "avg": {1: 81 * MiB, 2: 82 * MiB, 5: 86 * MiB, 10: 92 * MiB,
+                20: 104 * MiB, 30: 116 * MiB, 40: 128 * MiB, 50: 140 * MiB,
+                100: 202 * MiB, 200: 326 * MiB},
+        "max": {1: 476 * MiB, 2: 478 * MiB, 5: 484 * MiB, 10: 493 * MiB,
+                20: 511 * MiB, 30: 529 * MiB, 40: 548 * MiB, 50: 567 * MiB,
+                100: 665 * MiB, 200: 1.1 * GiB},
+    },
+    "bp4_blosc_1aggr": {
+        "files": {n: 6 for n in NODE_COUNTS},
+        "avg": {1: 72 * MiB, 2: 73 * MiB, 5: 76 * MiB, 10: 83 * MiB,
+                20: 95 * MiB, 30: 107 * MiB, 40: 119 * MiB, 50: 131 * MiB,
+                100: 192 * MiB, 200: 314 * MiB},
+        "max": {1: 422 * MiB, 2: 424 * MiB, 5: 429 * MiB, 10: 437 * MiB,
+                20: 456 * MiB, 30: 473 * MiB, 40: 490 * MiB, 50: 506 * MiB,
+                100: 590 * MiB, 200: 1.1 * GiB},
+    },
+}
+
+#: Blosc's storage savings vs the uncompressed/bzip2 layout (§IV-D)
+TABLE2_BLOSC_SAVINGS_1NODE = 0.1111   # "an 11.11% reduction"
+TABLE2_BLOSC_SAVINGS_200NODES = 0.0368  # "a 3.68% reduction on large runs"
+
+# -- Table III / Listing 1 ------------------------------------------------------------
+
+TABLE3_COMMAND = "lfs setstripe -c 8 -S 16M io_openPMD"
+LISTING1_STRIPE_SIZE = 16 * MiB
+LISTING1_STRIPE_COUNT = 8

@@ -1,0 +1,49 @@
+"""Filesystem substrate: virtual tree, POSIX/stdio layers, Lustre model."""
+
+from repro.fs.lustre import LustreFilesystem
+from repro.fs.mount import CephFilesystem, MountedFilesystem, NFSFilesystem, mount
+from repro.fs.payload import (
+    ENTROPY_CLASSES,
+    Payload,
+    RealPayload,
+    SyntheticPayload,
+    as_payload,
+    is_synthetic,
+)
+from repro.fs.perfmodel import StoragePerfModel
+from repro.fs.posix import PosixIO
+from repro.fs.stdio import StdioFile, fopen
+from repro.fs.vfs import (
+    FileExists,
+    FileNotFound,
+    FSError,
+    IsADir,
+    NotADir,
+    StatResult,
+    VirtualFS,
+)
+
+__all__ = [
+    "ENTROPY_CLASSES",
+    "CephFilesystem",
+    "FSError",
+    "FileExists",
+    "FileNotFound",
+    "IsADir",
+    "LustreFilesystem",
+    "MountedFilesystem",
+    "NFSFilesystem",
+    "NotADir",
+    "Payload",
+    "PosixIO",
+    "RealPayload",
+    "StatResult",
+    "StdioFile",
+    "StoragePerfModel",
+    "SyntheticPayload",
+    "VirtualFS",
+    "as_payload",
+    "fopen",
+    "is_synthetic",
+    "mount",
+]

@@ -1,0 +1,95 @@
+"""Mounted filesystem: virtual file tree + performance model + OST layout.
+
+A :class:`MountedFilesystem` is what a job sees: it binds a
+:class:`~repro.fs.vfs.VirtualFS` (namespace + data) to a
+:class:`~repro.fs.perfmodel.StoragePerfModel` (virtual time) and manages
+object-storage-target (OST) placement for new files.  Subclasses add the
+filesystem-specific surface (``lfs setstripe``/``getstripe`` for Lustre).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import StorageSystem
+from repro.fs.perfmodel import StoragePerfModel
+from repro.fs.vfs import VirtualFS
+from repro.util.rng import RngRegistry
+
+
+class MountedFilesystem:
+    """Base class for a mounted storage system."""
+
+    kind = "generic"
+
+    def __init__(self, system: StorageSystem, rng: RngRegistry | None = None):
+        self.system = system
+        self.vfs = VirtualFS(
+            default_stripe_count=system.default_stripe_count,
+            default_stripe_size=system.default_stripe_size,
+        )
+        self.perf = StoragePerfModel(system, rng)
+        self._next_ost = 0
+
+    # -- OST placement ------------------------------------------------------
+
+    def assign_ost(self, ino: int) -> int:
+        """Round-robin starting OST for a new file (Lustre's allocator)."""
+        cols = self.vfs.cols
+        if cols.ost_start[ino] < 0:
+            cols.ost_start[ino] = self._next_ost
+            self._next_ost = (self._next_ost + 1) % self.system.num_osts
+        return int(cols.ost_start[ino])
+
+    def osts_of(self, ino: int) -> np.ndarray:
+        """The OST indices a file's stripes round-robin over."""
+        cols = self.vfs.cols
+        start = self.assign_ost(ino)
+        count = int(cols.stripe_count[ino])
+        return (start + np.arange(count)) % self.system.num_osts
+
+    def ost_of_offset(self, ino: int, offset: int) -> int:
+        """Which OST holds the byte at ``offset`` (raid0 round-robin)."""
+        cols = self.vfs.cols
+        start = self.assign_ost(ino)
+        count = int(cols.stripe_count[ino])
+        size = int(cols.stripe_size[ino])
+        stripe_index = (offset // size) % count
+        return int((start + stripe_index) % self.system.num_osts)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def num_osts(self) -> int:
+        return self.system.num_osts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"{type(self).__name__}({self.system.name!r}, "
+                f"osts={self.system.num_osts})")
+
+
+class NFSFilesystem(MountedFilesystem):
+    """Discoverer's Ethernet NFS: a single server, no striping controls."""
+
+    kind = "nfs"
+
+
+class CephFilesystem(MountedFilesystem):
+    """Vega's CephFS: object-store backed; placement opaque to clients."""
+
+    kind = "cephfs"
+
+
+def mount(system: StorageSystem, rng: RngRegistry | None = None) -> MountedFilesystem:
+    """Mount a machine's storage system with the right filesystem flavour."""
+    from repro.fs.lustre import LustreFilesystem
+
+    table = {
+        "lustre": LustreFilesystem,
+        "nfs": NFSFilesystem,
+        "cephfs": CephFilesystem,
+    }
+    cls = table.get(system.kind)
+    if cls is None:
+        raise ValueError(f"no filesystem implementation for kind {system.kind!r}")
+    return cls(system, rng)

@@ -1,0 +1,134 @@
+"""Payloads: the data attached to a write.
+
+The stack runs in two modes sharing one code path:
+
+* **functional mode** — small-scale tests and examples write
+  :class:`RealPayload` objects (actual bytes / numpy arrays) that land in
+  the virtual filesystem and can be read back bit-exactly
+  (checkpoint/restart round-trips, openPMD read-side verification);
+* **modeled mode** — full-scale performance experiments write
+  :class:`SyntheticPayload` objects that carry only a byte count and an
+  *entropy class*; compressors map entropy classes to ratios probed on
+  real representative blocks, and the filesystem stores sizes only.
+
+Every layer (stdio, POSIX, ADIOS2, openPMD) accepts either kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+#: Entropy classes for synthetic data.  The names describe *what the bytes
+#: are*, so the compression layer can probe a realistic ratio for each.
+ENTROPY_CLASSES = (
+    "particle_float32",   # shuffled-compressible phase-space coordinates
+    "diagnostic_float64", # time-averaged distribution functions (wide dynamic
+                          # range, near-incompressible even with shuffle)
+    "histogram_counts",   # raw integer bin counts (compressible)
+    "ascii_table",        # formatted text diagnostics (very compressible)
+    "metadata",           # index/attribute bytes
+    "zeros",              # trivially compressible
+    "random",             # incompressible
+)
+
+
+@dataclass(frozen=True)
+class SyntheticPayload:
+    """A byte count plus an entropy class — no actual bytes.
+
+    Used when reproducing the paper's 25600-rank runs: the control flow
+    (chunk stores, aggregation, striped writes) is executed for real while
+    the data itself is represented by its size.
+    """
+
+    nbytes: int
+    entropy: str = "particle_float32"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.entropy not in ENTROPY_CLASSES:
+            raise ValueError(
+                f"unknown entropy class {self.entropy!r}; "
+                f"choose from {ENTROPY_CLASSES}"
+            )
+
+    def split(self, parts: int) -> list["SyntheticPayload"]:
+        """Split into ``parts`` payloads whose sizes sum to ``nbytes``."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        base, extra = divmod(self.nbytes, parts)
+        return [
+            SyntheticPayload(base + (1 if i < extra else 0), self.entropy)
+            for i in range(parts)
+        ]
+
+
+class RealPayload:
+    """Actual bytes (or a numpy array viewed as bytes).
+
+    Arrays are *not* copied — the openPMD ``storeChunk`` contract that the
+    referenced data must stay unmodified until ``flush()`` is preserved by
+    this class holding a view.
+    """
+
+    __slots__ = ("_data", "entropy")
+
+    def __init__(self, data: bytes | bytearray | memoryview | np.ndarray,
+                 entropy: str = "particle_float32"):
+        if isinstance(data, np.ndarray):
+            self._data = data
+        elif isinstance(data, (bytes, bytearray, memoryview)):
+            self._data = bytes(data)
+        else:
+            raise TypeError(f"unsupported payload data type: {type(data)!r}")
+        if entropy not in ENTROPY_CLASSES:
+            raise ValueError(f"unknown entropy class {entropy!r}")
+        self.entropy = entropy
+
+    @property
+    def nbytes(self) -> int:
+        if isinstance(self._data, np.ndarray):
+            return int(self._data.nbytes)
+        return len(self._data)
+
+    def tobytes(self) -> bytes:
+        """Materialise the payload as bytes (copies array data)."""
+        if isinstance(self._data, np.ndarray):
+            return np.ascontiguousarray(self._data).tobytes()
+        return self._data
+
+    @property
+    def array(self) -> np.ndarray | None:
+        """The underlying array if this payload wraps one, else ``None``."""
+        return self._data if isinstance(self._data, np.ndarray) else None
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RealPayload(nbytes={self.nbytes}, entropy={self.entropy!r})"
+
+
+Payload = Union[RealPayload, SyntheticPayload]
+
+
+def as_payload(data: Payload | bytes | bytearray | np.ndarray,
+               entropy: str = "particle_float32") -> Payload:
+    """Coerce raw bytes/arrays into a payload; pass payloads through."""
+    if isinstance(data, (RealPayload, SyntheticPayload)):
+        return data
+    return RealPayload(data, entropy=entropy)
+
+
+def payload_nbytes(data: Payload) -> int:
+    """Size of a payload in bytes."""
+    return data.nbytes
+
+
+def is_synthetic(data: Payload) -> bool:
+    """True if the payload carries no actual bytes."""
+    return isinstance(data, SyntheticPayload)

@@ -1,0 +1,420 @@
+"""POSIX-like syscall layer over a mounted virtual filesystem.
+
+This is the boundary Darshan instruments on a real system, reproduced so
+the monitoring layer can hook the same call sites (§II-C of the paper).
+Every call:
+
+1. performs the namespace/data operation on the virtual filesystem;
+2. computes its virtual duration with the storage performance model
+   (using the current *phase context* — how many ranks are concurrently
+   writing / hammering the MDS);
+3. charges that duration to the issuing rank's clock; and
+4. notifies the attached monitor (Darshan) with the op class
+   (read / write / metadata), byte count and duration.
+
+Single-op calls serve the functional small-scale runs; the ``*_group``
+variants express "K symmetric ranks do this op" in one vectorised call,
+which is how the 25600-rank experiments stay fast (see the HPC guides:
+vectorise, don't loop).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.fs.mount import MountedFilesystem
+from repro.fs.payload import Payload, RealPayload, SyntheticPayload, as_payload
+from repro.mpi.comm import VirtualComm
+
+#: metadata-op weights (an exclusive create touches the MDS more than a stat)
+MD_OPS = {
+    "open": 1.0,
+    "create": 2.0,
+    "close": 1.0,
+    "stat": 1.0,
+    "mkdir": 2.0,
+    "unlink": 2.0,
+    "seek": 0.0,  # client-local
+}
+
+
+@dataclass
+class OpenFile:
+    """One open file descriptor."""
+
+    ino: int
+    path: str
+    rank: int
+    pos: int = 0
+    api: str = "POSIX"
+
+
+class PosixIO:
+    """The syscall surface: open/read/write/fsync/close + group variants."""
+
+    def __init__(self, fs: MountedFilesystem,
+                 comm: VirtualComm | None = None,
+                 monitor: "object | None" = None):
+        self.fs = fs
+        self.comm = comm
+        self.monitor = monitor
+        self._fds: dict[int, OpenFile] = {}
+        self._fd_ino = np.full(256, -1, dtype=np.int64)  # fd -> ino map
+        self._next_fd = 3  # 0-2 are stdin/out/err, as tradition demands
+        self._writers = comm.size if comm is not None else 1
+        self._md_clients = comm.size if comm is not None else 1
+
+    # -- phase context ------------------------------------------------------
+
+    @contextmanager
+    def phase(self, writers: int | None = None,
+              md_clients: int | None = None) -> Iterator[None]:
+        """Declare the concurrency of the enclosed I/O phase.
+
+        The adaptors wrap each output event in a phase so that per-op
+        costs reflect the true contention (all ranks for the original
+        file-per-process output; only the aggregators for BP4 writes).
+        """
+        old = (self._writers, self._md_clients)
+        if writers is not None:
+            self._writers = max(1, writers)
+        if md_clients is not None:
+            self._md_clients = max(1, md_clients)
+        try:
+            yield
+        finally:
+            self._writers, self._md_clients = old
+
+    # -- clock/monitor plumbing ----------------------------------------------
+
+    def _charge(self, ranks: int | np.ndarray, seconds: float | np.ndarray) -> None:
+        if self.comm is not None:
+            self.comm.clocks[ranks] += seconds
+
+    def _notify(self, kind: str, ranks, nbytes, seconds, api: str,
+                inos=None, n_ops=1) -> None:
+        if self.monitor is not None:
+            self.monitor.record(kind, ranks=ranks, nbytes=nbytes,
+                                seconds=seconds, api=api, inos=inos,
+                                n_ops=n_ops)
+
+    def _alloc_fd(self, of: OpenFile) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        if fd >= len(self._fd_ino):
+            grown = np.full(len(self._fd_ino) * 2, -1, dtype=np.int64)
+            grown[: len(self._fd_ino)] = self._fd_ino
+            self._fd_ino = grown
+        self._fd_ino[fd] = of.ino
+        self._fds[fd] = of
+        return fd
+
+    def _inos_of(self, fds: np.ndarray) -> np.ndarray:
+        inos = self._fd_ino[fds]
+        if np.any(inos < 0):
+            raise KeyError("operation on closed file descriptor")
+        return inos
+
+    def _md(self, rank: int, op: str, api: str = "POSIX",
+            ino: int | None = None) -> float:
+        weight = MD_OPS[op]
+        cost = float(self.fs.perf.metadata_op_cost(self._md_clients, weight))
+        self._charge(rank, cost)
+        self._notify(op, rank, 0, cost, api, inos=ino, n_ops=1)
+        return cost
+
+    # -- namespace ------------------------------------------------------------
+
+    def mkdir(self, rank: int, path: str, parents: bool = False,
+              api: str = "POSIX") -> None:
+        self.fs.vfs.mkdir(path, parents=parents)
+        self._md(rank, "mkdir", api)
+
+    def stat(self, rank: int, path: str, api: str = "POSIX"):
+        st = self.fs.vfs.stat(path)
+        self._md(rank, "stat", api)
+        return st
+
+    def unlink(self, rank: int, path: str, api: str = "POSIX") -> None:
+        self.fs.vfs.unlink(path)
+        self._md(rank, "unlink", api)
+
+    def exists(self, path: str) -> bool:
+        """Existence probe without cost (used by harness assertions)."""
+        return self.fs.vfs.exists(path)
+
+    # -- open/close -------------------------------------------------------------
+
+    def open(self, rank: int, path: str, create: bool = False,
+             exclusive: bool = False, truncate: bool = False,
+             append: bool = False, api: str = "POSIX") -> int:
+        if create:
+            ino = self.fs.vfs.create(path, exclusive=exclusive)
+            self.fs.assign_ost(ino)
+            op = "create"
+        else:
+            ino = self.fs.vfs.lookup(path)
+            op = "open"
+        if truncate:
+            self.fs.vfs.truncate(ino, 0)
+        pos = self.fs.vfs.size_of(ino) if append else 0
+        fd = self._alloc_fd(OpenFile(ino=ino, path=path, rank=rank, pos=pos,
+                                     api=api))
+        if self.monitor is not None:
+            self.monitor.register_file(ino, path)
+        self._md(rank, op, api, ino=ino)
+        return fd
+
+    def close(self, rank: int, fd: int, api: str | None = None) -> None:
+        of = self._fds.pop(fd)
+        self._fd_ino[fd] = -1
+        self._md(rank, "close", api or of.api, ino=of.ino)
+
+    def fileno_path(self, fd: int) -> str:
+        return self._fds[fd].path
+
+    # -- data ---------------------------------------------------------------------
+
+    def write(self, rank: int, fd: int,
+              data: Payload | bytes | np.ndarray,
+              offset: int | None = None,
+              chunk_size: int | None = None,
+              sync_each_chunk: bool = False,
+              api: str | None = None) -> int:
+        """Write a payload; returns bytes written.
+
+        ``chunk_size`` models buffered-stdio flush chains: the payload is
+        charged as ``ceil(n/chunk_size)`` write RPC ops, and with
+        ``sync_each_chunk`` every chunk is followed by an fsync — BIT1's
+        original output behaviour.
+        """
+        payload = as_payload(data)
+        of = self._fds[fd]
+        api = api or of.api
+        pos = of.pos if offset is None else offset
+        n = self.fs.vfs.write(of.ino, pos, payload)
+        of.pos = pos + n
+        st = self.fs.vfs.cols
+        stripe_count = int(st.stripe_count[of.ino])
+        stripe_size = int(st.stripe_size[of.ino])
+        n_chunks = 1
+        per_chunk = n
+        if chunk_size is not None and n > 0:
+            n_chunks = max(1, -(-n // chunk_size))
+            per_chunk = min(n, chunk_size)
+        cost = float(self.fs.perf.write_op_cost(
+            per_chunk, self._writers, stripe_count, stripe_size,
+            n_ops=n_chunks)) * float(self.fs.perf.noise())
+        self._charge(rank, cost)
+        self._notify("write", rank, n, cost, api, inos=of.ino, n_ops=n_chunks)
+        if sync_each_chunk:
+            sync_cost = float(self.fs.perf.fsync_cost(
+                self._writers, stripe_count, n_ops=n_chunks))
+            self._charge(rank, sync_cost)
+            self._notify("sync", rank, 0, sync_cost, api, inos=of.ino,
+                         n_ops=n_chunks)
+        return n
+
+    def fsync(self, rank: int, fd: int, api: str | None = None) -> None:
+        of = self._fds[fd]
+        st = self.fs.vfs.cols
+        cost = float(self.fs.perf.fsync_cost(
+            self._writers, int(st.stripe_count[of.ino])))
+        self._charge(rank, cost)
+        self._notify("sync", rank, 0, cost, api or of.api, inos=of.ino)
+
+    def read(self, rank: int, fd: int, nbytes: int,
+             offset: int | None = None, api: str | None = None) -> bytes:
+        of = self._fds[fd]
+        pos = of.pos if offset is None else offset
+        data = self.fs.vfs.read(of.ino, pos, nbytes)
+        of.pos = pos + len(data)
+        cost = float(self.fs.perf.read_op_cost(len(data), self._md_clients))
+        self._charge(rank, cost)
+        self._notify("read", rank, len(data), cost, api or of.api, inos=of.ino)
+        return data
+
+    def read_synthetic(self, rank: int, fd: int, nbytes: int,
+                       api: str | None = None) -> int:
+        """Account a read without materialised content (modeled mode)."""
+        of = self._fds[fd]
+        self.fs.vfs.account_read(of.ino, nbytes)
+        cost = float(self.fs.perf.read_op_cost(nbytes, self._md_clients))
+        self._charge(rank, cost)
+        self._notify("read", rank, nbytes, cost, api or of.api, inos=of.ino)
+        return nbytes
+
+    # -- group (vectorised symmetric-rank) operations ----------------------------
+
+    def open_group(self, ranks: np.ndarray, paths: Sequence[str],
+                   create: bool = True, truncate: bool = False,
+                   api: str = "POSIX") -> np.ndarray:
+        """Open/create one file per rank; returns an fd array."""
+        ranks = np.asarray(ranks)
+        if len(paths) != len(ranks):
+            raise ValueError("one path per rank required")
+        inos = np.empty(len(ranks), dtype=np.int64)
+        fds = np.empty(len(ranks), dtype=np.int64)
+        for i, (r, p) in enumerate(zip(ranks, paths)):
+            if create:
+                ino = self.fs.vfs.create(p)
+                self.fs.assign_ost(ino)
+            else:
+                ino = self.fs.vfs.lookup(p)
+            if truncate:
+                self.fs.vfs.truncate(ino, 0)
+            fd = self._alloc_fd(OpenFile(ino=ino, path=p, rank=int(r),
+                                         api=api))
+            inos[i] = ino
+            fds[i] = fd
+        if self.monitor is not None:
+            self.monitor.register_files(inos, paths)
+        op = "create" if create else "open"
+        weight = MD_OPS[op]
+        cost = self.fs.perf.metadata_op_cost(self._md_clients, weight)
+        costs = np.full(len(ranks), float(cost))
+        self._charge(ranks, costs)
+        self._notify(op, ranks, 0, costs, api, n_ops=1)
+        return fds
+
+    def write_group(self, ranks: np.ndarray, fds: np.ndarray,
+                    nbytes_each: int | np.ndarray,
+                    chunk_size: int | None = None,
+                    sync_each_chunk: bool = False,
+                    truncate_first: bool = False,
+                    api: str = "POSIX") -> None:
+        """Symmetric append by many ranks, one vectorised call.
+
+        All target files must share striping (true for per-rank outputs,
+        which inherit the directory default).
+        """
+        ranks = np.asarray(ranks)
+        fds = np.asarray(fds)
+        inos = self._inos_of(fds)
+        nbytes = np.broadcast_to(
+            np.asarray(nbytes_each, dtype=np.int64), ranks.shape
+        ).copy()
+        if truncate_first:
+            self.fs.vfs.cols.size[inos] = 0
+            if self.fs.vfs._content:  # real content (functional mode) too
+                for ino in inos:
+                    store = self.fs.vfs._content.get(int(ino))
+                    if store is not None:
+                        store.truncate(0)
+        self.fs.vfs.write_group(inos, nbytes)
+        cols = self.fs.vfs.cols
+        stripe_count = cols.stripe_count[inos].astype(np.float64)
+        stripe_size = cols.stripe_size[inos].astype(np.float64)
+        if chunk_size is not None:
+            n_chunks = np.maximum(1, -(-nbytes // chunk_size))
+            per_chunk = np.minimum(nbytes, chunk_size)
+        else:
+            n_chunks = np.ones_like(nbytes)
+            per_chunk = nbytes
+        costs = self.fs.perf.write_op_cost(
+            per_chunk, self._writers, stripe_count, stripe_size, n_ops=n_chunks
+        ) * float(self.fs.perf.noise())
+        self._charge(ranks, costs)
+        self._notify("write", ranks, nbytes, costs, api, inos=inos,
+                     n_ops=n_chunks)
+        if sync_each_chunk:
+            sync_costs = self.fs.perf.fsync_cost(
+                self._writers, stripe_count, n_ops=n_chunks
+            ) * float(self.fs.perf.noise())
+            self._charge(ranks, sync_costs)
+            self._notify("sync", ranks, 0, sync_costs, api, inos=inos,
+                         n_ops=n_chunks)
+
+    def read_group(self, ranks: np.ndarray, fds: np.ndarray,
+                   nbytes_each: int | np.ndarray,
+                   api: str = "POSIX") -> None:
+        """Symmetric synthetic reads by many ranks (restart/input loads)."""
+        ranks = np.asarray(ranks)
+        fds = np.asarray(fds)
+        inos = self._inos_of(fds)
+        nbytes = np.broadcast_to(
+            np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
+        cols = self.fs.vfs.cols
+        np.add.at(cols.read_ops, inos, 1)
+        np.add.at(cols.bytes_read, inos, nbytes)
+        cols = self.fs.vfs.cols
+        stripe_count = cols.stripe_count[inos].astype(np.float64)
+        costs = self.fs.perf.read_op_cost(nbytes, len(ranks), stripe_count)
+        self._charge(ranks, costs)
+        self._notify("read", ranks, nbytes, costs, api, inos=inos)
+
+    def write_aggregate(self, ranks: np.ndarray, fds: np.ndarray,
+                        nbytes_each: int | np.ndarray,
+                        overwrite_offset: int | np.ndarray | None = None,
+                        api: str = "POSIX") -> np.ndarray:
+        """Collective write phase of M aggregator streams (ADIOS2 BP path).
+
+        Unlike :meth:`write_group` (independent small ops costed
+        per-operation), an aggregate phase is costed with the collective
+        rate model :meth:`~repro.fs.perfmodel.StoragePerfModel.
+        aggregate_write_rate`: M concurrent streams share
+        ``rate(M)``, so each aggregator's write time is
+        ``its_bytes / (rate/M)`` plus its per-RPC latencies.  The RPC size
+        is bounded by the file's stripe size (the Fig. 9 mechanism).
+
+        Returns per-rank elapsed seconds (also charged to the clocks).
+        """
+        ranks = np.asarray(ranks)
+        fds = np.asarray(fds)
+        inos = self._inos_of(fds)
+        nbytes = np.broadcast_to(
+            np.asarray(nbytes_each, dtype=np.int64), ranks.shape
+        ).copy()
+        if overwrite_offset is None:
+            self.fs.vfs.write_group(inos, nbytes)
+        else:
+            self.fs.vfs.write_group(inos, nbytes, offsets=overwrite_offset)
+        cols = self.fs.vfs.cols
+        stripe_count = cols.stripe_count[inos].astype(np.float64)
+        stripe_size = cols.stripe_size[inos].astype(np.float64)
+        perf = self.fs.perf
+        m = len(ranks)
+        rate = perf.aggregate_write_rate(m, float(stripe_count.mean()))
+        per_stream = rate / m
+        rpc_size = np.minimum(stripe_size, float(perf.tuning.rpc_max_size))
+        n_rpcs = np.maximum(np.ceil(nbytes / rpc_size), 1.0)
+        k = perf.writers_per_ost(m, stripe_count)
+        latency = n_rpcs * perf.tuning.write_rpc_latency * perf.write_queue_factor(k)
+        costs = (nbytes / per_stream + latency) * perf.noise(ranks.shape)
+        self._charge(ranks, costs)
+        # the write() system calls the engine issues are stripe-sized
+        # buffer flushes; the per-RPC fan-out below them is the cost model
+        n_writes = np.maximum(np.ceil(nbytes / stripe_size), 1.0)
+        self._notify("write", ranks, nbytes, costs, api, inos=inos,
+                     n_ops=n_writes)
+        return costs
+
+    def close_group(self, ranks: np.ndarray, fds: np.ndarray,
+                    api: str = "POSIX") -> None:
+        ranks = np.asarray(ranks)
+        fds = np.asarray(fds)
+        self._fd_ino[fds] = -1
+        for fd in fds:
+            self._fds.pop(int(fd))
+        cost = float(self.fs.perf.metadata_op_cost(self._md_clients, MD_OPS["close"]))
+        costs = np.full(len(ranks), cost)
+        self._charge(ranks, costs)
+        self._notify("close", ranks, 0, costs, api, n_ops=1)
+
+    def meta_group(self, ranks: np.ndarray, op: str, n_ops: float | np.ndarray = 1,
+                   api: str = "POSIX") -> None:
+        """Charge bare metadata ops (opens of pre-existing files, stats…)."""
+        ranks = np.asarray(ranks)
+        weight = MD_OPS[op] * np.asarray(n_ops, dtype=np.float64)
+        costs = self.fs.perf.metadata_op_cost(self._md_clients, weight)
+        costs = np.broadcast_to(costs, ranks.shape)
+        self._charge(ranks, costs)
+        self._notify(op, ranks, 0, costs, api, n_ops=n_ops)
+
+    @property
+    def open_fd_count(self) -> int:
+        return len(self._fds)

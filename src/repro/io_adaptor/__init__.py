@@ -1,0 +1,19 @@
+"""BIT1 I/O strategies: the original stdio path and the openPMD adaptor."""
+
+from repro.io_adaptor.checkpoint import restore_from_openpmd, restore_from_original
+from repro.io_adaptor.naming import MAPPINGS, SPECIES_NAMES, mapping_for, species_path
+from repro.io_adaptor.openpmd_adaptor import Bit1OpenPMDWriter
+from repro.io_adaptor.original import CorruptCheckpointError, GLOBAL_FILES, OriginalIOWriter
+
+__all__ = [
+    "Bit1OpenPMDWriter",
+    "CorruptCheckpointError",
+    "GLOBAL_FILES",
+    "MAPPINGS",
+    "OriginalIOWriter",
+    "SPECIES_NAMES",
+    "mapping_for",
+    "restore_from_openpmd",
+    "restore_from_original",
+    "species_path",
+]

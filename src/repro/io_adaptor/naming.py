@@ -1,0 +1,72 @@
+"""The openPMD naming schema for BIT1 quantities.
+
+One of the paper's contributions is the "critical discussion of how the
+usage of a standard for naming schema can benefit a plasma simulation
+application" (§I).  BIT1's original output names are positional columns
+in ad-hoc ``.dat`` tables; this module pins each physical quantity to
+its openPMD location so any openPMD-aware tool can consume BIT1 output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: BIT1 species → openPMD species names (kept verbatim; openPMD imposes
+#: no species-name vocabulary, only a layout)
+SPECIES_NAMES = {"e": "e", "D+": "D_plus", "D": "D"}
+
+
+@dataclass(frozen=True)
+class QuantityMapping:
+    """Where one BIT1 quantity lives in the openPMD hierarchy."""
+
+    bit1_name: str
+    category: str           # "meshes" or "particles"
+    record: str
+    component: str | None
+    unit_dimension: dict[str, float]
+    unit_si: float
+
+
+#: the mapping table (§III-A's dedicated conversion functions)
+MAPPINGS: tuple[QuantityMapping, ...] = (
+    QuantityMapping("density profile", "meshes", "density", None,
+                    {"L": -3.0}, 1.0),
+    QuantityMapping("potential", "meshes", "phi", None,
+                    {"L": 2.0, "M": 1.0, "T": -3.0, "I": -1.0}, 1.0),
+    QuantityMapping("electric field", "meshes", "E", "x",
+                    {"L": 1.0, "M": 1.0, "T": -3.0, "I": -1.0}, 1.0),
+    QuantityMapping("particle position", "particles", "position", "x",
+                    {"L": 1.0}, 1.0),
+    QuantityMapping("particle velocity vx", "particles", "momentum", "x",
+                    {"L": 1.0, "M": 1.0, "T": -1.0}, 1.0),
+    QuantityMapping("particle velocity vy", "particles", "momentum", "y",
+                    {"L": 1.0, "M": 1.0, "T": -1.0}, 1.0),
+    QuantityMapping("particle velocity vz", "particles", "momentum", "z",
+                    {"L": 1.0, "M": 1.0, "T": -1.0}, 1.0),
+    QuantityMapping("particle weight", "particles", "weighting", None,
+                    {}, 1.0),
+    QuantityMapping("velocity distribution", "meshes", "dfv", None,
+                    {}, 1.0),
+    QuantityMapping("energy distribution", "meshes", "dfe", None,
+                    {}, 1.0),
+    QuantityMapping("angular distribution", "meshes", "dfa", None,
+                    {}, 1.0),
+)
+
+
+def species_path(bit1_species: str) -> str:
+    """openPMD-safe species name for a BIT1 species."""
+    if bit1_species not in SPECIES_NAMES:
+        raise KeyError(
+            f"unknown BIT1 species {bit1_species!r}; "
+            f"known: {sorted(SPECIES_NAMES)}"
+        )
+    return SPECIES_NAMES[bit1_species]
+
+
+def mapping_for(bit1_name: str) -> QuantityMapping:
+    for m in MAPPINGS:
+        if m.bit1_name == bit1_name:
+            return m
+    raise KeyError(f"no openPMD mapping for BIT1 quantity {bit1_name!r}")

@@ -1,0 +1,19 @@
+"""IOR-like configurable I/O benchmark (the paper's Fig. 4 reference)."""
+
+from repro.ior.benchmark import SHARED_FILE_LOCK_EFFICIENCY, IORResult, run_ior
+from repro.ior.config import (
+    IORConfig,
+    parse_command_line,
+    table1_file_per_proc,
+    table1_shared,
+)
+
+__all__ = [
+    "IORConfig",
+    "IORResult",
+    "SHARED_FILE_LOCK_EFFICIENCY",
+    "parse_command_line",
+    "run_ior",
+    "table1_file_per_proc",
+    "table1_shared",
+]

@@ -1,0 +1,53 @@
+"""IOR command-line front end over the virtual cluster.
+
+Usage::
+
+    python -m repro.ior --machine dardel "ior -N=25600 -a POSIX -F -C -e"
+    python -m repro.ior --machine vega   "ior -N=1280 -a POSIX -C -e -t 1M"
+
+Accepts the exact command lines of the paper's Table I (the optional
+``srun -n <N>`` prefix is tolerated) and prints the write result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.presets import machine_by_name
+from repro.ior.benchmark import run_ior
+from repro.ior.config import parse_command_line
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.ior", description=__doc__)
+    parser.add_argument("command", help="an ior command line (quote it)")
+    parser.add_argument("--machine", default="dardel",
+                        help="virtual machine preset (default: dardel)")
+    parser.add_argument("--storage", default=None,
+                        help="storage system name (default: the machine's LFS)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    try:
+        machine = machine_by_name(args.machine)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        config = parse_command_line(args.command)
+    except ValueError as exc:
+        print(f"bad ior command line: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_ior(machine, config, storage_name=args.storage,
+                     seed=args.seed)
+    print(result.summary())
+    print(f"  tasks: {config.num_tasks}, total bytes: {config.total_bytes}")
+    print(f"  mode: {'file-per-process' if config.file_per_proc else 'shared file'}"
+          f"{', fsync on close' if config.fsync else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""IOR benchmark configuration (the Table I parameter surface).
+
+The paper runs IOR on Dardel with::
+
+    srun -n 25600 ior -N=25600 -a POSIX -F -C -e      # FilePerProc
+    srun -n 25600 ior -N=25600 -a POSIX -C -e         # Shared
+
+Parameters reproduced from the IOR documentation the paper cites:
+
+* ``-N`` (numTasks)      — task count
+* ``-a`` (api)           — POSIX | MPIIO | HDF5 | …
+* ``-F`` (filePerProc)   — one file per task instead of a shared file
+* ``-C`` (reorderTasksConstant) — shift read-back ranks by one
+* ``-e`` (fsync)         — fsync on close of POSIX writes
+* ``-t`` (transferSize)  — bytes per write call (default 256 KiB)
+* ``-b`` (blockSize)     — contiguous bytes per task (default 1 MiB)
+* ``-s`` (segmentCount)  — number of block repetitions
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, replace
+
+from repro.util.units import KiB, MiB, parse_size
+
+SUPPORTED_APIS = ("POSIX", "MPIIO")
+
+
+@dataclass(frozen=True)
+class IORConfig:
+    """One IOR invocation."""
+
+    num_tasks: int = 1
+    api: str = "POSIX"
+    file_per_proc: bool = False
+    reorder_tasks: bool = False
+    fsync: bool = False
+    transfer_size: int = 256 * KiB
+    block_size: int = 1 * MiB
+    segment_count: int = 1
+    test_file: str = "/scratch/ior/testFile"
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.api not in SUPPORTED_APIS:
+            raise ValueError(
+                f"unsupported IOR api {self.api!r}; choose from {SUPPORTED_APIS}")
+        if self.transfer_size < 1 or self.block_size < 1:
+            raise ValueError("transfer/block sizes must be positive")
+        if self.block_size % self.transfer_size != 0:
+            raise ValueError("block_size must be a multiple of transfer_size")
+        if self.segment_count < 1:
+            raise ValueError("segment_count must be >= 1")
+
+    @property
+    def bytes_per_task(self) -> int:
+        return self.block_size * self.segment_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_task * self.num_tasks
+
+    @property
+    def writes_per_task(self) -> int:
+        return (self.block_size // self.transfer_size) * self.segment_count
+
+    def command_line(self) -> str:
+        """Render the equivalent ior command (Table I style)."""
+        parts = [f"ior -N={self.num_tasks}", f"-a {self.api}"]
+        if self.file_per_proc:
+            parts.append("-F")
+        if self.reorder_tasks:
+            parts.append("-C")
+        if self.fsync:
+            parts.append("-e")
+        parts.append(f"-t {self.transfer_size}")
+        parts.append(f"-b {self.block_size}")
+        if self.segment_count != 1:
+            parts.append(f"-s {self.segment_count}")
+        return " ".join(parts)
+
+
+def parse_command_line(cmd: str) -> IORConfig:
+    """Parse an ``ior …`` command line (the Table I format)."""
+    tokens = shlex.split(cmd)
+    # allow a leading "srun -n <N>" prefix
+    while tokens and tokens[0] != "ior":
+        tokens.pop(0)
+    if not tokens or tokens[0] != "ior":
+        raise ValueError(f"not an ior command line: {cmd!r}")
+    tokens = tokens[1:]
+    kwargs: dict = {}
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.startswith("-N"):
+            value = tok[3:] if tok.startswith("-N=") else tokens[(i := i + 1)]
+            kwargs["num_tasks"] = int(value)
+        elif tok == "-a":
+            kwargs["api"] = tokens[(i := i + 1)]
+        elif tok == "-F":
+            kwargs["file_per_proc"] = True
+        elif tok == "-C":
+            kwargs["reorder_tasks"] = True
+        elif tok == "-e":
+            kwargs["fsync"] = True
+        elif tok == "-t":
+            kwargs["transfer_size"] = parse_size(tokens[(i := i + 1)])
+        elif tok == "-b":
+            kwargs["block_size"] = parse_size(tokens[(i := i + 1)])
+        elif tok == "-s":
+            kwargs["segment_count"] = int(tokens[(i := i + 1)])
+        elif tok == "-o":
+            kwargs["test_file"] = tokens[(i := i + 1)]
+        else:
+            raise ValueError(f"unknown ior option {tok!r}")
+        i += 1
+    return IORConfig(**kwargs)
+
+
+#: the two Table I invocations, parameterised by task count
+def table1_file_per_proc(num_tasks: int = 25600) -> IORConfig:
+    return IORConfig(num_tasks=num_tasks, api="POSIX", file_per_proc=True,
+                     reorder_tasks=True, fsync=True)
+
+
+def table1_shared(num_tasks: int = 25600) -> IORConfig:
+    return IORConfig(num_tasks=num_tasks, api="POSIX", file_per_proc=False,
+                     reorder_tasks=True, fsync=True)

@@ -1,0 +1,5 @@
+"""Simulated MPI: in-process SPMD communicator with virtual clocks."""
+
+from repro.mpi.comm import CommConfig, VirtualComm, comm_for_nodes
+
+__all__ = ["CommConfig", "VirtualComm", "comm_for_nodes"]

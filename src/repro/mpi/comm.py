@@ -1,0 +1,222 @@
+"""Simulated MPI communicator.
+
+The environment has no real MPI, so the whole stack runs SPMD inside one
+Python process: a :class:`VirtualComm` owns ``size`` logical ranks, each
+with a virtual clock (seconds of simulated wall time).  Collectives operate
+on *per-rank value lists* — the driver loops (or vectorises) over ranks and
+the communicator provides the synchronisation semantics the I/O adaptor
+needs (offsets via exscan, barriers that align clocks, gathers for the
+root-writer pattern of the original BIT1 output).
+
+The communicator also knows the rank→node mapping, which the filesystem
+performance model uses for NIC sharing and which ADIOS2 aggregation uses
+to place one (or more) aggregators per node — the paper's
+``OPENPMD_ADIOS2_BP5_NumAgg`` semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Static layout of a simulated MPI job."""
+
+    size: int
+    ranks_per_node: int = 128
+    #: one-way small-message latency of the interconnect, seconds
+    latency: float = 2.0e-6
+    #: per-NIC bandwidth available to MPI traffic, bytes/s
+    bandwidth: float = 25.0e9
+
+    def __post_init__(self) -> None:
+        require_positive("size", self.size)
+        require_positive("ranks_per_node", self.ranks_per_node)
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.size // self.ranks_per_node)
+
+
+class VirtualComm:
+    """An MPI_COMM_WORLD-like communicator over simulated ranks.
+
+    Collectives take a sequence with one entry per rank and return the
+    per-rank results, mirroring what each rank would observe.  All
+    collectives synchronise the virtual clocks (like a barrier) and charge
+    a latency/bandwidth cost modelled on a binomial-tree implementation.
+    """
+
+    def __init__(self, size: int, ranks_per_node: int = 128, *,
+                 latency: float = 2.0e-6, bandwidth: float = 25.0e9):
+        self.config = CommConfig(size=size, ranks_per_node=ranks_per_node,
+                                 latency=latency, bandwidth=bandwidth)
+        self.size = size
+        #: virtual clock per rank, seconds
+        self.clocks = np.zeros(size, dtype=np.float64)
+        #: node index of each rank (block distribution, like slurm default)
+        self.node_of_rank = np.arange(size) // ranks_per_node
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def nnodes(self) -> int:
+        return int(self.node_of_rank[-1]) + 1
+
+    def ranks_on_node(self, node: int) -> np.ndarray:
+        """All ranks placed on ``node``."""
+        return np.nonzero(self.node_of_rank == node)[0]
+
+    def node_leaders(self) -> np.ndarray:
+        """The first rank on each node (ADIOS2's default aggregators)."""
+        _, first = np.unique(self.node_of_rank, return_index=True)
+        return first
+
+    # -- time -------------------------------------------------------------
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge ``seconds`` of local work to one rank's clock."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.clocks[rank] += seconds
+
+    def advance_all(self, seconds: float | np.ndarray) -> None:
+        """Charge local work to every rank (scalar or per-rank array)."""
+        self.clocks += seconds
+
+    def max_time(self) -> float:
+        """Wall time of the job so far (slowest rank)."""
+        return float(self.clocks.max())
+
+    def _collective_cost(self, nbytes: int = 0) -> float:
+        """Cost of one collective: log2(P) latency steps + payload."""
+        cfg = self.config
+        steps = max(1, int(np.ceil(np.log2(max(self.size, 2)))))
+        return steps * cfg.latency + nbytes / cfg.bandwidth
+
+    def barrier(self) -> float:
+        """Align all clocks to the slowest rank plus the collective cost.
+
+        Returns the synchronised time, which is also the job wall time at
+        this point.
+        """
+        t = self.max_time() + self._collective_cost()
+        self.clocks[:] = t
+        return t
+
+    # -- collectives ------------------------------------------------------
+
+    def _check_per_rank(self, values: Sequence[Any]) -> None:
+        if len(values) != self.size:
+            raise ValueError(
+                f"expected one value per rank ({self.size}), got {len(values)}"
+            )
+
+    def bcast(self, value: Any, root: int = 0) -> list[Any]:
+        """Broadcast ``value`` from ``root``; returns the per-rank copies."""
+        self.barrier()
+        return [value for _ in range(self.size)]
+
+    def gather(self, values: Sequence[Any], root: int = 0) -> list[Any] | None:
+        """Gather per-rank values to ``root``.
+
+        Returns the gathered list (only meaningful "at" the root, as in
+        MPI; callers emulating non-root ranks should ignore it).
+        """
+        self._check_per_rank(values)
+        self.barrier()
+        return list(values)
+
+    def allgather(self, values: Sequence[Any]) -> list[Any]:
+        """All ranks receive the full per-rank value list."""
+        self._check_per_rank(values)
+        self.barrier()
+        return list(values)
+
+    def allreduce_sum(self, values: Sequence[float]) -> float:
+        self._check_per_rank(values)
+        self.barrier()
+        return float(np.sum(np.asarray(values, dtype=np.float64)))
+
+    def allreduce_max(self, values: Sequence[float]) -> float:
+        self._check_per_rank(values)
+        self.barrier()
+        return float(np.max(np.asarray(values, dtype=np.float64)))
+
+    def exscan_sum(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Exclusive prefix sum — the openPMD offset computation.
+
+        ``offset[r] = sum(values[:r])``; rank 0 gets 0.  This is exactly
+        what the paper's adaptor obtains "by calling MPI functions" to
+        place each rank's local extent in the global extent.
+        """
+        arr = np.asarray(values)
+        self._check_per_rank(arr)
+        self.barrier()
+        out = np.zeros(self.size, dtype=np.int64)
+        np.cumsum(arr[:-1], out=out[1:])
+        return out
+
+    def scan_sum(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Inclusive prefix sum."""
+        arr = np.asarray(values)
+        self._check_per_rank(arr)
+        self.barrier()
+        return np.cumsum(arr).astype(np.int64)
+
+    def alltoall_volume(self, send_matrix: np.ndarray) -> float:
+        """Charge the clock cost of an all-to-all with a bytes matrix.
+
+        ``send_matrix[i, j]`` is bytes rank *i* sends to rank *j*.  Returns
+        the modelled completion time added to every clock.  Used by the
+        aggregation layer to model shuffling data to aggregator ranks.
+        """
+        if send_matrix.shape != (self.size, self.size):
+            raise ValueError("send matrix must be (size, size)")
+        per_rank_out = send_matrix.sum(axis=1)
+        per_rank_in = send_matrix.sum(axis=0)
+        volume = np.maximum(per_rank_out, per_rank_in)
+        dt = self._collective_cost() + volume.max() / self.config.bandwidth
+        self.barrier()
+        self.clocks += dt
+        return float(dt)
+
+    # -- SPMD helper ------------------------------------------------------
+
+    def foreach_rank(self, fn: Callable[[int], Any]) -> list[Any]:
+        """Run ``fn(rank)`` for every rank and return per-rank results.
+
+        This is the driver-orchestrated SPMD idiom used by the functional
+        (small-scale) simulations; performance experiments use vectorised
+        group operations instead.
+        """
+        return [fn(r) for r in range(self.size)]
+
+    def split_range(self, n: int) -> list[tuple[int, int]]:
+        """Block-partition ``range(n)`` over ranks, remainder to low ranks.
+
+        Returns per-rank ``(start, stop)`` half-open intervals; the standard
+        domain-decomposition of BIT1's 1D grid.
+        """
+        base, extra = divmod(n, self.size)
+        out = []
+        start = 0
+        for r in range(self.size):
+            stop = start + base + (1 if r < extra else 0)
+            out.append((start, stop))
+            start = stop
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VirtualComm(size={self.size}, nnodes={self.nnodes})"
+
+
+def comm_for_nodes(nodes: int, ranks_per_node: int = 128, **kw: Any) -> VirtualComm:
+    """Convenience constructor used by the experiment drivers."""
+    return VirtualComm(nodes * ranks_per_node, ranks_per_node, **kw)

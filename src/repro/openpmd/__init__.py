@@ -1,0 +1,37 @@
+"""openPMD-like standard layer: Series, Iterations, Records, backends."""
+
+from repro.openpmd.config import (
+    BIT1_BLOSC_TOML,
+    BIT1_DEFAULT_TOML,
+    SeriesOptions,
+    parse_options,
+)
+from repro.openpmd.hdf5_backend import HDF5Engine
+from repro.openpmd.json_backend import JSONEngine
+from repro.openpmd.mesh import Mesh
+from repro.openpmd.particles import ParticleSpecies
+from repro.openpmd.record import SCALAR, Dataset, Record, RecordComponent
+from repro.openpmd.series import Access, Iteration, Series
+from repro.openpmd.validator import Finding, ValidationReport, validate_path, validate_series
+
+__all__ = [
+    "Access",
+    "BIT1_BLOSC_TOML",
+    "BIT1_DEFAULT_TOML",
+    "Dataset",
+    "HDF5Engine",
+    "Iteration",
+    "JSONEngine",
+    "Mesh",
+    "ParticleSpecies",
+    "Record",
+    "RecordComponent",
+    "SCALAR",
+    "Series",
+    "SeriesOptions",
+    "Finding",
+    "ValidationReport",
+    "parse_options",
+    "validate_path",
+    "validate_series",
+]

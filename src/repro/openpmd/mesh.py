@@ -1,0 +1,38 @@
+"""openPMD mesh records (n-dimensional field arrays)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.openpmd.record import Record
+
+
+class Mesh(Record):
+    """A mesh record: a structured n-D array with grid geometry metadata.
+
+    "Records may be structured as meshes (n-dimensional arrays)" (§II-B).
+    BIT1's meshes are 1-D plasma profiles on the flux-tube grid.
+    """
+
+    def __init__(self, name: str, entropy: str = "diagnostic_float64"):
+        super().__init__(name, entropy=entropy)
+        self.attributes.update({
+            "geometry": "cartesian",
+            "dataOrder": "C",
+            "axisLabels": ["x"],
+            "gridSpacing": [1.0],
+            "gridGlobalOffset": [0.0],
+            "gridUnitSI": 1.0,
+        })
+
+    def set_grid(self, spacing: Sequence[float],
+                 global_offset: Sequence[float] | None = None,
+                 axis_labels: Sequence[str] | None = None,
+                 unit_si: float = 1.0) -> None:
+        """Set the grid geometry attributes in one call."""
+        self.attributes["gridSpacing"] = [float(s) for s in spacing]
+        if global_offset is not None:
+            self.attributes["gridGlobalOffset"] = [float(o) for o in global_offset]
+        if axis_labels is not None:
+            self.attributes["axisLabels"] = list(axis_labels)
+        self.attributes["gridUnitSI"] = float(unit_si)

@@ -1,0 +1,41 @@
+"""openPMD particle species: unstructured records in 1-D per-particle arrays.
+
+"…the latter case being the storage of particle species in 1D arrays,
+where each row represents a particle" (§II-B).  BIT1 stores, per species,
+position (x) and momentum/velocity (vx, vy, vz) plus charge/mass
+constants — the 1D3V phase space.
+"""
+
+from __future__ import annotations
+
+from repro.openpmd.record import Record, RecordComponent
+
+
+class ParticleSpecies(dict):
+    """A named species: a dict of records (position, momentum, weighting…)."""
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+        self.attributes: dict[str, object] = {
+            "particleShape": 1.0,  # CIC
+            "currentDeposition": "none",
+            "particlePush": "Boris",
+        }
+
+    def __missing__(self, key: str) -> Record:
+        rec = Record(f"{self.name}/{key}", entropy="particle_float32")
+        self[key] = rec
+        return rec
+
+    @property
+    def position(self) -> Record:
+        return self["position"]
+
+    @property
+    def momentum(self) -> Record:
+        return self["momentum"]
+
+    def set_constant(self, key: str, value: float) -> None:
+        """Species-constant records like charge and mass."""
+        self.attributes[key] = float(value)

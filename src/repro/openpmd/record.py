@@ -1,0 +1,186 @@
+"""openPMD records: Record, RecordComponent, Dataset.
+
+"In openPMD, a record is a physical quantity of arbitrary dimensionality
+(rank), potentially with multiple record components" (§II-B).  A
+:class:`RecordComponent` owns a :class:`Dataset` (datatype + global
+extent) and accepts per-rank ``storeChunk`` calls; chunks are staged
+until the series flushes them into the backend — and, per the openPMD
+contract the paper stresses, the referenced data must not be modified
+between ``storeChunk`` and ``flush()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.adios2.variables import dtype_name
+from repro.fs.payload import Payload, RealPayload, SyntheticPayload, as_payload
+
+#: the marker openPMD-api uses for scalar records
+SCALAR = "\x0bscalar"
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Datatype + global extent of one record component."""
+
+    dtype: np.dtype
+    extent: tuple[int, ...]
+
+    def __init__(self, dtype, extent):
+        object.__setattr__(self, "dtype", np.dtype(dtype))
+        object.__setattr__(self, "extent", tuple(int(e) for e in extent))
+        if any(e < 0 for e in self.extent):
+            raise ValueError(f"negative extent: {self.extent}")
+
+    @property
+    def adios_dtype(self) -> str:
+        return dtype_name(self.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        n = self.dtype.itemsize
+        for e in self.extent:
+            n *= e
+        return n
+
+
+@dataclass
+class StagedChunk:
+    """One pending storeChunk, per rank."""
+
+    rank: int
+    offset: tuple[int, ...]
+    extent: tuple[int, ...]
+    payload: Payload
+
+
+class RecordComponent:
+    """One component (x/y/z or scalar) of a record."""
+
+    def __init__(self, name: str, entropy: str = "particle_float32"):
+        self.name = name
+        self.entropy = entropy
+        self.dataset: Dataset | None = None
+        self.attributes: dict[str, Any] = {"unitSI": 1.0}
+        self.staged: list[StagedChunk] = []
+        self.staged_groups: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def reset_dataset(self, dataset: Dataset) -> "RecordComponent":
+        """Declare (or re-declare, for a new iteration) the global extent."""
+        self.dataset = dataset
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_unit_si(self, value: float) -> None:
+        self.attributes["unitSI"] = float(value)
+
+    def store_chunk(self, data: np.ndarray | bytes | Payload,
+                    offset: tuple[int, ...],
+                    extent: tuple[int, ...] | None = None,
+                    rank: int = 0) -> None:
+        """Stage one rank's chunk (kept by reference until flush).
+
+        Mirrors openPMD-api's ``storeChunk(data, offset, extent)``; the
+        ``rank`` argument is explicit because the whole SPMD job runs in
+        one process here.
+        """
+        if self.dataset is None:
+            raise RuntimeError(
+                f"resetDataset() must be called on {self.name!r} before "
+                "storeChunk()"
+            )
+        if isinstance(data, np.ndarray):
+            if data.dtype != self.dataset.dtype:
+                raise TypeError(
+                    f"chunk dtype {data.dtype} does not match dataset dtype "
+                    f"{self.dataset.dtype} for {self.name!r}"
+                )
+            if extent is None:
+                extent = data.shape
+        if extent is None:
+            raise ValueError("extent required for non-array data")
+        offset = tuple(int(o) for o in offset)
+        extent = tuple(int(e) for e in extent)
+        for o, e, g in zip(offset, extent, self.dataset.extent):
+            if o < 0 or o + e > g:
+                raise ValueError(
+                    f"chunk [{offset}+{extent}] outside dataset extent "
+                    f"{self.dataset.extent} of {self.name!r}"
+                )
+        payload = as_payload(data, entropy=self.entropy)
+        self.staged.append(StagedChunk(rank, offset, extent, payload))
+
+    def store_chunk_group(self, ranks: np.ndarray,
+                          nelems_each: int | np.ndarray) -> None:
+        """Modeled-mode extension: symmetric synthetic chunks for many ranks.
+
+        The per-rank element counts must tile the dataset's global extent
+        (1-D only, matching the paper's particle-species storage: "1D
+        arrays where each row represents a particle").
+        """
+        if self.dataset is None:
+            raise RuntimeError("resetDataset() must precede storeChunkGroup()")
+        if len(self.dataset.extent) != 1:
+            raise ValueError("group chunks support 1-D datasets only")
+        ranks = np.asarray(ranks)
+        nelems = np.broadcast_to(
+            np.asarray(nelems_each, dtype=np.int64), ranks.shape).copy()
+        if int(nelems.sum()) > self.dataset.extent[0]:
+            raise ValueError(
+                f"group chunks ({int(nelems.sum())} elements) exceed the "
+                f"dataset extent {self.dataset.extent[0]} of {self.name!r}"
+            )
+        self.staged_groups.append((ranks, nelems * self.dataset.dtype.itemsize))
+
+    def make_constant(self, value: Any) -> None:
+        """Constant-valued component (stored as an attribute, no data)."""
+        self.attributes["value"] = value
+        self.attributes["shape"] = list(self.dataset.extent) if self.dataset else []
+
+    @property
+    def staged_bytes(self) -> int:
+        total = sum(c.payload.nbytes for c in self.staged)
+        total += sum(int(b.sum()) for _r, b in self.staged_groups)
+        return total
+
+    def clear_staged(self) -> None:
+        self.staged.clear()
+        self.staged_groups.clear()
+
+
+class Record(dict):
+    """A physical quantity: a dict of named components.
+
+    Scalar records use the :data:`SCALAR` component key, as in
+    openPMD-api.
+    """
+
+    def __init__(self, name: str, entropy: str = "particle_float32"):
+        super().__init__()
+        self.name = name
+        self.entropy = entropy
+        self.attributes: dict[str, Any] = {
+            "unitDimension": [0.0] * 7,
+            "timeOffset": 0.0,
+        }
+
+    def __missing__(self, key: str) -> RecordComponent:
+        comp = RecordComponent(f"{self.name}/{key}", entropy=self.entropy)
+        self[key] = comp
+        return comp
+
+    @property
+    def scalar(self) -> RecordComponent:
+        return self[SCALAR]
+
+    def set_unit_dimension(self, dims: dict[str, float]) -> None:
+        """openPMD unitDimension in (L, M, T, I, θ, N, J) order."""
+        order = ("L", "M", "T", "I", "theta", "N", "J")
+        vec = [float(dims.get(k, 0.0)) for k in order]
+        self.attributes["unitDimension"] = vec

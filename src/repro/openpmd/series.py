@@ -1,0 +1,334 @@
+"""The openPMD Series: root object of an output hierarchy.
+
+"…a vital 'Series' object acting as the root of the openPMD output,
+extending across all data for all iterations" (§III-A).  A series maps
+iterations onto ADIOS2 engine steps (group-based-with-steps encoding, the
+paper's choice) or onto one engine per iteration (file-based encoding),
+and owns the attribute schema of the openPMD standard.
+
+Write path (the step-by-step procedure of §III-B):
+
+1. construct the Series with path, access mode, communicator and the
+   TOML options (compressor configuration goes to the engine);
+2. open an iteration (``series.iterations[i]``);
+3. ``storeChunk`` per rank on record components (local vectors appended
+   to global vectors);
+4. ``iteration.close()`` flushes everything in a single action;
+5. ``series.close()`` when done.
+
+Iteration 0 can be closed repeatedly — each close *overwrites* the
+on-disk extents in place (checkpoint semantics: "iteration 0 is chosen
+to record data that is periodically overwritten").
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.adios2 import EngineConfig, engine_for_path
+from repro.adios2.bp4 import BP4Engine
+from repro.adios2.bp5 import BP5Engine
+from repro.fs.posix import PosixIO
+from repro.mpi.comm import VirtualComm
+from repro.openpmd.config import SeriesOptions, parse_options
+from repro.openpmd.mesh import Mesh
+from repro.openpmd.particles import ParticleSpecies
+from repro.openpmd.record import SCALAR, Record, RecordComponent
+
+OPENPMD_VERSION = "1.1.0"
+BASE_PATH = "/data/%T/"
+
+
+class Access(enum.Enum):
+    """openPMD-api access modes (the subset BIT1 uses)."""
+
+    READ_ONLY = "read_only"
+    CREATE = "create"
+    APPEND = "append"
+
+
+class Iteration:
+    """One iteration: meshes + particles + time metadata."""
+
+    def __init__(self, series: "Series", index: int):
+        self.series = series
+        self.index = index
+        self.meshes = _Container(lambda name: Mesh(name))
+        self.particles = _Container(lambda name: ParticleSpecies(name))
+        self.attributes: dict[str, Any] = {"time": 0.0, "dt": 1.0,
+                                           "timeUnitSI": 1.0}
+        self._closed = False
+
+    def set_time(self, time: float, dt: float, time_unit_si: float = 1.0) -> None:
+        self.attributes.update(time=float(time), dt=float(dt),
+                               timeUnitSI=float(time_unit_si))
+
+    def close(self) -> int:
+        """Flush this iteration's staged data; returns bytes flushed.
+
+        "Once data accumulation is complete, the accumulated data is
+        flushed to disk in a single action for optimal I/O efficiency."
+        Closing the same iteration again after storing fresh chunks
+        overwrites the previous contents on disk.
+        """
+        flushed = self.series._flush_iteration(self)
+        self._closed = True
+        return flushed
+
+    # openPMD-api compatibility aliases ------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def reopen(self) -> "Iteration":
+        """Stage new data into an already-closed iteration (checkpoints)."""
+        self._closed = False
+        return self
+
+
+class _Container(dict):
+    """dict with on-demand construction (openPMD-api container semantics)."""
+
+    def __init__(self, factory):
+        super().__init__()
+        self._factory = factory
+
+    def __missing__(self, key: str):
+        value = self._factory(key)
+        self[key] = value
+        return value
+
+
+class _IterationsProxy(dict):
+    """``series.iterations[i]`` accessor with lazy creation."""
+
+    def __init__(self, series: "Series"):
+        super().__init__()
+        self._series = series
+
+    def __missing__(self, index: int) -> Iteration:
+        it = self._series._make_iteration(int(index))
+        self[int(index)] = it
+        return it
+
+
+class Series:
+    """Root of an openPMD output (see module docstring)."""
+
+    def __init__(self, posix: PosixIO, comm: VirtualComm, path: str,
+                 access: Access = Access.CREATE,
+                 options: str | Mapping[str, Any] | None = None,
+                 env: Mapping[str, str] | None = None):
+        self.posix = posix
+        self.comm = comm
+        self.path = path
+        self.access = access
+        self.options: SeriesOptions = parse_options(options, env)
+        self.iterations = _IterationsProxy(self)
+        self.attributes: dict[str, Any] = {
+            "openPMD": OPENPMD_VERSION,
+            "openPMDextension": 0,
+            "basePath": BASE_PATH,
+            "meshesPath": "meshes/",
+            "particlesPath": "particles/",
+            "iterationEncoding": self.options.iteration_encoding,
+            "iterationFormat": "%T",
+            "software": "repro-bit1",
+        }
+        self._engines: dict[int | None, Any] = {}
+        self._closed = False
+        self._bytes_flushed = 0
+        if access == Access.READ_ONLY:
+            self._load_index()
+
+    # -- engine plumbing ----------------------------------------------------
+
+    @property
+    def file_based(self) -> bool:
+        return (self.options.iteration_encoding == "file_based"
+                or "%T" in self.path)
+
+    def _engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            num_aggregators=self.options.num_aggregators,
+            compressor=self.options.compressor,
+            profiling=self.options.profiling,
+        )
+
+    def _engine_path(self, iteration: int | None) -> str:
+        if self.file_based:
+            if "%T" not in self.path:
+                raise ValueError(
+                    "file_based encoding requires a %T pattern in the path"
+                )
+            return self.path.replace("%T", str(iteration))
+        return self.path
+
+    def _engine_for(self, iteration: int | None, mode: str):
+        key = iteration if self.file_based else None
+        eng = self._engines.get(key)
+        if eng is None:
+            path = self._engine_path(iteration)
+            cls = self._engine_class(path)
+            eng = cls(self.posix, self.comm, path, mode, self._engine_config())
+            self._engines[key] = eng
+        return eng
+
+    def _engine_class(self, path: str):
+        # "The file's extension dictates the engine used by openPMD for
+        # data storage" (§III-B) — the extension wins over the TOML type.
+        if re.search(r"\.bp\d?$", path):
+            return engine_for_path(path)
+        if path.endswith(".json"):
+            from repro.openpmd.json_backend import JSONEngine
+
+            return JSONEngine
+        if path.endswith(".h5"):
+            from repro.openpmd.hdf5_backend import HDF5Engine
+
+            return HDF5Engine
+        explicit = {"bp4": BP4Engine, "bp5": BP5Engine}.get(
+            self.options.engine_type)
+        if explicit is not None:
+            return explicit
+        return engine_for_path(path)  # raises with a helpful message
+
+    # -- iteration lifecycle ----------------------------------------------------
+
+    def _make_iteration(self, index: int) -> Iteration:
+        if self.access == Access.READ_ONLY:
+            raise PermissionError("series opened read-only")
+        return Iteration(self, index)
+
+    def write_iterations(self) -> Iterator[tuple[int, Iteration]]:  # pragma: no cover
+        """openPMD-api streaming-style accessor (alias over the proxy)."""
+        yield from self.iterations.items()
+
+    def _iter_components(self, it: Iteration):
+        """(variable_path, record, component) triples of one iteration."""
+        base = f"/data/{it.index}"
+        for mesh_name, mesh in it.meshes.items():
+            for comp_name, comp in mesh.items():
+                suffix = "" if comp_name == SCALAR else f"/{comp_name}"
+                yield f"{base}/meshes/{mesh_name}{suffix}", mesh, comp
+        for sp_name, species in it.particles.items():
+            for rec_name, rec in species.items():
+                for comp_name, comp in rec.items():
+                    suffix = "" if comp_name == SCALAR else f"/{comp_name}"
+                    yield (f"{base}/particles/{sp_name}/{rec_name}{suffix}",
+                           rec, comp)
+
+    def _flush_iteration(self, it: Iteration) -> int:
+        engine = self._engine_for(it.index, "w" if not self._engines else "a")
+        engine.begin_step()
+        flushed = 0
+        for path, record, comp in self._iter_components(it):
+            if comp.dataset is None:
+                continue
+            var = engine.declare_variable(
+                path, comp.dataset.adios_dtype, comp.dataset.extent,
+                entropy=comp.entropy,
+            )
+            for chunk in comp.staged:
+                var.put_chunk(chunk.rank, chunk.offset, chunk.extent,
+                              chunk.payload)
+                flushed += chunk.payload.nbytes
+            for ranks, nbytes in comp.staged_groups:
+                engine.put_group(path, ranks, nbytes, entropy=comp.entropy)
+                flushed += int(nbytes.sum())
+            comp.clear_staged()
+        engine.end_step(overwrite_key=f"iteration{it.index}")
+        self._bytes_flushed += flushed
+        return flushed
+
+    def flush(self) -> int:
+        """Flush every open iteration (openPMD's ``series.flush()``)."""
+        total = 0
+        for it in self.iterations.values():
+            if not it.closed:
+                total += it.close()
+                it._closed = False  # flush() keeps the iteration open
+        return total
+
+    # -- read side ------------------------------------------------------------------
+
+    def _load_index(self) -> None:
+        engine = self._engine_for(None, "r")
+        self._read_engine = engine
+        # adopt the attributes the writing series stored on disk
+        stored = getattr(engine, "attributes", None)
+        if stored:
+            for name, value in stored.items():
+                if not name.startswith("/data/"):
+                    self.attributes[name] = value
+
+    def read_iterations(self) -> list[int]:
+        """Iteration indices present in a read-only series."""
+        pattern = re.compile(r"^/data/(\d+)/")
+        out: set[int] = set()
+        for name in self._read_engine.available_variables():
+            m = pattern.match(name)
+            if m:
+                out.add(int(m.group(1)))
+        return sorted(out)
+
+    def load(self, variable_path: str) -> np.ndarray:
+        """Read a full variable back (functional mode)."""
+        if self.access != Access.READ_ONLY:
+            raise PermissionError("load() requires READ_ONLY access")
+        return self._read_engine.get(variable_path)
+
+    def load_mesh(self, iteration: int, mesh: str,
+                  component: str | None = None) -> np.ndarray:
+        suffix = "" if component is None else f"/{component}"
+        return self.load(f"/data/{iteration}/meshes/{mesh}{suffix}")
+
+    def load_particles(self, iteration: int, species: str, record: str,
+                       component: str | None = None) -> np.ndarray:
+        suffix = "" if component is None else f"/{component}"
+        return self.load(
+            f"/data/{iteration}/particles/{species}/{record}{suffix}")
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The live engine (group-based encodings only; for inspection)."""
+        return self._engines.get(None) or getattr(self, "_read_engine", None)
+
+    @property
+    def bytes_flushed(self) -> int:
+        return self._bytes_flushed
+
+    def close(self) -> None:
+        """"If no further iterations are needed, the series is closed."""
+        if self._closed:
+            return
+        for it in self.iterations.values():
+            if not it.closed and any(
+                c.staged or c.staged_groups
+                for _p, _r, c in self._iter_components(it)
+            ):
+                it.close()
+        for eng in self._engines.values():
+            if self.access != Access.READ_ONLY and hasattr(
+                    eng, "define_attribute"):
+                for name, value in self.attributes.items():
+                    eng.define_attribute(name, value)
+                for it in self.iterations.values():
+                    for key, value in it.attributes.items():
+                        eng.define_attribute(
+                            f"/data/{it.index}/{key}", value)
+            eng.close()
+        self._closed = True
+
+    def __enter__(self) -> "Series":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

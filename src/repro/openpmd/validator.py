@@ -1,0 +1,153 @@
+"""openPMD standard validator.
+
+One of the arguments the paper makes for adopting openPMD is that a
+*standard* naming schema lets generic tooling consume simulation output.
+This module is that tooling: it walks a written series and checks the
+subset of the openPMD 1.1 requirements the stack uses —
+
+* required root attributes (``openPMD``, ``basePath``, ``meshesPath``,
+  ``particlesPath``, ``iterationEncoding``);
+* variable paths match ``/data/<N>/(meshes|particles)/...``;
+* every stored chunk fits inside its dataset's global extent;
+* chunks of one (variable, step) do not overlap;
+* particle records expose per-species components consistently.
+
+Returns structured findings rather than raising, so it can be used both
+as a library check and an assertion helper in tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.openpmd.series import Access, Series
+
+REQUIRED_ROOT_ATTRIBUTES = (
+    "openPMD",
+    "basePath",
+    "meshesPath",
+    "particlesPath",
+    "iterationEncoding",
+)
+
+_PATH_RE = re.compile(
+    r"^/data/(?P<iteration>\d+)/(?P<category>meshes|particles)/(?P<rest>.+)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation problem."""
+
+    level: str       # "error" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"[{self.level}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one series."""
+
+    findings: list[Finding] = field(default_factory=list)
+    iterations: list[int] = field(default_factory=list)
+    variables: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "warning"]
+
+    @property
+    def valid(self) -> bool:
+        return not self.errors
+
+    def add(self, level: str, code: str, message: str) -> None:
+        self.findings.append(Finding(level, code, message))
+
+    def render(self) -> str:
+        lines = [
+            f"openPMD validation: {'PASS' if self.valid else 'FAIL'} "
+            f"({self.variables} variables, {len(self.iterations)} iterations)",
+        ]
+        lines += [str(f) for f in self.findings]
+        return "\n".join(lines)
+
+
+def validate_series(series: Series) -> ValidationReport:
+    """Validate a series opened READ_ONLY."""
+    if series.access != Access.READ_ONLY:
+        raise ValueError("validator needs a READ_ONLY series")
+    report = ValidationReport()
+
+    for attr in REQUIRED_ROOT_ATTRIBUTES:
+        if attr not in series.attributes:
+            report.add("error", "missing-root-attribute",
+                       f"series lacks required attribute {attr!r}")
+    if series.attributes.get("openPMD") not in ("1.0.0", "1.0.1", "1.1.0"):
+        report.add("warning", "unknown-version",
+                   f"openPMD version {series.attributes.get('openPMD')!r}")
+
+    engine = series._read_engine
+    entries = engine._index
+    report.variables = len({e.var for e in entries})
+    iterations: set[int] = set()
+    by_key: dict[tuple[str, str], list] = {}
+
+    for e in entries:
+        m = _PATH_RE.match(e.var)
+        if not m:
+            report.add("error", "nonstandard-path",
+                       f"variable {e.var!r} is outside /data/<N>/"
+                       f"(meshes|particles)/")
+            continue
+        iterations.add(int(m.group("iteration")))
+        if m.group("category") == "particles":
+            parts = m.group("rest").split("/")
+            if len(parts) < 2:
+                report.add("error", "malformed-particle-path",
+                           f"{e.var!r} lacks species/record levels")
+        # chunk containment
+        for off, ext, glob in zip(e.chunk_offset, e.chunk_extent,
+                                  e.global_shape):
+            if off < 0 or off + ext > glob:
+                report.add("error", "chunk-out-of-bounds",
+                           f"{e.var!r} chunk [{e.chunk_offset}+"
+                           f"{e.chunk_extent}] exceeds {e.global_shape}")
+        by_key.setdefault((e.step_key, e.var), []).append(e)
+
+    for (step, var), chunk_entries in by_key.items():
+        if any(len(e.chunk_offset) != 1 for e in chunk_entries):
+            continue  # overlap/coverage implemented for 1-D (BIT1's layout)
+        spans = sorted((e.chunk_offset[0],
+                        e.chunk_offset[0] + e.chunk_extent[0])
+                       for e in chunk_entries)
+        for (a1, b1), (a2, _b2) in zip(spans, spans[1:]):
+            if a2 < b1:
+                report.add("error", "overlapping-chunks",
+                           f"{var!r}@{step}: chunks overlap at offset {a2}")
+        covered = sum(b - a for a, b in spans)
+        glob = chunk_entries[0].global_shape[0]
+        if covered < glob:
+            report.add("warning", "sparse-coverage",
+                       f"{var!r}@{step}: chunks cover {covered}/{glob} "
+                       f"elements")
+
+    report.iterations = sorted(iterations)
+    if not entries:
+        report.add("warning", "empty-series", "no stored chunks found")
+    return report
+
+
+def validate_path(posix, comm, path: str) -> ValidationReport:
+    """Open ``path`` read-only and validate it."""
+    series = Series(posix, comm, path, Access.READ_ONLY)
+    return validate_series(series)

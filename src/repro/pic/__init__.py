@@ -1,0 +1,79 @@
+"""BIT1-like 1D3V electrostatic PIC Monte Carlo code."""
+
+from repro.pic.boris import boris_step, boris_velocity_kick, exb_drift, gyro_frequency, larmor_radius
+from repro.pic.config import Bit1Config, SpeciesConfig
+from repro.pic.constants import EPS0, EV, MD, ME, QE, debye_length, plasma_frequency, thermal_speed
+from repro.pic.deposit import deposit_charge, deposit_density, gather_field
+from repro.pic.elastic import ElasticOperator, ElasticStats, expected_drift_decay
+from repro.pic.loadbalance import BalanceReport, balanced_partition, particles_per_cell, rebalance
+from repro.pic.diagnostics import DiagnosticsAccumulator, DistributionSet, TimeHistory
+from repro.pic.grid import Grid1D, Subdomain, decompose
+from repro.pic.mcc import IonizationOperator, IonizationStats, expected_survival_fraction
+from repro.pic.mover import accelerate, initial_half_kick, leapfrog_step, stream
+from repro.pic.poisson import (
+    electric_field,
+    solve_poisson_dirichlet,
+    solve_poisson_periodic,
+    thomas_solve,
+)
+from repro.pic.simulation import Bit1Simulation, StepReport
+from repro.pic.smoother import binomial_smooth, compensated_smooth
+from repro.pic.source import SourceStats, VolumeSource, WallSource
+from repro.pic.species import ParticleArrays, sample_maxwellian
+from repro.pic.wall import AbsorbingWalls, WallFluxes
+
+__all__ = [
+    "AbsorbingWalls",
+    "Bit1Config",
+    "Bit1Simulation",
+    "BalanceReport",
+    "DiagnosticsAccumulator",
+    "ElasticOperator",
+    "ElasticStats",
+    "DistributionSet",
+    "EPS0",
+    "EV",
+    "Grid1D",
+    "IonizationOperator",
+    "IonizationStats",
+    "MD",
+    "ME",
+    "ParticleArrays",
+    "QE",
+    "SpeciesConfig",
+    "StepReport",
+    "SourceStats",
+    "Subdomain",
+    "TimeHistory",
+    "VolumeSource",
+    "WallSource",
+    "WallFluxes",
+    "accelerate",
+    "balanced_partition",
+    "boris_step",
+    "boris_velocity_kick",
+    "binomial_smooth",
+    "compensated_smooth",
+    "debye_length",
+    "decompose",
+    "deposit_charge",
+    "deposit_density",
+    "electric_field",
+    "exb_drift",
+    "expected_drift_decay",
+    "expected_survival_fraction",
+    "gather_field",
+    "gyro_frequency",
+    "initial_half_kick",
+    "larmor_radius",
+    "leapfrog_step",
+    "particles_per_cell",
+    "plasma_frequency",
+    "rebalance",
+    "sample_maxwellian",
+    "solve_poisson_dirichlet",
+    "solve_poisson_periodic",
+    "stream",
+    "thermal_speed",
+    "thomas_solve",
+]

@@ -1,0 +1,40 @@
+"""Physical constants (SI) used by the PIC-MC code."""
+
+from __future__ import annotations
+
+#: elementary charge [C]
+QE = 1.602176634e-19
+#: electron mass [kg]
+ME = 9.1093837015e-31
+#: proton mass [kg]
+MP = 1.67262192369e-27
+#: deuterium mass [kg] (2.0141 u)
+MD = 3.3435837724e-27
+#: vacuum permittivity [F/m]
+EPS0 = 8.8541878128e-12
+#: Boltzmann constant [J/K]
+KB = 1.380649e-23
+#: 1 eV in Joules
+EV = QE
+
+
+def thermal_speed(temperature_ev: float, mass: float) -> float:
+    """RMS thermal speed per axis, sqrt(kT/m), with T in eV."""
+    if temperature_ev < 0:
+        raise ValueError("temperature must be non-negative")
+    return (temperature_ev * EV / mass) ** 0.5
+
+
+def plasma_frequency(density: float, mass: float = ME,
+                     charge: float = QE) -> float:
+    """Plasma frequency ω_p = sqrt(n q² / (ε₀ m)) [rad/s]."""
+    if density < 0:
+        raise ValueError("density must be non-negative")
+    return (density * charge * charge / (EPS0 * mass)) ** 0.5
+
+
+def debye_length(density: float, temperature_ev: float) -> float:
+    """Electron Debye length [m]."""
+    if density <= 0:
+        raise ValueError("density must be positive")
+    return (EPS0 * temperature_ev * EV / (density * QE * QE)) ** 0.5

@@ -1,0 +1,91 @@
+"""The 1-D spatial grid and its domain decomposition.
+
+BIT1 simulates "1D magnetic flux tubes" (§II): a single spatial axis of
+``ncells`` cells over ``length`` metres, block-decomposed over MPI ranks.
+Grid quantities (densities, potential, field) live on ``ncells + 1``
+nodes; CIC weighting interpolates between nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """Uniform 1-D grid."""
+
+    ncells: int
+    length: float
+
+    def __post_init__(self) -> None:
+        require_positive("ncells", self.ncells)
+        require_positive("length", self.length)
+
+    @property
+    def dx(self) -> float:
+        return self.length / self.ncells
+
+    @property
+    def nnodes(self) -> int:
+        return self.ncells + 1
+
+    def node_positions(self) -> np.ndarray:
+        return np.linspace(0.0, self.length, self.nnodes)
+
+    def cell_centers(self) -> np.ndarray:
+        return (np.arange(self.ncells) + 0.5) * self.dx
+
+    def cell_of(self, x: np.ndarray) -> np.ndarray:
+        """Cell index of each position (clipped into the domain)."""
+        idx = np.floor(np.asarray(x) / self.dx).astype(np.int64)
+        return np.clip(idx, 0, self.ncells - 1)
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's slice of the grid."""
+
+    rank: int
+    cell_start: int
+    cell_stop: int
+    dx: float
+
+    @property
+    def ncells(self) -> int:
+        return self.cell_stop - self.cell_start
+
+    @property
+    def x_min(self) -> float:
+        return self.cell_start * self.dx
+
+    @property
+    def x_max(self) -> float:
+        return self.cell_stop * self.dx
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        return (x >= self.x_min) & (x < self.x_max)
+
+
+def decompose(grid: Grid1D, nranks: int) -> list[Subdomain]:
+    """Block-decompose the grid, remainder cells to the low ranks."""
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if nranks > grid.ncells:
+        raise ValueError(
+            f"cannot decompose {grid.ncells} cells over {nranks} ranks"
+        )
+    base, extra = divmod(grid.ncells, nranks)
+    out = []
+    start = 0
+    for r in range(nranks):
+        stop = start + base + (1 if r < extra else 0)
+        out.append(Subdomain(rank=r, cell_start=start, cell_stop=stop,
+                             dx=grid.dx))
+        start = stop
+    return out

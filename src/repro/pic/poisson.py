@@ -1,0 +1,112 @@
+"""Electrostatic field solver — phase 3 of the PIC cycle.
+
+"A field solver solving a linear system for electric and magnetic
+fields" (§II).  BIT1 is electrostatic, so the system is the 1-D Poisson
+equation  φ'' = −ρ/ε₀  discretised to a tridiagonal system, solved with
+the Thomas algorithm (O(n), no dense matrices).  The electric field is
+the centred gradient  E = −∇φ.
+
+The paper's use case "does not use the Field solver and smoother phases"
+— the solver exists (and is tested against analytic solutions) but the
+workload presets disable it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pic.constants import EPS0
+from repro.pic.grid import Grid1D
+
+
+def thomas_solve(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+    """Solve a tridiagonal system in O(n) (Thomas algorithm).
+
+    ``lower[i]`` multiplies x[i-1] in row i (lower[0] unused);
+    ``upper[i]`` multiplies x[i+1] (upper[-1] unused).
+    """
+    n = len(diag)
+    if not (len(lower) == len(upper) == len(rhs) == n):
+        raise ValueError("all bands must have equal length")
+    c = np.empty(n)
+    d = np.empty(n)
+    if diag[0] == 0:
+        raise ZeroDivisionError("singular tridiagonal system")
+    c[0] = upper[0] / diag[0]
+    d[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i] * c[i - 1]
+        if denom == 0:
+            raise ZeroDivisionError("singular tridiagonal system")
+        c[i] = upper[i] / denom
+        d[i] = (rhs[i] - lower[i] * d[i - 1]) / denom
+    x = np.empty(n)
+    x[-1] = d[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = d[i] - c[i] * x[i + 1]
+    return x
+
+
+def solve_poisson_dirichlet(grid: Grid1D, rho: np.ndarray,
+                            phi_left: float = 0.0,
+                            phi_right: float = 0.0) -> np.ndarray:
+    """Potential on grid nodes with fixed wall potentials.
+
+    Solves φ'' = −ρ/ε₀ with φ(0)=phi_left, φ(L)=phi_right — the divertor
+    configuration (grounded plates).
+    """
+    rho = np.asarray(rho)
+    if rho.shape != (grid.nnodes,):
+        raise ValueError(f"rho must live on the {grid.nnodes} nodes")
+    n = grid.nnodes
+    dx2 = grid.dx * grid.dx
+    interior = n - 2
+    if interior < 1:
+        return np.array([phi_left, phi_right])[:n]
+    lower = np.ones(interior)
+    diag = np.full(interior, -2.0)
+    upper = np.ones(interior)
+    rhs = -rho[1:-1] * dx2 / EPS0
+    rhs[0] -= phi_left
+    rhs[-1] -= phi_right
+    phi = np.empty(n)
+    phi[0] = phi_left
+    phi[-1] = phi_right
+    phi[1:-1] = thomas_solve(lower, diag, upper, rhs)
+    return phi
+
+
+def solve_poisson_periodic(grid: Grid1D, rho: np.ndarray) -> np.ndarray:
+    """Periodic Poisson solve via FFT (mean charge removed; φ mean 0)."""
+    rho = np.asarray(rho)
+    if rho.shape != (grid.nnodes,):
+        raise ValueError(f"rho must live on the {grid.nnodes} nodes")
+    # drop the duplicated last node for the periodic transform
+    rho_p = rho[:-1] - rho[:-1].mean()
+    n = len(rho_p)
+    k = 2.0 * np.pi * np.fft.rfftfreq(n, d=grid.dx)
+    rho_hat = np.fft.rfft(rho_p)
+    phi_hat = np.zeros_like(rho_hat)
+    nonzero = k != 0
+    phi_hat[nonzero] = rho_hat[nonzero] / (EPS0 * k[nonzero] ** 2)
+    phi = np.fft.irfft(phi_hat, n)
+    return np.concatenate([phi, phi[:1]])
+
+
+def electric_field(grid: Grid1D, phi: np.ndarray,
+                   periodic: bool = False) -> np.ndarray:
+    """E = −∇φ with centred differences (one-sided at walls)."""
+    phi = np.asarray(phi)
+    if phi.shape != (grid.nnodes,):
+        raise ValueError(f"phi must live on the {grid.nnodes} nodes")
+    e = np.empty_like(phi)
+    inv2dx = 1.0 / (2.0 * grid.dx)
+    e[1:-1] = -(phi[2:] - phi[:-2]) * inv2dx
+    if periodic:
+        e[0] = -(phi[1] - phi[-2]) * inv2dx
+        e[-1] = e[0]
+    else:
+        e[0] = -(phi[1] - phi[0]) / grid.dx
+        e[-1] = -(phi[-1] - phi[-2]) / grid.dx
+    return e

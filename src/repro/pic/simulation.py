@@ -1,0 +1,295 @@
+"""The BIT1 simulation driver: the five-phase PIC-MC cycle + I/O hooks.
+
+Runs the full cycle of §II — deposit, smooth, field solve, MC collisions
+and particle push — SPMD over the virtual communicator's ranks, with the
+paper's use case (§III-C) available as a preset: unbounded unmagnetised
+plasma of electrons, D⁺ ions and D neutrals, ionization only, field
+solver and smoother disabled.
+
+I/O is pluggable: writer objects (the original stdio writer or the
+openPMD adaptor from :mod:`repro.io_adaptor`) receive diagnostic
+snapshots every ``datfile`` steps and checkpoints every ``dmpstep``
+steps, exactly the cadence the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.mpi.comm import VirtualComm
+from repro.pic.config import Bit1Config
+from repro.pic.deposit import deposit_charge, deposit_density
+from repro.pic.diagnostics import DiagnosticsAccumulator, TimeHistory
+from repro.pic.grid import Grid1D, Subdomain, decompose
+from repro.pic.elastic import ElasticOperator
+from repro.pic.mcc import IonizationOperator
+from repro.pic.boris import boris_step
+from repro.pic.mover import leapfrog_step
+from repro.pic.poisson import electric_field, solve_poisson_dirichlet, solve_poisson_periodic
+from repro.pic.smoother import binomial_smooth
+from repro.pic.species import ParticleArrays, sample_maxwellian
+from repro.pic.wall import AbsorbingWalls
+from repro.util.rng import RngRegistry
+
+
+class OutputWriter(Protocol):
+    """What the simulation expects from an I/O adaptor."""
+
+    def write_diagnostics(self, sim: "Bit1Simulation", step: int) -> None: ...
+
+    def write_checkpoint(self, sim: "Bit1Simulation", step: int) -> None: ...
+
+    def finalize(self, sim: "Bit1Simulation") -> None: ...
+
+
+@dataclass
+class StepReport:
+    """What one ``step()`` call did (for tests and examples)."""
+
+    step: int
+    ionized: int
+    migrated: int
+    wall_absorbed: int
+
+
+class Bit1Simulation:
+    """One BIT1 run over a virtual communicator."""
+
+    def __init__(self, config: Bit1Config, comm: VirtualComm | None = None,
+                 writers: Sequence[OutputWriter] = (),
+                 rng: RngRegistry | None = None):
+        self.config = config
+        self.comm = comm or VirtualComm(1, 1)
+        self.writers = list(writers)
+        self.rng = rng or RngRegistry(config.seed)
+        self.grid = Grid1D(config.ncells, config.length)
+        self.subdomains: list[Subdomain] = decompose(self.grid, self.comm.size)
+        #: particles[rank][species_name]
+        self.particles: list[dict[str, ParticleArrays]] = []
+        self.step_index = 0
+        self.history = TimeHistory()
+        self.diagnostics = DiagnosticsAccumulator(
+            self.grid, [s.name for s in config.species])
+        self.walls = AbsorbingWalls(config.length, recycle_neutrals=False)
+        self.ionization = IonizationOperator(config.ionization_rate)
+        self.elastic = (ElasticOperator(config.elastic_rate)
+                        if config.elastic_rate > 0 else None)
+        #: optional particle sources, applied each step on rank 0's
+        #: owning subdomain (see repro.pic.source)
+        self.sources: list = []
+        self._load_particles()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _load_particles(self) -> None:
+        cfg = self.config
+        for sub in self.subdomains:
+            per_rank: dict[str, ParticleArrays] = {}
+            for sp in cfg.species:
+                arrays = ParticleArrays(sp.name, sp.mass, sp.charge)
+                n = int(round(sp.particles_per_cell * sub.ncells))
+                if n:
+                    cell_volume = self.grid.dx  # 1-D: per-metre densities
+                    weight = sp.density * cell_volume / max(
+                        sp.particles_per_cell, 1e-300)
+                    sample_maxwellian(
+                        arrays, n, sub.x_min, sub.x_max,
+                        sp.temperature_ev, weight,
+                        generator=self.rng.get("load", sub.rank, sp.name),
+                    )
+                per_rank[sp.name] = arrays
+            self.particles.append(per_rank)
+
+    # -- global views ------------------------------------------------------------
+
+    def species_names(self) -> list[str]:
+        return [s.name for s in self.config.species]
+
+    def merged_species(self) -> dict[str, ParticleArrays]:
+        """All ranks' particles merged per species (diagnostics view)."""
+        out: dict[str, ParticleArrays] = {}
+        for sp in self.config.species:
+            merged = ParticleArrays(sp.name, sp.mass, sp.charge)
+            for per_rank in self.particles:
+                arrays = per_rank[sp.name]
+                n = len(arrays)
+                if n:
+                    merged.add(arrays.x[:n], arrays.vx[:n], arrays.vy[:n],
+                               arrays.vz[:n], arrays.weight[:n])
+            out[sp.name] = merged
+        return out
+
+    def total_count(self, species: str) -> int:
+        return sum(len(pr[species]) for pr in self.particles)
+
+    def global_density(self, species: str) -> np.ndarray:
+        """Node density of one species over the whole grid."""
+        total = np.zeros(self.grid.nnodes)
+        for per_rank in self.particles:
+            total += deposit_density(self.grid, per_rank[species])
+        return total
+
+    # -- the PIC cycle --------------------------------------------------------------
+
+    def step(self) -> StepReport:
+        cfg = self.config
+        report = StepReport(step=self.step_index, ionized=0, migrated=0,
+                            wall_absorbed=0)
+
+        # Phases 1-3: deposit → smooth → field solve (optional in the
+        # paper's use case).
+        if cfg.field_solver:
+            rho = np.zeros(self.grid.nnodes)
+            for per_rank in self.particles:
+                rho += deposit_charge(self.grid, list(per_rank.values()))
+            if cfg.smoothing:
+                rho = binomial_smooth(rho, 1,
+                                      periodic=cfg.boundary == "periodic")
+            if cfg.boundary == "periodic":
+                phi = solve_poisson_periodic(self.grid, rho)
+            else:
+                phi = solve_poisson_dirichlet(self.grid, rho)
+            efield = electric_field(self.grid, phi,
+                                    periodic=cfg.boundary == "periodic")
+        else:
+            efield = np.zeros(self.grid.nnodes)
+
+        # Phase 4: Monte Carlo collisions (ionization + elastic), per rank.
+        for sub, per_rank in zip(self.subdomains, self.particles):
+            if "D" in per_rank and "e" in per_rank and "D+" in per_rank:
+                stats = self.ionization.step(
+                    self.grid, per_rank["e"], per_rank["D+"], per_rank["D"],
+                    cfg.dt, self.rng.get("mcc", sub.rank))
+                report.ionized += stats.ionized
+            if self.elastic is not None and "D" in per_rank and "e" in per_rank:
+                self.elastic.step(self.grid, per_rank["e"], per_rank["D"],
+                                  cfg.dt, self.rng.get("elastic", sub.rank))
+
+        # sources (refuelling / gas puff), applied on the owning rank
+        for source in self.sources:
+            x_probe = getattr(source, "x_min", None)
+            if x_probe is None:  # wall sources attach at the domain ends
+                x_probe = 1e-9 if source.wall == "left" else                     self.config.length - 1e-9
+            owner = 0
+            for sub in self.subdomains:
+                if sub.x_min <= x_probe < sub.x_max:
+                    owner = sub.rank
+                    break
+            source.inject(self.particles[owner],
+                          self.rng.get("source", id(source) % 4096))
+
+        # Phase 5: push particles, then handle boundaries and migration.
+        periodic = cfg.boundary == "periodic"
+        magnetised = any(b != 0.0 for b in cfg.magnetic_field)
+        for per_rank in self.particles:
+            for arrays in per_rank.values():
+                if magnetised:
+                    boris_step(self.grid, arrays, efield,
+                               cfg.magnetic_field, cfg.dt,
+                               periodic=periodic)
+                else:
+                    leapfrog_step(self.grid, arrays, efield, cfg.dt,
+                                  periodic=periodic)
+        if not periodic:
+            for per_rank in self.particles:
+                for name, arrays in per_rank.items():
+                    report.wall_absorbed += self.walls.apply(
+                        arrays, self.rng.get("wall"),
+                        is_neutral=(name == "D"))
+        report.migrated = self._migrate()
+
+        # time-dependent diagnostics (mvflag/mvstep machinery)
+        if cfg.mvflag > 0 and self.step_index % cfg.mvstep == 0:
+            self.diagnostics.accumulate(self.merged_species())
+        self.history.record(self.step_index,
+                            {n: self._species_proxy(n)
+                             for n in self.species_names()})
+
+        self.step_index += 1
+        return report
+
+    def _species_proxy(self, name: str) -> ParticleArrays:
+        """Lightweight merged view for counting (no copies of velocities)."""
+        proxy = ParticleArrays(name, 1.0, 0.0)
+        for per_rank in self.particles:
+            arrays = per_rank[name]
+            n = len(arrays)
+            if n:
+                proxy.add(arrays.x[:n], 0.0, 0.0, 0.0, arrays.weight[:n])
+        return proxy
+
+    def _migrate(self) -> int:
+        """Move particles to the rank owning their new position."""
+        if self.comm.size == 1:
+            return 0
+        moved = 0
+        starts = np.array([s.x_min for s in self.subdomains])
+        for sub, per_rank in zip(self.subdomains, self.particles):
+            for name, arrays in per_rank.items():
+                n = len(arrays)
+                if n == 0:
+                    continue
+                x = arrays.x[:n]
+                outside = ~sub.contains(x)
+                if not outside.any():
+                    continue
+                leavers = arrays.extract(outside)
+                dest = np.searchsorted(starts, leavers["x"], side="right") - 1
+                dest = np.clip(dest, 0, self.comm.size - 1)
+                moved += len(dest)
+                for r in np.unique(dest):
+                    sel = dest == r
+                    self.particles[int(r)][name].add_dict(
+                        {k: v[sel] for k, v in leavers.items()})
+        return moved
+
+    # -- run loop with output events ----------------------------------------------------
+
+    def run(self, nsteps: int | None = None) -> None:
+        """Advance until ``last_step`` (or ``nsteps`` more), firing I/O."""
+        target = (self.step_index + nsteps if nsteps is not None
+                  else self.config.last_step)
+        target = min(target, self.config.last_step)
+        cfg = self.config
+        while self.step_index < target:
+            self.step()
+            if self.step_index % cfg.datfile == 0:
+                for w in self.writers:
+                    w.write_diagnostics(self, self.step_index)
+            if self.step_index % cfg.dmpstep == 0:
+                for w in self.writers:
+                    w.write_checkpoint(self, self.step_index)
+        if self.step_index >= cfg.last_step:
+            # "last_step marks the time step at which the code concludes,
+            # saving the present state on the disk"
+            for w in self.writers:
+                w.write_checkpoint(self, self.step_index)
+                w.finalize(self)
+
+    # -- checkpoint state ------------------------------------------------------------------
+
+    def state_arrays(self, rank: int) -> dict[str, dict[str, np.ndarray]]:
+        """Per-species phase-space arrays for one rank (checkpoint set)."""
+        out = {}
+        for name, arrays in self.particles[rank].items():
+            n = len(arrays)
+            out[name] = {
+                "x": arrays.x[:n].copy(),
+                "vx": arrays.vx[:n].copy(),
+                "vy": arrays.vy[:n].copy(),
+                "vz": arrays.vz[:n].copy(),
+                "weight": arrays.weight[:n].copy(),
+            }
+        return out
+
+    def restore_state(self, rank: int,
+                      state: dict[str, dict[str, np.ndarray]]) -> None:
+        """Replace one rank's particles from a checkpoint set."""
+        for sp in self.config.species:
+            arrays = ParticleArrays(sp.name, sp.mass, sp.charge)
+            if sp.name in state:
+                arrays.add_dict(state[sp.name])
+            self.particles[rank][sp.name] = arrays

@@ -1,0 +1,53 @@
+"""Density smoothing — phase 2 of the PIC cycle.
+
+"A density smoothing process to eliminate spurious frequencies" (§II):
+the classic binomial (1-2-1)/4 digital filter, applied zero or more
+passes.  Endpoints use one-sided weights so the filter conserves the
+integral of the smoothed quantity on a uniform grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binomial_smooth(values: np.ndarray, passes: int = 1,
+                    periodic: bool = False) -> np.ndarray:
+    """Apply the 1-2-1 binomial filter ``passes`` times."""
+    if passes < 0:
+        raise ValueError("passes must be >= 0")
+    out = np.asarray(values, dtype=np.float64).copy()
+    if out.ndim != 1:
+        raise ValueError("binomial_smooth expects a 1-D array")
+    if len(out) < 3 or passes == 0:
+        return out
+    for _ in range(passes):
+        if periodic:
+            out = 0.25 * np.roll(out, 1) + 0.5 * out + 0.25 * np.roll(out, -1)
+        else:
+            smoothed = np.empty_like(out)
+            smoothed[1:-1] = 0.25 * out[:-2] + 0.5 * out[1:-1] + 0.25 * out[2:]
+            # one-sided ends: keep the boundary value's share local
+            smoothed[0] = 0.75 * out[0] + 0.25 * out[1]
+            smoothed[-1] = 0.75 * out[-1] + 0.25 * out[-2]
+            out = smoothed
+    return out
+
+
+def compensated_smooth(values: np.ndarray, periodic: bool = False) -> np.ndarray:
+    """Binomial pass + compensation step (Birdsall & Langdon App. C).
+
+    A (1-2-1) pass followed by a (-1, 6, -1)/4 compensator, flattening
+    the filter's response at long wavelengths while still killing the
+    Nyquist mode.
+    """
+    smoothed = binomial_smooth(values, 1, periodic=periodic)
+    out = smoothed.copy()
+    if len(out) >= 3:
+        if periodic:
+            out = (-0.25 * np.roll(smoothed, 1) + 1.5 * smoothed
+                   - 0.25 * np.roll(smoothed, -1))
+        else:
+            out[1:-1] = (-0.25 * smoothed[:-2] + 1.5 * smoothed[1:-1]
+                         - 0.25 * smoothed[2:])
+    return out

@@ -1,0 +1,143 @@
+"""Particle sources — plasma refuelling and neutral gas puffing.
+
+Plasma-edge simulations like BIT1's are driven systems: particles lost
+to the walls or consumed by ionization are replenished by sources (core
+plasma outflow, gas puff, recycling).  This module provides the two
+standard source types; attach them to a simulation via
+``sim.sources.append(...)`` and they fire every step between the MC and
+push phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pic.constants import thermal_speed
+from repro.pic.species import ParticleArrays
+
+
+@dataclass
+class SourceStats:
+    """Cumulative injection bookkeeping."""
+
+    injected: int = 0
+    weight: float = 0.0
+
+
+class VolumeSource:
+    """Maxwellian volume source: inject N particles/step into a region.
+
+    ``pair_species`` optionally injects a matching particle (same
+    position) into a second species — the charge-neutral pair injection
+    used for plasma refuelling (e + D⁺ born together).
+    """
+
+    def __init__(self, species: str, rate_per_step: float,
+                 x_min: float, x_max: float, temperature_ev: float,
+                 weight: float, pair_species: str | None = None,
+                 pair_temperature_ev: float | None = None,
+                 drift: tuple[float, float, float] = (0.0, 0.0, 0.0)):
+        if rate_per_step < 0:
+            raise ValueError("rate_per_step must be >= 0")
+        if x_max <= x_min:
+            raise ValueError("x_max must exceed x_min")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.species = species
+        self.rate = float(rate_per_step)
+        self.x_min = x_min
+        self.x_max = x_max
+        self.temperature_ev = temperature_ev
+        self.weight = weight
+        self.pair_species = pair_species
+        self.pair_temperature_ev = (pair_temperature_ev
+                                    if pair_temperature_ev is not None
+                                    else temperature_ev)
+        self.drift = drift
+        self.stats = SourceStats()
+
+    def _count(self, rng: np.random.Generator) -> int:
+        """Integer injection count; fractional rates fire stochastically."""
+        base = int(self.rate)
+        frac = self.rate - base
+        return base + (1 if frac > 0 and rng.random() < frac else 0)
+
+    def inject(self, populations: dict[str, ParticleArrays],
+               rng: np.random.Generator) -> int:
+        """Add this step's particles; returns the injected count."""
+        target = populations.get(self.species)
+        if target is None:
+            raise KeyError(f"no species {self.species!r} to inject into")
+        n = self._count(rng)
+        if n == 0:
+            return 0
+        x = rng.uniform(self.x_min, self.x_max, n)
+        vth = thermal_speed(self.temperature_ev, target.mass)
+        target.add(x,
+                   rng.normal(self.drift[0], vth, n),
+                   rng.normal(self.drift[1], vth, n),
+                   rng.normal(self.drift[2], vth, n),
+                   self.weight)
+        if self.pair_species is not None:
+            mate = populations.get(self.pair_species)
+            if mate is None:
+                raise KeyError(
+                    f"no pair species {self.pair_species!r} to inject into")
+            vth_p = thermal_speed(self.pair_temperature_ev, mate.mass)
+            mate.add(x,
+                     rng.normal(0.0, vth_p, n),
+                     rng.normal(0.0, vth_p, n),
+                     rng.normal(0.0, vth_p, n),
+                     self.weight)
+        self.stats.injected += n
+        self.stats.weight += n * self.weight
+        return n
+
+
+class WallSource:
+    """Thermal influx from a wall (gas puff / recycling source).
+
+    Particles are born just inside the chosen wall with inward-directed
+    half-Maxwellian vx.
+    """
+
+    def __init__(self, species: str, rate_per_step: float,
+                 wall: str, length: float, temperature_ev: float,
+                 weight: float):
+        if wall not in ("left", "right"):
+            raise ValueError("wall must be 'left' or 'right'")
+        if rate_per_step < 0:
+            raise ValueError("rate_per_step must be >= 0")
+        self.species = species
+        self.rate = float(rate_per_step)
+        self.wall = wall
+        self.length = length
+        self.temperature_ev = temperature_ev
+        self.weight = weight
+        self.stats = SourceStats()
+
+    def inject(self, populations: dict[str, ParticleArrays],
+               rng: np.random.Generator) -> int:
+        target = populations.get(self.species)
+        if target is None:
+            raise KeyError(f"no species {self.species!r} to inject into")
+        base = int(self.rate)
+        frac = self.rate - base
+        n = base + (1 if frac > 0 and rng.random() < frac else 0)
+        if n == 0:
+            return 0
+        vth = thermal_speed(self.temperature_ev, target.mass)
+        inward = np.abs(rng.normal(0.0, vth, n))
+        if self.wall == "left":
+            x = np.full(n, 1e-9)
+            vx = inward
+        else:
+            x = np.full(n, self.length - 1e-9)
+            vx = -inward
+        target.add(x, vx, rng.normal(0.0, vth, n), rng.normal(0.0, vth, n),
+                   self.weight)
+        self.stats.injected += n
+        self.stats.weight += n * self.weight
+        return n

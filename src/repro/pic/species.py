@@ -1,0 +1,146 @@
+"""Particle storage: structure-of-arrays per species, per rank.
+
+BIT1 is 1D3V: one spatial coordinate, three velocity components (§II).
+Particles live in growable numpy arrays (the memory-layout optimisation
+of Tskhakaya et al. [3] — contiguous per-component arrays) with an
+explicit live count so deletions are O(1) swaps, not reallocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pic.constants import thermal_speed
+
+
+class ParticleArrays:
+    """SoA particle container for one species on one rank."""
+
+    __slots__ = ("name", "mass", "charge", "x", "vx", "vy", "vz", "weight",
+                 "_n")
+
+    def __init__(self, name: str, mass: float, charge: float,
+                 capacity: int = 1024):
+        self.name = name
+        self.mass = float(mass)
+        self.charge = float(charge)
+        capacity = max(int(capacity), 16)
+        self.x = np.zeros(capacity)
+        self.vx = np.zeros(capacity)
+        self.vy = np.zeros(capacity)
+        self.vz = np.zeros(capacity)
+        self.weight = np.zeros(capacity)
+        self._n = 0
+
+    # -- size management -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return len(self.x)
+
+    def _ensure(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self.capacity:
+            return
+        new_cap = max(need, self.capacity * 2)
+        for field in ("x", "vx", "vy", "vz", "weight"):
+            old = getattr(self, field)
+            new = np.zeros(new_cap)
+            new[: self._n] = old[: self._n]
+            setattr(self, field, new)
+
+    # -- views over the live particles ------------------------------------------
+
+    @property
+    def live(self) -> dict[str, np.ndarray]:
+        n = self._n
+        return {"x": self.x[:n], "vx": self.vx[:n], "vy": self.vy[:n],
+                "vz": self.vz[:n], "weight": self.weight[:n]}
+
+    def positions(self) -> np.ndarray:
+        return self.x[: self._n]
+
+    def velocities(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self._n
+        return self.vx[:n], self.vy[:n], self.vz[:n]
+
+    def weights(self) -> np.ndarray:
+        return self.weight[: self._n]
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, x, vx, vy, vz, weight=1.0) -> None:
+        """Append particles (arrays broadcast to a common length)."""
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        k = len(x)
+        self._ensure(k)
+        n = self._n
+        self.x[n:n + k] = x
+        self.vx[n:n + k] = np.broadcast_to(np.asarray(vx, dtype=np.float64), (k,))
+        self.vy[n:n + k] = np.broadcast_to(np.asarray(vy, dtype=np.float64), (k,))
+        self.vz[n:n + k] = np.broadcast_to(np.asarray(vz, dtype=np.float64), (k,))
+        self.weight[n:n + k] = np.broadcast_to(
+            np.asarray(weight, dtype=np.float64), (k,))
+        self._n = n + k
+
+    def remove(self, mask: np.ndarray) -> int:
+        """Delete particles where ``mask`` is True; returns removed count.
+
+        Compacts by keeping the survivors (order not preserved — PIC
+        codes don't need particle order, and compaction keeps the arrays
+        dense, per BIT1's memory-management optimisation).
+        """
+        n = self._n
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (n,):
+            raise ValueError(f"mask must cover the {n} live particles")
+        keep = ~mask
+        k = int(keep.sum())
+        for field in ("x", "vx", "vy", "vz", "weight"):
+            arr = getattr(self, field)
+            arr[:k] = arr[:n][keep]
+        removed = n - k
+        self._n = k
+        return removed
+
+    def extract(self, mask: np.ndarray) -> dict[str, np.ndarray]:
+        """Remove and return the masked particles (rank migration)."""
+        n = self._n
+        mask = np.asarray(mask, dtype=bool)
+        out = {f: getattr(self, f)[:n][mask].copy()
+               for f in ("x", "vx", "vy", "vz", "weight")}
+        self.remove(mask)
+        return out
+
+    def add_dict(self, parts: dict[str, np.ndarray]) -> None:
+        if len(parts["x"]):
+            self.add(parts["x"], parts["vx"], parts["vy"], parts["vz"],
+                     parts["weight"])
+
+    # -- physics helpers ---------------------------------------------------------------
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy of the live particles [J]."""
+        vx, vy, vz = self.velocities()
+        w = self.weights()
+        return float(0.5 * self.mass * np.sum(w * (vx**2 + vy**2 + vz**2)))
+
+    def total_weight(self) -> float:
+        return float(self.weights().sum())
+
+
+def sample_maxwellian(arrays: ParticleArrays, n: int,
+                      x_min: float, x_max: float,
+                      temperature_ev: float, weight: float,
+                      rng: np.ndarray | None = None,
+                      drift: tuple[float, float, float] = (0.0, 0.0, 0.0),
+                      generator=None) -> None:
+    """Load ``n`` particles uniform in space, Maxwellian in velocity."""
+    gen = generator if generator is not None else np.random.default_rng(0)
+    vth = thermal_speed(temperature_ev, arrays.mass)
+    x = gen.uniform(x_min, x_max, n)
+    v = gen.normal(0.0, vth, (3, n))
+    arrays.add(x, v[0] + drift[0], v[1] + drift[1], v[2] + drift[2], weight)

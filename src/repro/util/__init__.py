@@ -1,0 +1,38 @@
+"""Shared utilities: binary units, tables, deterministic RNG streams."""
+
+from repro.util.rng import DEFAULT_ROOT_SEED, RngRegistry, make_rng, stream_seed
+from repro.util.tables import Table, series_table, transposed_table
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    ceil_div,
+    format_size,
+    format_throughput,
+    gib,
+    kib,
+    mib,
+    parse_size,
+    to_gib,
+)
+
+__all__ = [
+    "DEFAULT_ROOT_SEED",
+    "GiB",
+    "KiB",
+    "MiB",
+    "RngRegistry",
+    "Table",
+    "ceil_div",
+    "format_size",
+    "format_throughput",
+    "gib",
+    "kib",
+    "make_rng",
+    "mib",
+    "parse_size",
+    "series_table",
+    "stream_seed",
+    "to_gib",
+    "transposed_table",
+]

@@ -1,0 +1,104 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module renders them as aligned ASCII tables (and simple sparkline-free
+series listings) without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned ASCII table.
+
+    >>> t = Table(["nodes", "GiB/s"], title="demo")
+    >>> t.add_row([1, 0.09])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    nodes | GiB/s
+    ----- | -----
+    1     | 0.09
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._fmt(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(" | ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def series_table(
+    title: str,
+    x_name: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+) -> Table:
+    """Build a table with one x column and one column per named series.
+
+    Used by the figure reproductions: ``xs`` is the swept parameter (node
+    count, aggregator count, stripe size) and each series is one line on
+    the paper's plot.
+    """
+    table = Table([x_name, *series.keys()], title=title)
+    for i, x in enumerate(xs):
+        row: list[Any] = [x]
+        for name, values in series.items():
+            if len(values) != len(xs):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points, expected {len(xs)}"
+                )
+            row.append(values[i])
+        table.add_row(row)
+    return table
+
+
+def transposed_table(
+    title: str,
+    row_names: Sequence[str],
+    col_header: str,
+    cols: Sequence[Any],
+    cells: dict[str, Sequence[Any]],
+) -> Table:
+    """Build a Table II-style table: metrics as rows, node counts as columns."""
+    table = Table([col_header, *[str(c) for c in cols]], title=title)
+    for name in row_names:
+        values = cells[name]
+        if len(values) != len(cols):
+            raise ValueError(
+                f"row {name!r} has {len(values)} cells, expected {len(cols)}"
+            )
+        table.add_row([name, *values])
+    return table

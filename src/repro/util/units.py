@@ -1,0 +1,161 @@
+"""Binary-unit helpers (KiB/MiB/GiB) used throughout the I/O stack.
+
+The paper reports every size in binary units (KiB/MiB/GiB) and every
+throughput in GiB/s.  This module centralises parsing and formatting so
+experiment tables render exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+PiB = 1024**5
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": TiB,
+    "tb": TiB,
+    "tib": TiB,
+    "p": PiB,
+    "pb": PiB,
+    "pib": PiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string like ``"16M"``, ``"1.5GiB"`` into bytes.
+
+    Integers and floats pass through (rounded to int).  The suffix grammar
+    matches what ``lfs setstripe -S`` accepts (``K``/``M``/``G``) plus the
+    explicit binary forms (``KiB``/``MiB``/``GiB``).
+
+    >>> parse_size("16M")
+    16777216
+    >>> parse_size("1k")
+    1024
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return int(round(text))
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = m.groups()
+    key = suffix.lower()
+    if key not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(round(float(value) * _SUFFIXES[key]))
+
+
+def format_size(nbytes: int | float, precision: int = 1) -> str:
+    """Format bytes the way the paper's Table II does (``1.9MiB``, ``13KiB``).
+
+    Uses the largest binary unit in which the value is >= 1, trimming a
+    trailing ``.0`` for whole numbers.
+
+    >>> format_size(1992294)
+    '1.9MiB'
+    >>> format_size(13 * 1024)
+    '13KiB'
+    """
+    nbytes = float(nbytes)
+    if nbytes < 0:
+        raise ValueError("cannot format negative size")
+    for unit, name in ((PiB, "PiB"), (TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if nbytes >= unit:
+            val = nbytes / unit
+            text = f"{val:.{precision}f}"
+            if text.endswith("0") and "." in text:
+                stripped = text.rstrip("0").rstrip(".")
+                if stripped:
+                    text = stripped
+            return f"{text}{name}"
+    return f"{int(nbytes)}B"
+
+
+def format_throughput(bytes_per_s: float, precision: int = 2) -> str:
+    """Format a throughput in GiB/s with the paper's two decimals.
+
+    >>> format_throughput(0.41 * GiB)
+    '0.41 GiB/s'
+    """
+    return f"{bytes_per_s / GiB:.{precision}f} GiB/s"
+
+
+def gib(value: float) -> float:
+    """Convert GiB to bytes (float-friendly: ``gib(0.5) == 536870912.0``)."""
+    return value * GiB
+
+
+def mib(value: float) -> float:
+    """Convert MiB to bytes."""
+    return value * MiB
+
+
+def kib(value: float) -> float:
+    """Convert KiB to bytes."""
+    return value * KiB
+
+
+def to_gib(nbytes: float) -> float:
+    """Convert bytes to GiB."""
+    return nbytes / GiB
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; used for stripe/segment counting.
+
+    >>> ceil_div(10, 4)
+    3
+    """
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def human_count(n: float) -> str:
+    """Render a count with K/M suffixes (``25600`` -> ``25.6K``)."""
+    if n >= 1e6:
+        return f"{n / 1e6:g}M"
+    if n >= 1e3:
+        return f"{n / 1e3:g}K"
+    return f"{n:g}"
+
+
+def closest_power_of_two(n: int) -> int:
+    """Return the power of two closest to ``n`` (ties round down)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    lo = 1 << (n.bit_length() - 1)
+    hi = lo << 1
+    return lo if (n - lo) <= (hi - n) else hi
+
+
+def geometric_midpoint(a: float, b: float) -> float:
+    """Geometric mean, handy for sweeping log-scaled parameter grids."""
+    if a <= 0 or b <= 0:
+        raise ValueError("geometric midpoint requires positive operands")
+    return math.sqrt(a * b)

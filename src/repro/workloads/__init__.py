@@ -1,0 +1,19 @@
+"""Workloads: use-case presets, the full-scale data model, scaled runners."""
+
+from repro.workloads.datamodel import Bit1DataModel
+from repro.workloads.presets import paper_use_case, sheath_case, small_use_case
+from repro.workloads.runner import (
+    ScaledRunResult,
+    run_openpmd_scaled,
+    run_original_scaled,
+)
+
+__all__ = [
+    "Bit1DataModel",
+    "ScaledRunResult",
+    "paper_use_case",
+    "run_openpmd_scaled",
+    "run_original_scaled",
+    "sheath_case",
+    "small_use_case",
+]

@@ -1,0 +1,172 @@
+"""Full-scale data-volume model, derived from the paper's Table II.
+
+The scale experiments need the byte volumes of the 30M-particle,
+25600-rank runs without materialising the data.  The constants below are
+*derived* from the paper's own file census (Table II); the derivation:
+
+* BP4 + 1 AGGR total on-disk size fits ``A + B·ranks`` almost exactly:
+  A ≈ 478.4 MiB (the checkpoint state: 30 M particles × 16 B float32
+  x/vx/vy/vz = 457.8 MiB, plus 9 grid moments × 3 species × 100 K cells
+  × 8 B = 20.6 MiB) and B ≈ 59 KiB/rank — split here into 26 KiB of
+  per-rank checkpoint metadata (offsets, species counts, RNG state) and
+  33 KiB of per-rank time-dependent diagnostics accumulated over the
+  200 ``.dat`` events.  This reproduces the 81 MiB → 326 MiB average
+  file sizes and the 476 MiB → 1.1 GiB checkpoint maximum.
+* The original I/O census (262 → 51,206 files, 1.9 MiB → 13 KiB average)
+  fits per-rank files of ``state_share + header`` (``.dmp``) and
+  ``diag_text + header`` (``.dat``) with a 1.7 KiB stdio header and
+  3.5 KiB of formatted text per rank per run.
+
+Transferred (as opposed to on-disk) bytes multiply the checkpoint state
+by the number of ``dmpstep`` events, since checkpoints overwrite in
+place — that is what Darshan counts and what the throughput figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pic.config import Bit1Config
+from repro.util.units import KiB, MiB
+
+#: bytes per particle in the checkpoint (x, vx, vy, vz as float32)
+PARTICLE_BYTES = 16
+#: grid moments per species in the checkpoint state
+GRID_MOMENTS = 9
+#: bytes per grid moment value
+MOMENT_BYTES = 8
+#: per-rank checkpoint metadata (offsets, counts, RNG state)
+CKPT_META_PER_RANK = 26 * KiB
+#: per-rank time-dependent diagnostics over the whole run
+DIAG_PER_RANK_TOTAL = 33 * KiB
+#: stdio header of each original-output file
+ORIGINAL_FILE_HEADER = 1.7 * KiB
+#: formatted diagnostic text per rank over the whole run (original I/O)
+ORIGINAL_DIAG_TEXT_PER_RANK = 3.5 * KiB
+#: size of each of the six global files of the original output
+ORIGINAL_GLOBAL_FILE_BYTES = 8 * KiB
+#: number of global files in the original output
+ORIGINAL_GLOBAL_FILES = 6
+
+
+@dataclass(frozen=True)
+class Bit1DataModel:
+    """Byte volumes of one full-scale BIT1 run on ``nranks`` ranks."""
+
+    config: Bit1Config
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("nranks must be >= 1")
+
+    # -- checkpoint state ------------------------------------------------------
+
+    @property
+    def total_particles(self) -> int:
+        return self.config.total_particles()
+
+    @property
+    def particle_state_bytes(self) -> int:
+        return self.total_particles * PARTICLE_BYTES
+
+    @property
+    def grid_state_bytes(self) -> int:
+        return (self.config.ncells * len(self.config.species)
+                * GRID_MOMENTS * MOMENT_BYTES)
+
+    @property
+    def state_bytes(self) -> int:
+        """Global checkpoint payload (one copy)."""
+        return self.particle_state_bytes + self.grid_state_bytes
+
+    def ckpt_particle_bytes_per_rank(self) -> np.ndarray:
+        """Particle bytes per rank (remainder to low ranks)."""
+        base, extra = divmod(self.particle_state_bytes, self.nranks)
+        out = np.full(self.nranks, base, dtype=np.int64)
+        out[:extra] += 1
+        return out
+
+    def ckpt_grid_bytes_per_rank(self) -> np.ndarray:
+        base, extra = divmod(self.grid_state_bytes, self.nranks)
+        out = np.full(self.nranks, base, dtype=np.int64)
+        out[:extra] += 1
+        return out
+
+    def ckpt_meta_bytes_per_rank(self) -> int:
+        return int(CKPT_META_PER_RANK)
+
+    def ckpt_bytes_per_rank(self) -> np.ndarray:
+        """Everything one rank contributes to one checkpoint."""
+        return (self.ckpt_particle_bytes_per_rank()
+                + self.ckpt_grid_bytes_per_rank()
+                + self.ckpt_meta_bytes_per_rank())
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def diag_bytes_per_rank_per_event(self) -> int:
+        """openPMD diagnostics contribution, per rank per .dat event."""
+        return max(int(DIAG_PER_RANK_TOTAL) // self.config.n_dat_events, 1)
+
+    def original_diag_text_per_event(self) -> int:
+        """Formatted text appended per rank per .dat event (original)."""
+        return max(int(ORIGINAL_DIAG_TEXT_PER_RANK)
+                   // self.config.n_dat_events, 1)
+
+    # -- whole-run totals ---------------------------------------------------------
+
+    def openpmd_ondisk_bytes(self, compress_particle: float = 1.0,
+                             compress_diag: float = 1.0) -> float:
+        """Expected on-disk total of the two BP series (Table II)."""
+        state = (self.particle_state_bytes * compress_particle
+                 + (self.grid_state_bytes
+                    + self.nranks * self.ckpt_meta_bytes_per_rank())
+                 * compress_diag)
+        diag = (self.nranks * self.diag_bytes_per_rank_per_event()
+                * self.config.n_dat_events * compress_diag)
+        return state + diag
+
+    def openpmd_transferred_bytes(self, compress_particle: float = 1.0,
+                                  compress_diag: float = 1.0) -> float:
+        """Bytes moved through write() over the run (Darshan's view)."""
+        one_ckpt = (self.particle_state_bytes * compress_particle
+                    + (self.grid_state_bytes
+                       + self.nranks * self.ckpt_meta_bytes_per_rank())
+                    * compress_diag)
+        diag = (self.nranks * self.diag_bytes_per_rank_per_event()
+                * self.config.n_dat_events * compress_diag)
+        return one_ckpt * self.config.n_dmp_events + diag
+
+    def original_ondisk_bytes(self) -> float:
+        per_rank = (float(self.ckpt_particle_bytes_per_rank().mean())
+                    + float(self.ckpt_grid_bytes_per_rank().mean())
+                    + 2 * ORIGINAL_FILE_HEADER
+                    + ORIGINAL_DIAG_TEXT_PER_RANK)
+        return (self.nranks * per_rank
+                + ORIGINAL_GLOBAL_FILES * ORIGINAL_GLOBAL_FILE_BYTES)
+
+    def original_transferred_bytes(self) -> float:
+        ckpt = (self.state_bytes + self.nranks * ORIGINAL_FILE_HEADER)
+        return (ckpt * self.config.n_dmp_events
+                + self.nranks * ORIGINAL_DIAG_TEXT_PER_RANK
+                + ORIGINAL_GLOBAL_FILES * ORIGINAL_GLOBAL_FILE_BYTES)
+
+    # -- expected file counts (the closed forms behind Table II) ---------------------
+
+    def original_file_count(self) -> int:
+        """``2·ranks + 6``: a .dat and a .dmp per rank plus globals."""
+        return 2 * self.nranks + ORIGINAL_GLOBAL_FILES
+
+    def openpmd_file_count(self, nodes: int,
+                           num_aggregators: int | None = None) -> int:
+        """Diag subfiles + md.0 + md.idx, twice (diag + ckpt series).
+
+        Default aggregation (one per node) with the single-subfile
+        checkpoint series gives ``nodes + 5``; NumAgg = 1 gives the
+        constant 6 of Table II.
+        """
+        diag_subfiles = nodes if num_aggregators is None else num_aggregators
+        ckpt_subfiles = 1 if num_aggregators is None else num_aggregators
+        return (diag_subfiles + 2) + (ckpt_subfiles + 2)

@@ -1,0 +1,112 @@
+"""BIT1 workload presets, headlined by the paper's use case (§III-C).
+
+"We simulate neutral particle ionization resulting from interactions
+with electrons […] an unbounded unmagnetized plasma consisting of
+electrons, D⁺ ions and D neutrals […] a one-dimensional geometry with
+100K cells, three plasma species […] The total number of particles in
+the system is 30M.  Unless differently specified, we simulate up to 200K
+time steps.  An important point of this test is that it does not use the
+Field solver and smoother phases."
+
+Output cadence (§IV): diagnostics every 1K cycles (``datfile``),
+checkpoints every 10K cycles (``dmpstep``).
+"""
+
+from __future__ import annotations
+
+from repro.pic.config import Bit1Config, SpeciesConfig
+from repro.pic.constants import MD, ME, QE
+
+#: reference plasma density of the use case [m^-3]
+USE_CASE_DENSITY = 1.0e19
+#: ionization rate coefficient R in ∂n/∂t = −n·n_e·R [m³/s]
+USE_CASE_RATE = 3.0e-15
+
+
+def paper_use_case() -> Bit1Config:
+    """The full-scale configuration behind every figure.
+
+    100K cells × 100 particles/cell/species × 3 species = 30M particles;
+    200K steps; diagnostics every 1K cycles, checkpoints every 10K.
+    """
+    return Bit1Config(
+        ncells=100_000,
+        length=4.0,              # a 4 m flux tube
+        dt=5.0e-12,
+        datfile=1_000,
+        dmpstep=10_000,
+        mvflag=16,
+        mvstep=100,
+        last_step=200_000,
+        species=(
+            SpeciesConfig("e", ME, -QE, 10.0, 100, density=USE_CASE_DENSITY),
+            SpeciesConfig("D+", MD, QE, 10.0, 100, density=USE_CASE_DENSITY),
+            SpeciesConfig("D", MD, 0.0, 0.5, 100, density=USE_CASE_DENSITY),
+        ),
+        ionization_rate=USE_CASE_RATE,
+        field_solver=False,       # §III-C: no field solve / smoothing
+        smoothing=False,
+        boundary="periodic",      # "unbounded" plasma
+        name="bit1-ionization-use-case",
+    )
+
+
+def small_use_case(ncells: int = 64, particles_per_cell: int = 20,
+                   last_step: int = 200, datfile: int = 50,
+                   dmpstep: int = 100) -> Bit1Config:
+    """A laptop-scale functional version of the use case.
+
+    Same species, same physics, same output cadence structure — just
+    small enough to run for real in tests and examples.
+    """
+    full = paper_use_case()
+    return full.with_(
+        ncells=ncells,
+        length=0.04,
+        dt=1.0e-9,
+        datfile=datfile,
+        dmpstep=dmpstep,
+        mvstep=max(datfile // 8, 1),
+        mvflag=4,
+        last_step=last_step,
+        ionization_rate=2.0e-13,
+        species=tuple(
+            s.__class__(s.name, s.mass, s.charge, s.temperature_ev,
+                        particles_per_cell, density=1.0e17)
+            for s in full.species
+        ),
+        name="bit1-small-use-case",
+    )
+
+
+def sheath_case(ncells: int = 128, particles_per_cell: int = 50,
+                last_step: int = 400) -> Bit1Config:
+    """A bounded divertor-like case with the field solver *enabled*.
+
+    Exercises the full five-phase PIC cycle (deposit → smooth → solve →
+    MC → push) with absorbing walls — the configuration BIT1 exists for,
+    used by the sheath example and the solver integration tests.
+    """
+    return Bit1Config(
+        ncells=ncells,
+        length=0.02,
+        dt=2.0e-11,
+        datfile=100,
+        dmpstep=200,
+        mvflag=4,
+        mvstep=10,
+        last_step=last_step,
+        species=(
+            SpeciesConfig("e", ME, -QE, 5.0, particles_per_cell,
+                          density=1.0e16),
+            SpeciesConfig("D+", MD, QE, 1.0, particles_per_cell,
+                          density=1.0e16),
+            SpeciesConfig("D", MD, 0.0, 0.1, particles_per_cell // 2,
+                          density=1.0e16),
+        ),
+        ionization_rate=1.0e-14,
+        field_solver=True,
+        smoothing=True,
+        boundary="absorbing",
+        name="bit1-sheath-case",
+    )

@@ -1,0 +1,288 @@
+"""Scaled job runner: full-size BIT1 runs on the virtual cluster.
+
+Executes the paper's 1-to-200-node experiments with synthetic payloads:
+the control flow (file creates, buffered appends, fsyncs, chunk stores,
+aggregation, collective writes, metadata appends) is executed for real
+through the same POSIX/ADIOS2/openPMD layers the functional runs use,
+while the byte volumes come from :class:`~repro.workloads.datamodel.
+Bit1DataModel` and time from the storage performance model.  Each run
+yields a Darshan log plus the filesystem for the file census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adios2.profiling import EngineProfile
+from repro.cluster.machine import Machine, StorageSystem
+from repro.darshan.log import DarshanLog
+from repro.darshan.runtime import DarshanMonitor
+from repro.fs.lustre import LustreFilesystem
+from repro.fs.mount import MountedFilesystem, mount
+from repro.fs.payload import SyntheticPayload
+from repro.fs.posix import PosixIO
+from repro.fs.stdio import DEFAULT_BUFSIZE
+from repro.mpi.comm import VirtualComm, comm_for_nodes
+from repro.openpmd.record import Dataset
+from repro.openpmd.series import Access, Series
+from repro.pic.config import Bit1Config
+from repro.util.rng import RngRegistry, stream_seed
+from repro.workloads.datamodel import (
+    ORIGINAL_DIAG_TEXT_PER_RANK,
+    ORIGINAL_FILE_HEADER,
+    ORIGINAL_GLOBAL_FILE_BYTES,
+    ORIGINAL_GLOBAL_FILES,
+    Bit1DataModel,
+)
+from repro.workloads.presets import paper_use_case
+
+
+def _read_startup_inputs(posix: PosixIO, comm: VirtualComm,
+                         model: Bit1DataModel, outdir: str) -> None:
+    """Model the read side: every rank reads the 1-3 kB input deck, and a
+    restarting run re-reads its checkpoint share ("the time spent on
+    reads remains consistent, primarily due to checkpointing", §IV-B).
+    """
+    ranks = np.arange(comm.size)
+    input_path = f"{outdir}/bit1.inp"
+    fd0 = posix.open(0, input_path, create=True)
+    posix.write(0, fd0, SyntheticPayload(3072, "ascii_table"))
+    posix.close(0, fd0)
+    fds = posix.open_group(ranks, [input_path] * comm.size, create=False)
+    posix.read_group(ranks, fds, 3072)
+    # restart: re-read the previous checkpoint share
+    posix.read_group(ranks, fds, model.ckpt_bytes_per_rank())
+    posix.close_group(ranks, fds)
+    posix.unlink(0, input_path)  # keep the census focused on outputs
+
+
+@dataclass
+class ScaledRunResult:
+    """Everything one scaled run produces."""
+
+    machine: str
+    config_label: str
+    nodes: int
+    nranks: int
+    log: DarshanLog
+    fs: MountedFilesystem
+    comm: VirtualComm
+    outdir: str
+    profiles: list[EngineProfile] = field(default_factory=list)
+
+    def file_sizes(self) -> np.ndarray:
+        return self.fs.vfs.subtree_file_sizes(self.outdir)
+
+
+def _event_steps(config: Bit1Config) -> list[tuple[int, bool]]:
+    """(step, is_checkpoint) milestones, in time order."""
+    out = []
+    for step in range(config.datfile, config.last_step + 1, config.datfile):
+        out.append((step, False))
+        if step % config.dmpstep == 0:
+            out.append((step, True))
+    return out
+
+
+def _setup(machine: Machine, nodes: int, ranks_per_node: int,
+           storage_name: str | None, seed: int,
+           exe: str) -> tuple[VirtualComm, MountedFilesystem, PosixIO,
+                              DarshanMonitor]:
+    if nodes < 1 or nodes > machine.num_nodes:
+        raise ValueError(
+            f"{machine.name} has {machine.num_nodes} nodes; asked for {nodes}")
+    storage: StorageSystem = (machine.default_storage if storage_name is None
+                              else machine.storage_named(storage_name))
+    # run identity feeds the RNG so "storage weather" differs per run
+    rng = RngRegistry(stream_seed(seed, machine.name, nodes, exe))
+    fs = mount(storage, rng)
+    comm = comm_for_nodes(nodes, ranks_per_node,
+                          latency=machine.network.latency,
+                          bandwidth=machine.network.nic_bandwidth)
+    monitor = DarshanMonitor(comm.size, exe=exe)
+    posix = PosixIO(fs, comm, monitor)
+    return comm, fs, posix, monitor
+
+
+def run_original_scaled(machine: Machine, nodes: int,
+                        config: Bit1Config | None = None,
+                        ranks_per_node: int = 128,
+                        storage_name: str | None = None,
+                        seed: int = 0,
+                        bufsize: int = DEFAULT_BUFSIZE,
+                        fsync_checkpoints: bool = True) -> ScaledRunResult:
+    """Full-scale BIT1 with the original file I/O (Figs. 2-5 baseline).
+
+    ``fsync_checkpoints=False`` ablates the crash-safety fsyncs (the
+    mechanism behind the paper's metadata mountain) — used by the
+    ablation benches.
+    """
+    config = config or paper_use_case()
+    comm, fs, posix, monitor = _setup(machine, nodes, ranks_per_node,
+                                      storage_name, seed, "bit1-original")
+    model = Bit1DataModel(config, comm.size)
+    outdir = "/scratch/bit1_original"
+    posix.mkdir(0, outdir, parents=True)
+    ranks = np.arange(comm.size)
+
+    dat_paths = [f"{outdir}/bit1_r{r:05d}.dat" for r in ranks]
+    dmp_paths = [f"{outdir}/bit1_r{r:05d}.dmp" for r in ranks]
+    with posix.phase(writers=comm.size, md_clients=comm.size):
+        _read_startup_inputs(posix, comm, model, outdir)
+        dat_fds = posix.open_group(ranks, dat_paths, create=True, api="STDIO")
+        dmp_fds = posix.open_group(ranks, dmp_paths, create=True, api="STDIO")
+        # per-file stdio header
+        posix.write_group(ranks, dat_fds, int(ORIGINAL_FILE_HEADER),
+                          api="STDIO")
+
+        diag_per_event = model.original_diag_text_per_event()
+        ckpt_per_rank = model.ckpt_particle_bytes_per_rank() \
+            + model.ckpt_grid_bytes_per_rank()
+        global_fd = posix.open(0, f"{outdir}/history.dat", create=True,
+                               api="STDIO")
+        for i in range(ORIGINAL_GLOBAL_FILES - 1):
+            fd = posix.open(0, f"{outdir}/global{i}.dat", create=True,
+                            api="STDIO")
+            posix.write(0, fd, SyntheticPayload(
+                int(ORIGINAL_GLOBAL_FILE_BYTES), "ascii_table"), api="STDIO")
+            posix.close(0, fd)
+
+        for step, is_ckpt in _event_steps(config):
+            # diagnostics: reopen-append-close per event, buffered stdio
+            posix.meta_group(ranks, "open", api="STDIO")
+            posix.write_group(ranks, dat_fds, diag_per_event, api="STDIO")
+            posix.meta_group(ranks, "close", api="STDIO")
+            posix.write(0, global_fd,
+                        SyntheticPayload(64, "ascii_table"), api="STDIO")
+            if is_ckpt:
+                # checkpoint: truncate + rewrite the full state in
+                # buffered chunks, each committed with fsync
+                posix.meta_group(ranks, "open", api="STDIO")
+                posix.write_group(
+                    ranks, dmp_fds,
+                    ckpt_per_rank + int(ORIGINAL_FILE_HEADER),
+                    chunk_size=bufsize,
+                    sync_each_chunk=fsync_checkpoints,
+                    truncate_first=True, api="STDIO")
+                posix.meta_group(ranks, "close", api="STDIO")
+            comm.barrier()
+
+        posix.close(0, global_fd)
+        posix.close_group(ranks, dat_fds, api="STDIO")
+        posix.close_group(ranks, dmp_fds, api="STDIO")
+
+    log = monitor.finalize(runtime_seconds=comm.max_time(),
+                           machine=machine.name, config="original")
+    return ScaledRunResult(machine.name, "original", nodes, comm.size,
+                           log, fs, comm, outdir)
+
+
+def run_openpmd_scaled(machine: Machine, nodes: int,
+                       config: Bit1Config | None = None,
+                       ranks_per_node: int = 128,
+                       num_aggregators: int | None = None,
+                       compressor: str | None = None,
+                       profiling: bool = False,
+                       stripe_count: int | None = None,
+                       stripe_size: int | str | None = None,
+                       engine_ext: str = ".bp4",
+                       storage_name: str | None = None,
+                       seed: int = 0) -> ScaledRunResult:
+    """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II)."""
+    config = config or paper_use_case()
+    comm, fs, posix, monitor = _setup(machine, nodes, ranks_per_node,
+                                      storage_name, seed, "bit1-openpmd")
+    model = Bit1DataModel(config, comm.size)
+    outdir = "/scratch/io_openPMD"
+    posix.mkdir(0, outdir, parents=True)
+    if stripe_count is not None or stripe_size is not None:
+        if not isinstance(fs, LustreFilesystem):
+            raise ValueError("striping controls require a Lustre filesystem")
+        fs.lfs_setstripe(outdir, stripe_count or 1, stripe_size or "1M")
+
+    def series(path: str, num_agg: int | None) -> Series:
+        options: dict = {"adios2": {"engine": {"type": engine_ext.strip("."),
+                                               "parameters": {}},
+                                    "dataset": {}}}
+        if num_agg is not None:
+            options["adios2"]["engine"]["parameters"]["NumAggregators"] = num_agg
+        if profiling:
+            options["adios2"]["engine"]["parameters"]["Profile"] = "On"
+        if compressor:
+            options["adios2"]["dataset"]["operators"] = [{"type": compressor}]
+        return Series(posix, comm, path, Access.CREATE, options=options)
+
+    _read_startup_inputs(posix, comm, model, outdir)
+    diag_series = series(f"{outdir}/dat_file{engine_ext}", num_aggregators)
+    ckpt_series = series(f"{outdir}/dmp_file{engine_ext}",
+                         1 if num_aggregators is None else num_aggregators)
+
+    ranks = np.arange(comm.size)
+    n_particles = model.total_particles
+    per_rank_particles = np.full(comm.size, n_particles // comm.size,
+                                 dtype=np.int64)
+    per_rank_particles[: n_particles % comm.size] += 1
+    grid_elems = model.grid_state_bytes // 8
+    per_rank_grid = np.full(comm.size, grid_elems // comm.size, dtype=np.int64)
+    per_rank_grid[: grid_elems % comm.size] += 1
+    meta_elems = model.ckpt_meta_bytes_per_rank() // 8
+    diag_elems = model.diag_bytes_per_rank_per_event() // 8
+
+    with posix.phase(writers=comm.size, md_clients=comm.size):
+        for step, is_ckpt in _event_steps(config):
+            it = diag_series.iterations[step]
+            it.set_time(step * config.dt, config.dt)
+            comp = it.meshes["rank_summary"].scalar
+            comp.entropy = "diagnostic_float64"
+            comp.reset_dataset(Dataset(np.float64,
+                                       (int(diag_elems) * comm.size,)))
+            comp.store_chunk_group(ranks, int(diag_elems))
+            it.close()
+
+            if is_ckpt:
+                it0 = ckpt_series.iterations[0].reopen()
+                it0.set_time(step * config.dt, config.dt)
+                sp = it0.particles["all_species"]
+                for rec_name, comp_name in (("position", "x"),
+                                            ("momentum", "x"),
+                                            ("momentum", "y"),
+                                            ("momentum", "z")):
+                    rec = sp[rec_name]
+                    comp = rec[comp_name]
+                    comp.entropy = "particle_float32"
+                    comp.reset_dataset(Dataset(np.float32, (n_particles,)))
+                    comp.store_chunk_group(ranks, per_rank_particles)
+                moments = it0.meshes["grid_moments"].scalar
+                moments.entropy = "diagnostic_float64"
+                moments.reset_dataset(Dataset(np.float64, (grid_elems,)))
+                moments.store_chunk_group(ranks, per_rank_grid)
+                meta = it0.meshes["rank_state"].scalar
+                meta.entropy = "diagnostic_float64"
+                meta.reset_dataset(Dataset(np.float64,
+                                           (int(meta_elems) * comm.size,)))
+                meta.store_chunk_group(ranks, int(meta_elems))
+                it0.close()
+
+        diag_series.close()
+        ckpt_series.close()
+
+    label_parts = [f"openPMD+{engine_ext.strip('.').upper()}"]
+    if num_aggregators is not None:
+        label_parts.append(f"{num_aggregators}AGGR")
+    if compressor:
+        label_parts.append(compressor)
+    if stripe_count is not None:
+        label_parts.append(f"sc{stripe_count}")
+    profiles = []
+    for s in (diag_series, ckpt_series):
+        eng = s.engine
+        if eng is not None and hasattr(eng, "profile"):
+            profiles.append(eng.profile)
+    log = monitor.finalize(runtime_seconds=comm.max_time(),
+                           machine=machine.name,
+                           config="+".join(label_parts))
+    return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
+                           comm.size, log, fs, comm, outdir,
+                           profiles=profiles)

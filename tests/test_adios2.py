@@ -1,0 +1,316 @@
+"""Tests for the ADIOS2 layer: variables, aggregation, engines, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.adios2 import (
+    AggregationPlan,
+    BP4Engine,
+    BP5Engine,
+    EngineConfig,
+    EngineProfile,
+    Variable,
+    dtype_name,
+    element_size,
+    engine_for_path,
+    gather_cost_seconds,
+    plan_aggregation,
+)
+from repro.cluster.presets import dardel
+from repro.fs import PosixIO, SyntheticPayload, mount
+from repro.mpi import VirtualComm
+
+
+@pytest.fixture
+def env():
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(8, 4)
+    posix = PosixIO(fs, comm)
+    posix.mkdir(0, "/out")
+    return fs, comm, posix
+
+
+class TestVariables:
+    def test_dtype_names(self):
+        assert dtype_name(np.float32) == "float"
+        assert dtype_name("float64") == "double"
+        assert element_size("double") == 8
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            dtype_name(np.complex128)
+        with pytest.raises(TypeError):
+            element_size("quaternion")
+
+    def test_put_chunk_validation(self):
+        var = Variable("v", "double", (100,))
+        var.put_chunk(0, (0,), (50,), SyntheticPayload(400))
+        with pytest.raises(ValueError):
+            var.put_chunk(1, (60,), (50,), SyntheticPayload(400))  # overflow
+        with pytest.raises(ValueError):
+            var.put_chunk(1, (0, 0), (10, 10), SyntheticPayload(1))  # rank
+
+    def test_per_rank_bytes(self):
+        var = Variable("v", "double", (100,))
+        var.put_chunk(0, (0,), (10,), SyntheticPayload(80))
+        var.put_chunk(2, (10,), (20,), SyntheticPayload(160))
+        per = var.per_rank_bytes(4)
+        assert list(per) == [80, 0, 160, 0]
+        assert var.total_bytes == 240
+
+
+class TestAggregation:
+    def test_default_one_per_node(self):
+        comm = VirtualComm(256, 128)
+        plan = plan_aggregation(comm)
+        assert plan.num_aggregators == 2
+        assert list(plan.aggregator_ranks) == [0, 128]
+
+    def test_explicit_count(self):
+        comm = VirtualComm(16, 4)
+        plan = plan_aggregation(comm, 4)
+        assert plan.num_aggregators == 4
+        # ranks map to the aggregator at or below them
+        assert plan.agg_index_of_rank[0] == 0
+        assert plan.agg_index_of_rank[15] == 3
+
+    def test_all_ranks_aggregators(self):
+        comm = VirtualComm(8, 4)
+        plan = plan_aggregation(comm, 8)
+        assert plan.num_aggregators == 8
+        assert np.array_equal(plan.agg_index_of_rank, np.arange(8))
+
+    def test_single_aggregator(self):
+        # the paper's "exactly one file written on the disk for all ranks"
+        comm = VirtualComm(16, 4)
+        plan = plan_aggregation(comm, 1)
+        assert plan.num_aggregators == 1
+        assert np.all(plan.agg_index_of_rank == 0)
+
+    def test_invalid_count(self):
+        comm = VirtualComm(4, 2)
+        with pytest.raises(ValueError):
+            plan_aggregation(comm, 0)
+        with pytest.raises(ValueError):
+            plan_aggregation(comm, 5)
+
+    def test_per_aggregator_bytes_conserved(self):
+        comm = VirtualComm(16, 4)
+        plan = plan_aggregation(comm, 3)
+        rng = np.random.default_rng(0)
+        per_rank = rng.integers(0, 1000, 16)
+        per_agg = plan.per_aggregator_bytes(per_rank)
+        assert per_agg.sum() == per_rank.sum()
+
+    def test_per_aggregator_shape_check(self):
+        comm = VirtualComm(4, 2)
+        plan = plan_aggregation(comm, 2)
+        with pytest.raises(ValueError):
+            plan.per_aggregator_bytes(np.zeros(3))
+
+    def test_remote_bytes_zero_for_self(self):
+        comm = VirtualComm(4, 2)
+        plan = plan_aggregation(comm, 4)
+        remote = plan.remote_bytes(np.full(4, 100))
+        assert np.all(remote == 0)  # everyone is their own aggregator
+
+    def test_gather_cost_charges_senders_and_receivers(self):
+        comm = VirtualComm(8, 4)
+        plan = plan_aggregation(comm, 2)
+        costs = gather_cost_seconds(plan, np.full(8, 10 * 2**20), comm)
+        # aggregators receive more than they send
+        assert costs[plan.aggregator_ranks].max() >= costs.max() * 0.99
+        assert np.all(costs >= 0)
+
+
+class TestEngineLayout:
+    def test_bp4_directory_contents(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/run", "w")
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        files = _fs.vfs.files_under("/out/run.bp4")
+        names = {f.rsplit("/", 1)[1] for f in files}
+        # default aggregation: 2 nodes -> data.0, data.1
+        assert names == {"data.0", "data.1", "md.0", "md.idx"}
+
+    def test_bp5_has_mmd(self, env):
+        _fs, comm, posix = env
+        eng = BP5Engine(posix, comm, "/out/run5", "w")
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        names = {f.rsplit("/", 1)[1]
+                 for f in _fs.vfs.files_under("/out/run5.bp5")}
+        assert "mmd.0" in names
+
+    def test_profiling_json_written_when_enabled(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/prof", "w",
+                        EngineConfig(profiling=True))
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        assert _fs.vfs.exists("/out/prof.bp4/profiling.json")
+        blob = _fs.vfs.read(_fs.vfs.lookup("/out/prof.bp4/profiling.json"),
+                            0, 10_000)
+        assert b"memcpy" in blob
+
+    def test_num_aggregators_controls_subfiles(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/agg", "w",
+                        EngineConfig(num_aggregators=4))
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        names = [f for f in _fs.vfs.files_under("/out/agg.bp4")
+                 if "/data." in f]
+        assert len(names) == 4
+
+    def test_engine_for_path(self):
+        assert engine_for_path("x.bp4") is BP4Engine
+        assert engine_for_path("x.bp5") is BP5Engine
+        assert engine_for_path("x.bp") is BP4Engine
+        with pytest.raises(ValueError):
+            engine_for_path("x.h5")
+
+
+class TestEngineSemantics:
+    def test_step_protocol_enforced(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/p", "w")
+        with pytest.raises(RuntimeError):
+            eng.end_step()  # no begin
+        eng.begin_step()
+        with pytest.raises(RuntimeError):
+            eng.begin_step()  # nested
+        eng.end_step()
+        eng.close()
+        with pytest.raises(RuntimeError):
+            eng.begin_step()  # closed
+
+    def test_read_mode_rejects_writes(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/w", "w")
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        rd = BP4Engine(posix, comm, "/out/w", "r")
+        with pytest.raises(RuntimeError):
+            rd.begin_step()
+
+    def test_real_roundtrip_multi_rank(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/rt", "w")
+        eng.begin_step()
+        for r in range(8):
+            eng.put("/v", "double", (80,), r, (r * 10,), (10,),
+                    np.arange(r * 10, r * 10 + 10, dtype=np.float64))
+        eng.end_step()
+        eng.close()
+        rd = BP4Engine(posix, comm, "/out/rt", "r")
+        assert np.array_equal(rd.get("/v"), np.arange(80, dtype=np.float64))
+
+    def test_compressed_roundtrip(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/z", "w",
+                        EngineConfig(compressor="blosc"))
+        eng.begin_step()
+        data = np.linspace(0, 1, 64, dtype=np.float32)
+        eng.put("/v", "float", (64,), 0, (0,), (64,), data)
+        eng.end_step()
+        eng.close()
+        rd = BP4Engine(posix, comm, "/out/z", "r",
+                       EngineConfig(compressor="blosc"))
+        assert np.allclose(rd.get("/v"), data)
+
+    def test_overwrite_key_keeps_disk_size(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/ow", "w",
+                        EngineConfig(num_aggregators=1))
+        for round_ in range(3):
+            eng.begin_step()
+            eng.put_group("/state", np.arange(8), 1000)
+            eng.end_step(overwrite_key="iteration0")
+        eng.close()
+        ino = _fs.vfs.lookup("/out/ow.bp4/data.0")
+        assert _fs.vfs.size_of(ino) == 8000          # one copy on disk
+        assert _fs.vfs.cols.bytes_written[ino] == 24000  # 3 copies moved
+
+    def test_append_steps_grow_file(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/gr", "w",
+                        EngineConfig(num_aggregators=1))
+        for _ in range(3):
+            eng.begin_step()
+            eng.put_group("/diag", np.arange(8), 100)
+            eng.end_step()  # no overwrite key: appends
+        eng.close()
+        ino = _fs.vfs.lookup("/out/gr.bp4/data.0")
+        assert _fs.vfs.size_of(ino) == 2400
+
+    def test_grown_rewrite_reallocates(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/g2", "w",
+                        EngineConfig(num_aggregators=1))
+        eng.begin_step()
+        eng.put_group("/s", np.arange(8), 100)
+        eng.end_step(overwrite_key="it0")
+        eng.begin_step()
+        eng.put_group("/s", np.arange(8), 500)  # bigger than the slot
+        eng.end_step(overwrite_key="it0")
+        eng.close()
+        ino = _fs.vfs.lookup("/out/g2.bp4/data.0")
+        assert _fs.vfs.size_of(ino) == 800 + 4000
+
+    def test_memcpy_profiled_without_compression(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/m1", "w")
+        eng.begin_step()
+        eng.put_group("/v", np.arange(8), 10000)
+        eng.end_step()
+        assert eng.profile.total_us("memcpy") > 0
+        assert eng.profile.total_us("compress") == 0
+        eng.close()
+
+    def test_compression_eliminates_memcpy(self, env):
+        # the Fig. 8 mechanism
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/m2", "w",
+                        EngineConfig(compressor="blosc"))
+        eng.begin_step()
+        eng.put_group("/v", np.arange(8), 10000)
+        eng.end_step()
+        assert eng.profile.total_us("memcpy") == 0
+        assert eng.profile.total_us("compress") > 0
+        eng.close()
+
+    def test_attributes(self, env):
+        _fs, comm, posix = env
+        eng = BP4Engine(posix, comm, "/out/at", "w")
+        eng.define_attribute("openPMD", "1.1.0")
+        assert eng._attributes["openPMD"].value == "1.1.0"
+        eng.close()
+
+
+class TestProfile:
+    def test_accumulate_and_summarize(self):
+        prof = EngineProfile(4)
+        prof.add("write", np.array([0, 1]), np.array([1e-3, 2e-3]))
+        assert prof.total_us("write") == pytest.approx(3000.0)
+        assert prof.mean_us("write") == pytest.approx(750.0)
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            EngineProfile(2).add("teleport", 0, 1.0)
+
+    def test_json_structure(self):
+        import json
+
+        prof = EngineProfile(2, "BP4")
+        prof.add("memcpy", 0, 5e-6)
+        doc = json.loads(prof.to_json())
+        assert doc["engine"] == "BP4"
+        cats = {t["category"] for t in doc["transports"]}
+        assert "memcpy" in cats and "write" in cats

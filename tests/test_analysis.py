@@ -1,0 +1,215 @@
+"""Tests for the post-processing analysis package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    Bit1SeriesReader,
+    compute_moments,
+    debye_profile,
+    detect_steady_state,
+    fit_exponential,
+    ionization_rate_from_history,
+    moments_from_particles,
+    moving_average,
+    pressure_profile,
+)
+from repro.cluster.presets import dardel
+from repro.fs import PosixIO, mount
+from repro.mpi import VirtualComm
+from repro.pic import Bit1Simulation, Grid1D, ParticleArrays, thermal_speed
+from repro.pic.constants import EV, ME, QE
+from repro.io_adaptor import Bit1OpenPMDWriter
+from repro.workloads import small_use_case
+
+
+class TestMoments:
+    def test_uniform_population_density(self):
+        g = Grid1D(32, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(0)
+        n = 64000
+        weight = 1e15 * g.length / n  # target density 1e15
+        p.add(rng.uniform(0, 1.0, n), 0, 0, 0, weight)
+        m = moments_from_particles(g, p)
+        assert m.density[2:-2].mean() == pytest.approx(1e15, rel=0.05)
+
+    def test_drift_recovered(self):
+        g = Grid1D(16, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(1)
+        p.add(rng.uniform(0, 1, 5000), 3.0e5, 0.0, 0.0, 1.0)
+        m = moments_from_particles(g, p)
+        occ = m.density > 0
+        assert np.allclose(m.mean_velocity[occ], 3.0e5)
+        assert np.allclose(m.temperature_ev[occ], 0.0, atol=1e-9)
+
+    def test_temperature_recovered(self):
+        g = Grid1D(8, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(2)
+        t_ev = 5.0
+        vth = thermal_speed(t_ev, ME)
+        n = 200_000
+        p.add(rng.uniform(0, 1, n), rng.normal(0, vth, n),
+              rng.normal(0, vth, n), rng.normal(0, vth, n), 1.0)
+        m = moments_from_particles(g, p)
+        occ = m.density > 0
+        assert m.temperature_ev[occ].mean() == pytest.approx(t_ev, rel=0.05)
+
+    def test_empty_population_no_nans(self):
+        g = Grid1D(8, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        m = moments_from_particles(g, p)
+        assert not np.any(np.isnan(m.density))
+        assert not np.any(np.isnan(m.temperature_ev))
+
+    def test_length_mismatch_rejected(self):
+        g = Grid1D(8, 1.0)
+        with pytest.raises(ValueError):
+            compute_moments(g, np.zeros(3), np.zeros(2), np.zeros(3),
+                            np.zeros(3), np.zeros(3), ME)
+
+    def test_pressure_is_nkt(self):
+        g = Grid1D(4, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(3)
+        vth = thermal_speed(2.0, ME)
+        p.add(rng.uniform(0, 1, 50000), rng.normal(0, vth, 50000),
+              rng.normal(0, vth, 50000), rng.normal(0, vth, 50000), 1e10)
+        m = moments_from_particles(g, p)
+        pr = pressure_profile(m)
+        occ = m.density > 0
+        expected = m.density[occ] * m.temperature_ev[occ] * EV
+        assert np.allclose(pr[occ], expected)
+
+    def test_debye_profile(self):
+        g = Grid1D(4, 1.0)
+        from repro.analysis.moments import MomentProfiles
+
+        m = MomentProfiles(density=np.array([0.0, 1e18]),
+                           mean_velocity=np.zeros(2),
+                           temperature_ev=np.array([1.0, 1.0]))
+        ld = debye_profile(m)
+        assert np.isinf(ld[0])
+        assert ld[1] == pytest.approx(7.43e-6, rel=0.01)
+
+    @given(st.integers(10, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_density_integral_equals_total_weight(self, n):
+        g = Grid1D(16, 2.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(n)
+        p.add(rng.uniform(0, 2.0, n) * 0.999, 0, 0, 0, 2.0)
+        m = moments_from_particles(g, p)
+        volume = np.full(g.nnodes, g.dx)
+        volume[0] = volume[-1] = g.dx / 2
+        assert float((m.density * volume).sum()) == pytest.approx(2.0 * n)
+
+
+class TestTimeseries:
+    def test_exponential_fit_exact(self):
+        t = np.linspace(0, 10, 50)
+        y = 3.0 * np.exp(-0.7 * t)
+        fit = fit_exponential(t, y)
+        assert fit.rate == pytest.approx(-0.7)
+        assert fit.amplitude == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.halving_time == pytest.approx(np.log(2) / 0.7)
+
+    def test_fit_callable(self):
+        fit = fit_exponential(np.array([0.0, 1.0]), np.array([1.0, np.e]))
+        assert fit(np.array([2.0]))[0] == pytest.approx(np.e**2, rel=1e-6)
+
+    def test_growth_has_infinite_halving(self):
+        fit = fit_exponential(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        assert fit.halving_time == float("inf")
+
+    def test_fit_validations(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([0.0, 1.0]), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_ionization_rate_recovery(self):
+        ne, rate, dt = 1e17, 2e-13, 1e-9
+        steps = np.arange(0, 2000, 100)
+        counts = 1e6 * (1 - ne * rate * dt) ** steps
+        measured = ionization_rate_from_history(steps, counts, dt)
+        assert measured == pytest.approx(ne * rate, rel=0.01)
+
+    def test_steady_state_detection(self):
+        series = np.concatenate([np.linspace(0, 10, 50), np.full(50, 10.0)])
+        idx = detect_steady_state(series, window=10, rel_tol=0.01)
+        assert idx is not None
+        assert 40 <= idx <= 60
+
+    def test_steady_state_never(self):
+        assert detect_steady_state(np.arange(100.0), window=10) is None
+
+    def test_steady_state_all_zero(self):
+        assert detect_steady_state(np.zeros(30), window=5) == 0
+
+    def test_steady_state_window_validation(self):
+        with pytest.raises(ValueError):
+            detect_steady_state(np.zeros(4), window=1)
+
+    def test_moving_average_flat(self):
+        assert np.allclose(moving_average(np.full(10, 3.0), 4), 3.0)
+
+    def test_moving_average_length_preserved(self):
+        v = np.arange(10.0)
+        out = moving_average(v, 3)
+        assert len(out) == 10
+        assert out[0] == 0.0
+        assert out[-1] == pytest.approx((7 + 8 + 9) / 3)
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(4), 0)
+
+
+class TestSeriesReader:
+    @pytest.fixture(scope="class")
+    def run(self):
+        fs = mount(dardel().storage_named("lfs"))
+        comm = VirtualComm(4, 2)
+        posix = PosixIO(fs, comm)
+        writer = Bit1OpenPMDWriter(posix, comm, "/run/ana")
+        cfg = small_use_case(ncells=32, particles_per_cell=20, last_step=80,
+                             datfile=20, dmpstep=80)
+        sim = Bit1Simulation(cfg, comm, writers=[writer])
+        sim.run()
+        return posix, comm, sim
+
+    def test_phase_space_counts_match(self, run):
+        posix, comm, sim = run
+        reader = Bit1SeriesReader(posix, comm, "/run/ana")
+        ps = reader.phase_space("e")
+        assert len(ps) == sim.total_count("e")
+        assert len(ps.vx) == len(ps)
+        assert ps.kinetic_energy(ME) > 0
+
+    def test_checkpoint_step_recorded(self, run):
+        posix, comm, _sim = run
+        reader = Bit1SeriesReader(posix, comm, "/run/ana")
+        assert reader.checkpoint_step() == 80
+
+    def test_diag_frames(self, run):
+        posix, comm, _sim = run
+        reader = Bit1SeriesReader(posix, comm, "/run/ana")
+        its = reader.iterations()
+        assert its == [20, 40, 60, 80]
+        frame = reader.frame(its[0])
+        assert "e" in frame.densities
+        assert "D" in frame.dfv
+
+    def test_density_history_decays(self, run):
+        posix, comm, _sim = run
+        reader = Bit1SeriesReader(posix, comm, "/run/ana")
+        its, totals = reader.density_history("D")
+        assert len(its) == 4
+        assert totals[-1] <= totals[0]  # ionization eats neutrals

@@ -1,0 +1,103 @@
+"""Tests for the machine models and presets."""
+
+import pytest
+
+from repro.cluster import (
+    Machine,
+    NetworkSpec,
+    NodeSpec,
+    StorageSystem,
+    StorageTuning,
+    all_machines,
+    dardel,
+    discoverer,
+    machine_by_name,
+    vega,
+)
+from repro.util.units import GiB, PiB
+
+
+class TestPaperFacts:
+    """Hardware facts transcribed from §III-C."""
+
+    def test_dardel(self):
+        m = dardel()
+        assert m.num_nodes == 1270
+        assert m.cores_per_node == 128
+        lfs = m.storage_named("lfs")
+        assert lfs.num_osts == 48
+        assert lfs.capacity_bytes == 12 * PiB
+        assert m.mpi_flavor.startswith("Cray MPICH")
+
+    def test_discoverer(self):
+        m = discoverer()
+        assert m.num_nodes == 1128
+        assert m.storage_named("lfs").num_osts == 4
+        assert m.storage_named("nfs").kind == "nfs"
+        assert m.compiler == "GCC 11.4.0"
+
+    def test_vega(self):
+        m = vega()
+        assert m.num_nodes == 960
+        assert m.storage_named("lfs").num_osts == 80
+        assert m.storage_named("cephfs").capacity_bytes == 23 * PiB
+
+    def test_all_128_core_epyc(self):
+        for m in all_machines():
+            assert m.node.cores == 128
+            assert "EPYC" in m.node.cpu_model
+
+    def test_max_ranks(self):
+        assert dardel().max_ranks() == 1270 * 128
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert machine_by_name("DARDEL").name == "Dardel"
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            machine_by_name("frontier")
+
+    def test_storage_named_unknown(self):
+        with pytest.raises(KeyError):
+            dardel().storage_named("gpfs")
+
+    def test_default_storage_is_lfs(self):
+        for m in all_machines():
+            assert m.default_storage.kind in ("lustre",)
+
+
+class TestConstruction:
+    def _base_storage(self):
+        return StorageSystem(name="s", kind="lustre",
+                             capacity_bytes=1 * PiB, num_osts=8)
+
+    def test_machine_requires_storage(self):
+        with pytest.raises(ValueError):
+            Machine(name="m", num_nodes=1, node=NodeSpec(),
+                    network=NetworkSpec(), storage=())
+
+    def test_duplicate_storage_names(self):
+        s = self._base_storage()
+        with pytest.raises(ValueError):
+            Machine(name="m", num_nodes=1, node=NodeSpec(),
+                    network=NetworkSpec(), storage=(s, s))
+
+    def test_stripe_count_bounded_by_osts(self):
+        with pytest.raises(ValueError):
+            StorageSystem(name="s", kind="lustre", capacity_bytes=1 * PiB,
+                          num_osts=4, default_stripe_count=8)
+
+    def test_with_storage_tuning(self):
+        m = dardel()
+        m2 = m.with_storage_tuning("lfs", sync_latency=1.0)
+        assert m2.storage_named("lfs").tuning.sync_latency == 1.0
+        # original untouched (frozen dataclasses)
+        assert m.storage_named("lfs").tuning.sync_latency != 1.0
+
+    def test_tuning_defaults_sane(self):
+        t = StorageTuning()
+        assert t.ost_stream_bandwidth > 0
+        assert 0 <= t.background_load < 1
+        assert t.rpc_max_size >= 1 << 20

@@ -1,0 +1,138 @@
+"""Numerical verification: convergence orders of the PIC kernels.
+
+Method-of-manufactured-solutions checks that the discretisations have
+their textbook orders of accuracy — the strongest evidence short of
+analytic equality that the numerics are implemented correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pic import (
+    Grid1D,
+    ParticleArrays,
+    electric_field,
+    gather_field,
+    solve_poisson_dirichlet,
+    solve_poisson_periodic,
+)
+from repro.pic.constants import EPS0, ME, QE
+
+
+def order_of(errors: list[float], factors: list[float]) -> float:
+    """Estimated convergence order from an error/refinement sequence."""
+    logs = np.log(errors)
+    steps = np.log(factors)
+    return float(-np.polyfit(steps, logs, 1)[0])
+
+
+class TestPoissonConvergence:
+    def test_dirichlet_second_order(self):
+        # manufactured: phi = sin(pi x), rho = eps0 pi^2 sin(pi x)
+        errors, ns = [], [16, 32, 64, 128, 256]
+        for n in ns:
+            g = Grid1D(n, 1.0)
+            x = g.node_positions()
+            rho = EPS0 * np.pi**2 * np.sin(np.pi * x)
+            phi = solve_poisson_dirichlet(g, rho)
+            errors.append(np.max(np.abs(phi - np.sin(np.pi * x))))
+        order = order_of(errors, ns)
+        assert order == pytest.approx(2.0, abs=0.2)
+
+    def test_periodic_spectral_single_mode(self):
+        # the FFT solver is exact on resolved modes: error at rounding level
+        for n in (32, 64):
+            g = Grid1D(n, 1.0)
+            k = 2 * np.pi / g.length
+            x = g.node_positions()
+            rho = EPS0 * k * k * np.cos(k * x)
+            phi = solve_poisson_periodic(g, rho)
+            assert np.max(np.abs(phi - np.cos(k * x))) < 1e-10
+
+
+class TestFieldGradientConvergence:
+    def test_centred_difference_second_order(self):
+        errors, ns = [], [16, 32, 64, 128]
+        for n in ns:
+            g = Grid1D(n, 1.0)
+            x = g.node_positions()
+            phi = np.sin(2 * np.pi * x)
+            e = electric_field(g, phi, periodic=True)
+            exact = -2 * np.pi * np.cos(2 * np.pi * x)
+            errors.append(np.max(np.abs(e - exact)[1:-1]))
+        assert order_of(errors, ns) == pytest.approx(2.0, abs=0.2)
+
+
+class TestGatherConvergence:
+    def test_linear_interpolation_second_order(self):
+        rng = np.random.default_rng(0)
+        xp = rng.uniform(0.1, 0.9, 500)
+        errors, ns = [], [16, 32, 64, 128]
+        for n in ns:
+            g = Grid1D(n, 1.0)
+            field = np.sin(2 * np.pi * g.node_positions())
+            got = gather_field(g, field, xp)
+            errors.append(np.max(np.abs(got - np.sin(2 * np.pi * xp))))
+        assert order_of(errors, ns) == pytest.approx(2.0, abs=0.3)
+
+
+class TestLeapfrogProperties:
+    def _oscillate(self, dt_frac: float, periods: float = 50):
+        """Electron in a linear restoring E-field: a harmonic oscillator.
+
+        E(x) = -K (x - L/2) / q gives omega = sqrt(K/m).  Leapfrog is
+        symplectic: the orbit amplitude must neither grow nor damp, and
+        the numerical frequency carries the textbook O((omega dt)^2)
+        phase correction.
+        """
+        from repro.pic.mover import initial_half_kick, leapfrog_step
+
+        g = Grid1D(256, 1.0)
+        k_spring = ME * (2 * np.pi * 1e6) ** 2  # omega = 2pi MHz
+        omega = np.sqrt(k_spring / ME)
+        x_nodes = g.node_positions()
+        efield = -k_spring * (x_nodes - 0.5) / (-QE)
+        p = ParticleArrays("e", ME, -QE)
+        amplitude = 0.05
+        p.add([0.5 + amplitude], 0.0, 0.0, 0.0, 1.0)
+        dt = dt_frac / omega
+        initial_half_kick(g, p, efield, dt)
+        steps = int(periods * 2 * np.pi / omega / dt)
+        xs = np.empty(steps)
+        for i in range(steps):
+            leapfrog_step(g, p, efield, dt, periodic=False)
+            xs[i] = p.positions()[0] - 0.5
+        return xs, dt, omega, amplitude
+
+    def test_amplitude_stable_over_50_periods(self):
+        # symplectic: no secular growth or damping of the orbit
+        xs, _dt, _omega, amplitude = self._oscillate(dt_frac=0.05)
+        last_tenth = xs[-len(xs) // 10:]
+        assert np.max(np.abs(last_tenth)) == pytest.approx(
+            amplitude, rel=0.01)
+
+    @staticmethod
+    def _measured_omega(xs: np.ndarray, dt: float) -> float:
+        """Frequency from linearly-interpolated upward zero crossings."""
+        up = np.nonzero((xs[:-1] < 0) & (xs[1:] >= 0))[0]
+        # sub-sample crossing times by linear interpolation
+        t_cross = (up + xs[up] / (xs[up] - xs[up + 1])) * dt
+        periods = np.diff(t_cross)
+        return 2 * np.pi / periods.mean()
+
+    def test_frequency_matches_omega(self):
+        xs, dt, omega, _a = self._oscillate(dt_frac=0.05, periods=20)
+        measured = self._measured_omega(xs, dt)
+        assert measured == pytest.approx(omega, rel=0.001)
+
+    def test_phase_error_scales_quadratically(self):
+        # leapfrog's frequency warping: omega_num ~ omega (1 + (w dt)^2/24)
+        def freq_error(dt_frac):
+            xs, dt, omega, _a = self._oscillate(dt_frac, periods=40)
+            return abs(self._measured_omega(xs, dt) - omega) / omega
+
+        coarse = freq_error(0.4)
+        fine = freq_error(0.1)
+        assert coarse / fine == pytest.approx(16.0, rel=0.5)
+        # and the coefficient itself is the textbook 1/24
+        assert coarse == pytest.approx(0.4**2 / 24, rel=0.5)

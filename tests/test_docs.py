@@ -1,0 +1,79 @@
+"""Documentation consistency checks: the docs reference real things."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/performance_model.md", "docs/architecture.md",
+        "docs/api_guide.md",
+    ])
+    def test_present_and_substantial(self, name):
+        text = _read(name)
+        assert len(text) > 1000, f"{name} looks stubby"
+
+    def test_design_confirms_paper_match(self):
+        # the task requires DESIGN.md to verify the paper text
+        assert "verified" in _read("DESIGN.md").lower()
+
+    def test_experiments_covers_every_figure_and_table(self):
+        text = _read("EXPERIMENTS.md")
+        for item in ("Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+                     "Fig. 7", "Fig. 8", "Fig. 9", "Table I", "Table II",
+                     "Table III"):
+            assert item in text, f"EXPERIMENTS.md missing {item}"
+
+    def test_paper_anchor_numbers_present(self):
+        text = _read("EXPERIMENTS.md")
+        for anchor in ("17.868", "15.80", "3.87", "0.59", "51206",
+                       "11.11", "3.68"):
+            assert anchor.replace("51206", "51,206") in text \
+                or anchor in text, f"anchor {anchor} missing"
+
+
+class TestReferencedModulesImport:
+    def test_backtick_module_references_resolve(self):
+        pattern = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+        names = set()
+        for doc in ("README.md", "DESIGN.md", "docs/architecture.md",
+                    "docs/api_guide.md", "docs/performance_model.md"):
+            names.update(pattern.findall(_read(doc)))
+        assert names, "docs should reference repro modules"
+        for name in sorted(names):
+            parts = name.split(".")
+            # try as module; fall back to attribute of the parent module
+            try:
+                importlib.import_module(name)
+            except ImportError:
+                parent = importlib.import_module(".".join(parts[:-1]))
+                assert hasattr(parent, parts[-1]), \
+                    f"doc reference {name!r} resolves to nothing"
+
+    def test_referenced_files_exist(self):
+        pattern = re.compile(
+            r"`((?:examples|benchmarks|tests|docs)/[A-Za-z0-9_./]+\.(?:py|md))`")
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            for ref in pattern.findall(_read(doc)):
+                assert (ROOT / ref).exists(), f"{doc} references missing {ref}"
+
+    def test_examples_listed_in_readme_exist(self):
+        text = _read("README.md")
+        for ref in re.findall(r"examples/([a-z_0-9]+\.py)", text):
+            assert (ROOT / "examples" / ref).exists(), ref
+
+    def test_all_examples_are_documented(self):
+        readme = _read("README.md")
+        for path in sorted((ROOT / "examples").glob("*.py")):
+            assert path.name in readme, \
+                f"examples/{path.name} missing from README"

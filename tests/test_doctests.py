@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.util.tables
+import repro.util.units
+
+MODULES = [repro.util.units, repro.util.tables]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

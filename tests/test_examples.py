@@ -1,0 +1,38 @@
+"""Example scripts: all must compile; the fast ones run end to end."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples")
+                  .glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 9
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_has_docstring_and_main(self, path):
+        text = path.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python\n"""',
+                                         '"""')), f"{path.name}: docstring"
+        assert 'if __name__ == "__main__":' in text
+
+    @pytest.mark.parametrize("name", ["checkpoint_restart.py",
+                                      "ionization_decay.py"])
+    def test_fast_examples_run_clean(self, name):
+        path = next(p for p in EXAMPLES if p.name == name)
+        out = subprocess.run([sys.executable, str(path)],
+                             capture_output=True, text=True, timeout=300)
+        assert out.returncode == 0, out.stderr[-2000:]
+        assert out.stdout.strip(), "examples must narrate what they do"

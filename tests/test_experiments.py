@@ -1,0 +1,175 @@
+"""Tests for the experiment drivers (reduced sweeps; full sweeps live in
+the benchmark harness)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import dardel
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table2,
+)
+from repro.experiments.common import ExperimentResult, SeriesResult, subset
+from repro.experiments.paper_data import NODE_COUNTS, TABLE2
+from repro.util.units import MiB
+
+QUICK_NODES = (1, 10, 50)
+
+
+class TestCommon:
+    def test_series_peak(self):
+        s = SeriesResult("x", [1, 2, 3], [1.0, 9.0, 2.0])
+        assert s.peak() == (2, 9.0)
+        assert s.y_at(3) == 2.0
+
+    def test_experiment_table_render(self):
+        r = ExperimentResult("demo", "n")
+        r.series.append(SeriesResult("a", [1, 2], [0.5, 1.5]))
+        r.notes.append("hello")
+        out = r.render()
+        assert "demo" in out and "note: hello" in out
+
+    def test_get_unknown_series(self):
+        r = ExperimentResult("demo", "n")
+        with pytest.raises(KeyError):
+            r.get("missing")
+
+    def test_subset(self):
+        assert subset((1, 2, 3, 4, 5), quick=True) == (1, 3, 5)
+        assert subset((1, 2), quick=True) == (1, 2)
+        assert subset((1, 2, 3), quick=False) == (1, 2, 3)
+
+
+class TestFig2:
+    def test_three_machines(self):
+        res = run_fig2(node_counts=(1, 20))
+        labels = [s.label for s in res.series]
+        assert labels == ["Discoverer", "Dardel", "Vega"]
+        for s in res.series:
+            assert len(s.ys) == 2
+            assert all(v > 0 for v in s.ys)
+
+    def test_render_mentions_anchors(self):
+        res = run_fig2(node_counts=(1,))
+        assert any("paper anchors" in n for n in res.notes)
+
+
+class TestFig3:
+    def test_bp4_beats_original_everywhere(self):
+        res = run_fig3(node_counts=QUICK_NODES)
+        orig = res.get("BIT1 Original I/O")
+        bp4 = res.get("BIT1 openPMD + BP4")
+        for n in QUICK_NODES:
+            assert bp4.y_at(n) > orig.y_at(n)
+
+
+class TestFig4:
+    def test_four_series(self):
+        res = run_fig4(node_counts=(1, 10))
+        assert {s.label for s in res.series} == {
+            "BIT1 Original I/O", "BIT1 openPMD + BP4",
+            "IOR FilePerProc", "IOR Shared"}
+
+    def test_original_least_competitive_at_scale(self):
+        res = run_fig4(node_counts=(10,))
+        vals = {s.label: s.y_at(10) for s in res.series}
+        assert vals["BIT1 Original I/O"] == min(vals.values())
+
+
+class TestFig5:
+    def test_reductions(self):
+        r = run_fig5(nodes=50)
+        assert r.meta_reduction > 0.99
+        assert r.write_reduction > 0.9
+        out = r.render()
+        assert "metadata reduction" in out
+
+    def test_normalized_table_contains_paper_columns(self):
+        r = run_fig5(nodes=50)
+        text = r.to_table().render()
+        assert "paper original" in text
+
+
+class TestFig6:
+    def test_peak_interior(self):
+        res = run_fig6(aggregators=(1, 100, 400, 6400, 25600))
+        s = res.series[0]
+        peak_x, _ = s.peak()
+        assert peak_x in (100, 400)
+        assert s.y_at(25600) > s.y_at(1)
+
+
+class TestFig7:
+    def test_three_series_present(self):
+        res = run_fig7(node_counts=(1, 40))
+        assert len(res.series) == 3
+
+    def test_compressed_slightly_below_uncompressed(self):
+        res = run_fig7(node_counts=(1,))
+        plain = res.get("openPMD+BP4 + 1 AGGR").y_at(1)
+        blosc = res.get("openPMD+BP4 + Blosc + 1 AGGR").y_at(1)
+        # throughput counts written (compressed) bytes over similar time
+        assert blosc <= plain * 1.05
+
+
+class TestFig8:
+    def test_memcpy_eliminated(self):
+        r = run_fig8(nodes=20)
+        assert r.memcpy_eliminated
+        assert r.memcpy_us_uncompressed > 0
+        assert r.compress_us_compressed > 0
+        assert r.compress_us_uncompressed == 0
+        assert "True (paper: True)" in r.render()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_fig9(stripe_sizes=(1 * MiB, 4 * MiB, 16 * MiB),
+                        stripe_counts=(1, 8), nodes=50)
+
+    def test_grid_shape(self, grid):
+        assert grid.seconds.shape == (3, 2)
+        assert np.all(grid.seconds > 0)
+
+    def test_smaller_stripes_cheaper_per_op(self, grid):
+        # "Smaller Lustre stripe sizes tend to yield better performance"
+        assert grid.at(1 * MiB, 1) < grid.at(16 * MiB, 1)
+
+    def test_values_in_paper_band(self, grid):
+        # paper's values sit at a few milliseconds per write op
+        assert 1e-4 < grid.seconds.min() < grid.seconds.max() < 0.1
+
+    def test_render_mentions_best(self, grid):
+        assert "best:" in grid.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return run_table2(node_counts=(1, 10),
+                          configs=("original", "bp4_default", "bp4_1aggr"))
+
+    def test_exact_file_counts(self, census):
+        assert census.stats["original"][1].total_files == TABLE2["original"]["files"][1]
+        assert census.stats["original"][10].total_files == 2566
+        assert census.stats["bp4_default"][10].total_files == 15
+        assert census.stats["bp4_1aggr"][10].total_files == 6
+
+    def test_sizes_close_to_paper(self, census):
+        avg = census.stats["bp4_1aggr"][10].avg_size_bytes
+        assert avg == pytest.approx(TABLE2["bp4_1aggr"]["avg"][10], rel=0.05)
+
+    def test_render_includes_paper_rows(self, census):
+        assert "paper files" in census.render()
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            run_table2(node_counts=(1,), configs=("mystery",))

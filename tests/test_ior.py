@@ -1,0 +1,133 @@
+"""Tests for the IOR benchmark substrate (config, CLI, execution)."""
+
+import pytest
+
+from repro.cluster.presets import dardel, discoverer
+from repro.ior import (
+    IORConfig,
+    parse_command_line,
+    run_ior,
+    table1_file_per_proc,
+    table1_shared,
+)
+from repro.util.units import KiB, MiB
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = IORConfig()
+        assert c.transfer_size == 256 * KiB
+        assert c.block_size == 1 * MiB
+        assert c.writes_per_task == 4
+        assert c.bytes_per_task == 1 * MiB
+
+    def test_totals(self):
+        c = IORConfig(num_tasks=100, block_size=2 * MiB,
+                      transfer_size=1 * MiB, segment_count=3)
+        assert c.total_bytes == 600 * MiB
+        assert c.writes_per_task == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IORConfig(num_tasks=0)
+        with pytest.raises(ValueError):
+            IORConfig(api="RADOS")
+        with pytest.raises(ValueError):
+            IORConfig(block_size=300, transfer_size=256)  # not a multiple
+        with pytest.raises(ValueError):
+            IORConfig(segment_count=0)
+
+    def test_command_line_render(self):
+        c = table1_file_per_proc(25600)
+        cmd = c.command_line()
+        assert "-N=25600" in cmd
+        assert "-a POSIX" in cmd
+        assert "-F" in cmd and "-C" in cmd and "-e" in cmd
+
+    def test_shared_has_no_F(self):
+        assert "-F" not in table1_shared(4).command_line().split()
+
+
+class TestCLI:
+    def test_parse_paper_fpp_command(self):
+        # Table I, verbatim modulo srun prefix
+        c = parse_command_line(
+            "srun -n 25600 ior -N=25600 -a POSIX -F -C -e")
+        assert c.num_tasks == 25600
+        assert c.file_per_proc and c.reorder_tasks and c.fsync
+        assert c.api == "POSIX"
+
+    def test_parse_shared_command(self):
+        c = parse_command_line("ior -N=512 -a POSIX -C -e")
+        assert not c.file_per_proc
+
+    def test_parse_sizes(self):
+        c = parse_command_line("ior -N=4 -a POSIX -t 1M -b 4M -s 2")
+        assert c.transfer_size == 1 * MiB
+        assert c.block_size == 4 * MiB
+        assert c.segment_count == 2
+
+    def test_parse_separated_n(self):
+        c = parse_command_line("ior -N 64 -a POSIX")
+        assert c.num_tasks == 64
+
+    def test_parse_output_file(self):
+        c = parse_command_line("ior -N=2 -a POSIX -o /scratch/x")
+        assert c.test_file == "/scratch/x"
+
+    def test_roundtrip(self):
+        c = table1_file_per_proc(128)
+        assert parse_command_line(c.command_line()) == c
+
+    def test_not_ior(self):
+        with pytest.raises(ValueError):
+            parse_command_line("dd if=/dev/zero of=/dev/null")
+
+    def test_unknown_option(self):
+        with pytest.raises(ValueError):
+            parse_command_line("ior -N=2 --warp-speed")
+
+
+class TestExecution:
+    def test_fpp_creates_one_file_per_task(self):
+        res = run_ior(dardel(), table1_file_per_proc(64))
+        files = [f for f in res.log.files if "testFile." in f.path]
+        assert len(files) == 64
+
+    def test_shared_creates_one_file(self):
+        res = run_ior(dardel(), table1_shared(64))
+        files = [f for f in res.log.files if "testFile" in f.path]
+        assert len(files) == 1
+
+    def test_bytes_accounted(self):
+        cfg = table1_file_per_proc(32)
+        res = run_ior(dardel(), cfg)
+        assert res.log.total_bytes_written() == cfg.total_bytes
+
+    def test_fpp_beats_shared_at_scale(self):
+        # the paper's Fig. 4 ordering
+        fpp = run_ior(dardel(), table1_file_per_proc(2560))
+        shared = run_ior(dardel(), table1_shared(2560))
+        assert fpp.write_gib_s > shared.write_gib_s
+
+    def test_fsync_slows_the_run(self):
+        base = IORConfig(num_tasks=256, file_per_proc=True, fsync=False)
+        synced = IORConfig(num_tasks=256, file_per_proc=True, fsync=True)
+        assert (run_ior(dardel(), synced).write_gib_s
+                < run_ior(dardel(), base).write_gib_s)
+
+    def test_deterministic_per_seed(self):
+        cfg = table1_shared(128)
+        a = run_ior(dardel(), cfg, seed=3)
+        b = run_ior(dardel(), cfg, seed=3)
+        assert a.write_gib_s == b.write_gib_s
+
+    def test_machines_differ(self):
+        cfg = table1_file_per_proc(2560)
+        a = run_ior(dardel(), cfg)
+        b = run_ior(discoverer(), cfg)
+        assert a.write_gib_s != b.write_gib_s
+
+    def test_summary_text(self):
+        res = run_ior(dardel(), table1_shared(16))
+        assert "GiB/s write" in res.summary()

@@ -1,0 +1,115 @@
+"""Tests for particle load balancing (future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import VirtualComm
+from repro.pic import Bit1Simulation
+from repro.pic.loadbalance import (
+    BalanceReport,
+    balanced_partition,
+    particles_per_cell,
+    rebalance,
+)
+from repro.workloads import small_use_case
+
+
+class TestBalancedPartition:
+    def test_uniform_counts_block_split(self):
+        bounds = balanced_partition(np.full(8, 10), 4)
+        assert bounds == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_skewed_counts_shift_cuts(self):
+        counts = np.array([100, 0, 0, 0, 0, 0, 0, 100])
+        bounds = balanced_partition(counts, 2)
+        loads = [counts[a:b].sum() for a, b in bounds]
+        assert loads[0] == loads[1] == 100
+
+    def test_all_particles_in_one_cell(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[7] = 1000
+        bounds = balanced_partition(counts, 4)
+        # every rank still owns >= 1 cell; coverage is exact
+        assert bounds[0][0] == 0 and bounds[-1][1] == 16
+        assert all(b > a for a, b in bounds)
+
+    def test_zero_particles_block_fallback(self):
+        bounds = balanced_partition(np.zeros(10, dtype=np.int64), 3)
+        assert [b - a for a, b in bounds] == [4, 3, 3]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            balanced_partition(np.ones(4), 5)
+
+    @given(st.lists(st.integers(0, 1000), min_size=8, max_size=64),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants(self, counts, nranks):
+        counts = np.asarray(counts, dtype=np.int64)
+        bounds = balanced_partition(counts, nranks)
+        # contiguous cover of all cells, each rank non-empty
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(counts)
+        for (a1, b1), (a2, _b2) in zip(bounds, bounds[1:]):
+            assert b1 == a2
+        assert all(b > a for a, b in bounds)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_balance_quality_on_linear_ramp(self, nranks):
+        counts = np.arange(64, dtype=np.int64)
+        bounds = balanced_partition(counts, nranks)
+        loads = np.array([counts[a:b].sum() for a, b in bounds])
+        assert loads.max() <= loads.mean() * 1.5 + 64
+
+
+class TestRebalance:
+    def _skewed_sim(self):
+        cfg = small_use_case(ncells=64, particles_per_cell=10, last_step=50)
+        sim = Bit1Simulation(cfg, VirtualComm(4, 2))
+        # artificially pile extra electrons into rank 0's subdomain
+        sub0 = sim.subdomains[0]
+        extra = np.random.default_rng(0).uniform(sub0.x_min, sub0.x_max, 2000)
+        sim.particles[0]["e"].add(extra, 0.0, 0.0, 0.0, 1.0)
+        return sim
+
+    def test_rebalance_improves_imbalance(self):
+        sim = self._skewed_sim()
+        report = rebalance(sim)
+        assert report.after_imbalance < report.before_imbalance
+        assert report.after_imbalance < 1.3
+        assert report.migrated > 0
+
+    def test_particles_conserved(self):
+        sim = self._skewed_sim()
+        before = {n: sim.total_count(n) for n in sim.species_names()}
+        rebalance(sim)
+        after = {n: sim.total_count(n) for n in sim.species_names()}
+        assert before == after
+
+    def test_ownership_consistent_after_rebalance(self):
+        sim = self._skewed_sim()
+        rebalance(sim)
+        for rank, sub in enumerate(sim.subdomains):
+            for arrays in sim.particles[rank].values():
+                x = arrays.positions()
+                assert np.all((x >= sub.x_min) & (x < sub.x_max))
+
+    def test_simulation_continues_after_rebalance(self):
+        sim = self._skewed_sim()
+        rebalance(sim)
+        sim.run(nsteps=10)
+        assert sim.step_index == 10
+
+    def test_particles_per_cell_total(self):
+        sim = self._skewed_sim()
+        counts = particles_per_cell(sim)
+        total = sum(sim.total_count(n) for n in sim.species_names())
+        assert counts.sum() == total
+
+    def test_report_properties(self):
+        r = BalanceReport(before_max=200, before_mean=100.0,
+                          after_max=110, after_mean=100.0, migrated=90)
+        assert r.before_imbalance == 2.0
+        assert r.after_imbalance == pytest.approx(1.1)

@@ -1,0 +1,144 @@
+"""Tests for the simulated MPI communicator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import CommConfig, VirtualComm, comm_for_nodes
+
+
+class TestTopology:
+    def test_size_and_nodes(self):
+        comm = VirtualComm(256, 128)
+        assert comm.size == 256
+        assert comm.nnodes == 2
+
+    def test_partial_last_node(self):
+        comm = VirtualComm(130, 128)
+        assert comm.nnodes == 2
+        assert int(comm.node_of_rank[129]) == 1
+
+    def test_ranks_on_node(self):
+        comm = VirtualComm(8, 4)
+        assert list(comm.ranks_on_node(1)) == [4, 5, 6, 7]
+
+    def test_node_leaders(self):
+        comm = VirtualComm(8, 4)
+        assert list(comm.node_leaders()) == [0, 4]
+
+    def test_comm_for_nodes(self):
+        comm = comm_for_nodes(3, 128)
+        assert comm.size == 384
+        assert comm.nnodes == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            VirtualComm(0)
+
+
+class TestClocks:
+    def test_advance_single(self):
+        comm = VirtualComm(4, 2)
+        comm.advance(2, 1.5)
+        assert comm.clocks[2] == 1.5
+        assert comm.max_time() == 1.5
+
+    def test_advance_negative_rejected(self):
+        comm = VirtualComm(2, 2)
+        with pytest.raises(ValueError):
+            comm.advance(0, -1.0)
+
+    def test_advance_all_array(self):
+        comm = VirtualComm(3, 3)
+        comm.advance_all(np.array([1.0, 2.0, 3.0]))
+        assert comm.max_time() == 3.0
+
+    def test_barrier_aligns_clocks(self):
+        comm = VirtualComm(4, 2)
+        comm.advance(1, 5.0)
+        t = comm.barrier()
+        assert t > 5.0  # includes collective latency
+        assert np.all(comm.clocks == t)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        comm = VirtualComm(4, 2)
+        assert comm.bcast({"a": 1}) == [{"a": 1}] * 4
+
+    def test_gather(self):
+        comm = VirtualComm(3, 3)
+        assert comm.gather([1, 2, 3]) == [1, 2, 3]
+
+    def test_allgather(self):
+        comm = VirtualComm(3, 3)
+        assert comm.allgather(["x", "y", "z"]) == ["x", "y", "z"]
+
+    def test_wrong_arity_rejected(self):
+        comm = VirtualComm(3, 3)
+        with pytest.raises(ValueError):
+            comm.gather([1, 2])
+
+    def test_allreduce(self):
+        comm = VirtualComm(4, 2)
+        assert comm.allreduce_sum([1, 2, 3, 4]) == 10
+        assert comm.allreduce_max([1, 9, 3, 4]) == 9
+
+    def test_exscan_is_offsets(self):
+        # the openPMD offset computation of §III-B
+        comm = VirtualComm(4, 2)
+        offs = comm.exscan_sum([10, 20, 30, 40])
+        assert list(offs) == [0, 10, 30, 60]
+
+    def test_scan_inclusive(self):
+        comm = VirtualComm(3, 3)
+        assert list(comm.scan_sum([1, 2, 3])) == [1, 3, 6]
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_exscan_property(self, values):
+        comm = VirtualComm(len(values), max(len(values), 1))
+        offs = comm.exscan_sum(values)
+        # offsets partition the global extent contiguously
+        for r in range(len(values)):
+            assert offs[r] == sum(values[:r])
+
+    def test_alltoall_volume_charges_time(self):
+        comm = VirtualComm(4, 2)
+        mat = np.full((4, 4), 1024 * 1024)
+        dt = comm.alltoall_volume(mat)
+        assert dt > 0
+        assert comm.max_time() >= dt
+
+    def test_alltoall_wrong_shape(self):
+        comm = VirtualComm(4, 2)
+        with pytest.raises(ValueError):
+            comm.alltoall_volume(np.zeros((3, 3)))
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        comm = VirtualComm(4, 2)
+        assert comm.split_range(8) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_to_low_ranks(self):
+        comm = VirtualComm(3, 3)
+        parts = comm.split_range(10)
+        sizes = [b - a for a, b in parts]
+        assert sizes == [4, 3, 3]
+        assert parts[0][0] == 0 and parts[-1][1] == 10
+
+    @given(st.integers(1, 64), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_split_covers_everything(self, nranks, n):
+        comm = VirtualComm(nranks, max(nranks, 1))
+        parts = comm.split_range(n)
+        total = sum(b - a for a, b in parts)
+        assert total == n
+        # contiguous, ordered
+        for (a1, b1), (a2, b2) in zip(parts, parts[1:]):
+            assert b1 == a2
+
+    def test_foreach_rank(self):
+        comm = VirtualComm(4, 2)
+        assert comm.foreach_rank(lambda r: r * r) == [0, 1, 4, 9]

@@ -1,0 +1,91 @@
+"""Tests for payloads (real/synthetic data carriers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs.payload import (
+    ENTROPY_CLASSES,
+    RealPayload,
+    SyntheticPayload,
+    as_payload,
+    is_synthetic,
+    payload_nbytes,
+)
+
+
+class TestSyntheticPayload:
+    def test_basic(self):
+        p = SyntheticPayload(1024, "particle_float32")
+        assert p.nbytes == 1024
+        assert is_synthetic(p)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPayload(-1)
+
+    def test_unknown_entropy_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPayload(10, "mystery")
+
+    def test_all_entropy_classes_accepted(self):
+        for e in ENTROPY_CLASSES:
+            assert SyntheticPayload(1, e).entropy == e
+
+    @given(st.integers(0, 10**9), st.integers(1, 64))
+    def test_split_conserves_bytes(self, n, parts):
+        p = SyntheticPayload(n)
+        pieces = p.split(parts)
+        assert len(pieces) == parts
+        assert sum(x.nbytes for x in pieces) == n
+        # remainder spread one byte at a time
+        sizes = [x.nbytes for x in pieces]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            SyntheticPayload(10).split(0)
+
+
+class TestRealPayload:
+    def test_bytes(self):
+        p = RealPayload(b"abc")
+        assert p.nbytes == 3
+        assert p.tobytes() == b"abc"
+        assert p.array is None
+
+    def test_array_not_copied(self):
+        arr = np.arange(10, dtype=np.float64)
+        p = RealPayload(arr)
+        assert p.array is arr  # storeChunk keeps a reference, not a copy
+        assert p.nbytes == 80
+
+    def test_array_tobytes(self):
+        arr = np.array([1, 2], dtype=np.int32)
+        assert RealPayload(arr).tobytes() == arr.tobytes()
+
+    def test_len(self):
+        assert len(RealPayload(b"abcd")) == 4
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            RealPayload(12345)
+
+    def test_bad_entropy(self):
+        with pytest.raises(ValueError):
+            RealPayload(b"x", entropy="nope")
+
+
+class TestCoercion:
+    def test_as_payload_passthrough(self):
+        p = SyntheticPayload(5)
+        assert as_payload(p) is p
+
+    def test_as_payload_bytes(self):
+        p = as_payload(b"xy", entropy="ascii_table")
+        assert isinstance(p, RealPayload)
+        assert p.entropy == "ascii_table"
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(SyntheticPayload(7)) == 7
+        assert payload_nbytes(RealPayload(b"abc")) == 3

@@ -1,0 +1,280 @@
+"""Tests for the PIC substrate: grid, species, deposition, smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pic import (
+    Grid1D,
+    ParticleArrays,
+    binomial_smooth,
+    compensated_smooth,
+    decompose,
+    deposit_charge,
+    deposit_density,
+    gather_field,
+    sample_maxwellian,
+)
+from repro.pic.constants import ME, QE, debye_length, plasma_frequency, thermal_speed
+
+
+class TestGrid:
+    def test_basic_geometry(self):
+        g = Grid1D(100, 1.0)
+        assert g.dx == 0.01
+        assert g.nnodes == 101
+        assert len(g.node_positions()) == 101
+        assert len(g.cell_centers()) == 100
+
+    def test_cell_of_clips(self):
+        g = Grid1D(10, 1.0)
+        assert g.cell_of(np.array([-0.5]))[0] == 0
+        assert g.cell_of(np.array([2.0]))[0] == 9
+        assert g.cell_of(np.array([0.55]))[0] == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Grid1D(0, 1.0)
+
+    def test_decompose_covers_grid(self):
+        g = Grid1D(100, 1.0)
+        subs = decompose(g, 7)
+        assert subs[0].cell_start == 0
+        assert subs[-1].cell_stop == 100
+        assert sum(s.ncells for s in subs) == 100
+
+    def test_decompose_remainder_to_low_ranks(self):
+        subs = decompose(Grid1D(10, 1.0), 3)
+        assert [s.ncells for s in subs] == [4, 3, 3]
+
+    def test_decompose_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            decompose(Grid1D(4, 1.0), 8)
+
+    def test_subdomain_contains(self):
+        sub = decompose(Grid1D(10, 1.0), 2)[1]
+        assert sub.contains(np.array([0.7]))[0]
+        assert not sub.contains(np.array([0.3]))[0]
+
+
+class TestConstants:
+    def test_thermal_speed_scaling(self):
+        # v_th scales as sqrt(T)
+        assert thermal_speed(4.0, ME) == pytest.approx(
+            2 * thermal_speed(1.0, ME))
+
+    def test_plasma_frequency_scaling(self):
+        assert plasma_frequency(4e18) == pytest.approx(
+            2 * plasma_frequency(1e18))
+
+    def test_debye_length_value(self):
+        # 1 eV, 1e18 m^-3 -> ~7.43 µm (textbook value)
+        assert debye_length(1e18, 1.0) == pytest.approx(7.43e-6, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            thermal_speed(-1, ME)
+        with pytest.raises(ValueError):
+            debye_length(0, 1.0)
+
+
+class TestParticleArrays:
+    def test_add_and_len(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.1, 0.2], 1.0, 2.0, 3.0, 1.0)
+        assert len(p) == 2
+        assert list(p.positions()) == [0.1, 0.2]
+
+    def test_growth_preserves_data(self):
+        p = ParticleArrays("e", ME, -QE, capacity=16)
+        for i in range(100):
+            p.add([float(i)], i, 0, 0, 1.0)
+        assert len(p) == 100
+        assert p.x[50] == 50.0
+
+    def test_remove_compacts(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add(np.arange(10.0), 0, 0, 0, 1.0)
+        removed = p.remove(p.positions() >= 5.0)
+        assert removed == 5
+        assert len(p) == 5
+        assert set(p.positions()) == {0.0, 1.0, 2.0, 3.0, 4.0}
+
+    def test_remove_mask_shape_checked(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.0], 0, 0, 0, 1.0)
+        with pytest.raises(ValueError):
+            p.remove(np.array([True, False]))
+
+    def test_extract_returns_and_removes(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add(np.arange(4.0), np.arange(4.0), 0, 0, 2.0)
+        out = p.extract(np.array([True, False, True, False]))
+        assert list(out["x"]) == [0.0, 2.0]
+        assert list(out["vx"]) == [0.0, 2.0]
+        assert len(p) == 2
+
+    def test_add_dict_roundtrip(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add([1.0, 2.0], 3.0, 4.0, 5.0, 6.0)
+        out = p.extract(np.array([True, True]))
+        q = ParticleArrays("e", ME, -QE)
+        q.add_dict(out)
+        assert list(q.positions()) == [1.0, 2.0]
+        assert q.total_weight() == 12.0
+
+    def test_kinetic_energy(self):
+        p = ParticleArrays("test", 2.0, 0.0)
+        p.add([0.0], 3.0, 4.0, 0.0, 1.0)  # |v|^2 = 25
+        assert p.kinetic_energy() == pytest.approx(0.5 * 2.0 * 25.0)
+
+    def test_sample_maxwellian_statistics(self):
+        p = ParticleArrays("e", ME, -QE)
+        gen = np.random.default_rng(0)
+        sample_maxwellian(p, 20000, 0.0, 1.0, 4.0, 1.0, generator=gen)
+        vth = thermal_speed(4.0, ME)
+        assert p.vx[:20000].std() == pytest.approx(vth, rel=0.05)
+        assert np.all((p.positions() >= 0) & (p.positions() < 1.0))
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_total_weight(self, n):
+        p = ParticleArrays("e", ME, -QE)
+        p.add(np.zeros(n), 0, 0, 0, 2.5)
+        assert p.total_weight() == pytest.approx(2.5 * n)
+
+
+class TestDeposit:
+    def test_single_particle_at_node(self):
+        g = Grid1D(10, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.5], 0, 0, 0, 1.0)  # exactly on node 5
+        d = deposit_density(g, p)
+        assert d[5] == pytest.approx(1.0 / g.dx)
+        assert d[4] == 0.0 and d[6] == 0.0
+
+    def test_midcell_splits_weight(self):
+        g = Grid1D(10, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.55], 0, 0, 0, 1.0)
+        d = deposit_density(g, p)
+        assert d[5] == pytest.approx(d[6])
+
+    def test_weight_conservation(self):
+        # total deposited weight equals total particle weight, exactly
+        g = Grid1D(16, 2.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(1)
+        p.add(rng.uniform(0, 2.0, 500), 0, 0, 0, 3.0)
+        d = deposit_density(g, p)
+        volume = np.full(g.nnodes, g.dx)
+        volume[0] = volume[-1] = g.dx / 2
+        assert np.sum(d * volume) == pytest.approx(p.total_weight())
+
+    @given(st.integers(1, 300), st.integers(4, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_weight_conservation_property(self, n, ncells):
+        g = Grid1D(ncells, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        rng = np.random.default_rng(n)
+        p.add(rng.uniform(0, 1.0, n) * 0.999999, 0, 0, 0, 1.0)
+        d = deposit_density(g, p)
+        volume = np.full(g.nnodes, g.dx)
+        volume[0] = volume[-1] = g.dx / 2
+        assert np.sum(d * volume) == pytest.approx(n, rel=1e-9)
+
+    def test_empty_species(self):
+        g = Grid1D(8, 1.0)
+        d = deposit_density(g, ParticleArrays("e", ME, -QE))
+        assert np.all(d == 0)
+
+    def test_charge_density_sign(self):
+        g = Grid1D(8, 1.0)
+        e = ParticleArrays("e", ME, -QE)
+        e.add([0.5], 0, 0, 0, 1.0)
+        rho = deposit_charge(g, [e])
+        assert rho.min() < 0
+
+    def test_neutrals_do_not_deposit_charge(self):
+        g = Grid1D(8, 1.0)
+        n = ParticleArrays("D", 1.0, 0.0)
+        n.add([0.5], 0, 0, 0, 1.0)
+        assert np.all(deposit_charge(g, [n]) == 0)
+
+    def test_gather_is_linear_interpolation(self):
+        g = Grid1D(4, 1.0)
+        field = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        vals = gather_field(g, field, np.array([0.125, 0.5]))
+        assert vals[0] == pytest.approx(0.5)
+        assert vals[1] == pytest.approx(2.0)
+
+    def test_gather_shape_check(self):
+        g = Grid1D(4, 1.0)
+        with pytest.raises(ValueError):
+            gather_field(g, np.zeros(3), np.array([0.5]))
+
+    def test_deposit_gather_adjoint(self):
+        # <deposit(p), f> == sum_p f(x_p): CIC deposit/gather are adjoint
+        g = Grid1D(12, 1.0)
+        rng = np.random.default_rng(2)
+        p = ParticleArrays("e", ME, -QE)
+        p.add(rng.uniform(0, 1, 40) * 0.999, 0, 0, 0, 1.0)
+        f = rng.normal(size=g.nnodes)
+        d = deposit_density(g, p)
+        volume = np.full(g.nnodes, g.dx)
+        volume[0] = volume[-1] = g.dx / 2
+        lhs = np.sum(d * volume * f)
+        rhs = np.sum(gather_field(g, f, p.positions()))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestSmoother:
+    def test_zero_passes_identity(self):
+        v = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(binomial_smooth(v, 0), v)
+
+    def test_constant_preserved(self):
+        v = np.full(32, 7.0)
+        assert np.allclose(binomial_smooth(v, 3), 7.0)
+        assert np.allclose(binomial_smooth(v, 3, periodic=True), 7.0)
+
+    def test_integral_conserved_periodic(self):
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=64)
+        out = binomial_smooth(v, 5, periodic=True)
+        assert out.sum() == pytest.approx(v.sum())
+
+    def test_nyquist_mode_killed(self):
+        v = np.cos(np.pi * np.arange(64))  # +1,-1,+1,... Nyquist
+        out = binomial_smooth(v, 1, periodic=True)
+        assert np.max(np.abs(out)) < 1e-12
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(4)
+        v = rng.normal(size=128)
+        out = binomial_smooth(v, 2)
+        assert out.std() < v.std()
+
+    def test_long_wavelength_survives(self):
+        x = np.linspace(0, 2 * np.pi, 129)[:-1]
+        v = np.sin(x)
+        out = binomial_smooth(v, 1, periodic=True)
+        assert np.max(np.abs(out - v)) < 0.01
+
+    def test_compensated_flatter_response(self):
+        # the compensated filter passes long wavelengths even better
+        x = np.linspace(0, 2 * np.pi, 65)[:-1]
+        v = np.sin(4 * x)
+        plain = binomial_smooth(v, 1, periodic=True)
+        comp = compensated_smooth(v, periodic=True)
+        err_plain = np.max(np.abs(plain - v))
+        err_comp = np.max(np.abs(comp - v))
+        assert err_comp < err_plain
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_smooth(np.zeros(4), -1)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_smooth(np.zeros((4, 4)))

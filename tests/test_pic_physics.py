@@ -1,0 +1,311 @@
+"""Physics tests: Poisson solver, mover, MC collisions, walls."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pic import (
+    AbsorbingWalls,
+    Grid1D,
+    IonizationOperator,
+    ParticleArrays,
+    accelerate,
+    electric_field,
+    expected_survival_fraction,
+    leapfrog_step,
+    solve_poisson_dirichlet,
+    solve_poisson_periodic,
+    stream,
+    thomas_solve,
+)
+from repro.pic.constants import EPS0, ME, QE
+
+
+class TestThomas:
+    def test_matches_numpy_solve(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        lower = rng.uniform(0.5, 1.0, n)
+        diag = rng.uniform(3.0, 4.0, n)  # diagonally dominant
+        upper = rng.uniform(0.5, 1.0, n)
+        rhs = rng.normal(size=n)
+        a = np.diag(diag) + np.diag(lower[1:], -1) + np.diag(upper[:-1], 1)
+        expected = np.linalg.solve(a, rhs)
+        assert np.allclose(thomas_solve(lower, diag, upper, rhs), expected)
+
+    def test_singular_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            thomas_solve(np.ones(3), np.zeros(3), np.ones(3), np.ones(3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            thomas_solve(np.ones(3), np.ones(4), np.ones(3), np.ones(3))
+
+
+class TestPoissonDirichlet:
+    def test_zero_charge_is_linear_potential(self):
+        g = Grid1D(64, 1.0)
+        phi = solve_poisson_dirichlet(g, np.zeros(g.nnodes), 0.0, 10.0)
+        assert np.allclose(phi, 10.0 * g.node_positions(), atol=1e-9)
+
+    def test_uniform_charge_parabola(self):
+        # phi'' = -rho/eps0 with rho const, phi(0)=phi(L)=0:
+        # phi(x) = rho/(2 eps0) * x (L - x)
+        g = Grid1D(128, 1.0)
+        rho0 = 1e-8
+        phi = solve_poisson_dirichlet(g, np.full(g.nnodes, rho0))
+        x = g.node_positions()
+        exact = rho0 / (2 * EPS0) * x * (1.0 - x)
+        assert np.allclose(phi, exact, rtol=1e-3, atol=1e-12)
+
+    def test_discrete_laplacian_recovers_rho(self):
+        g = Grid1D(64, 0.5)
+        rng = np.random.default_rng(1)
+        rho = rng.normal(0, 1e-9, g.nnodes)
+        phi = solve_poisson_dirichlet(g, rho)
+        lap = (phi[:-2] - 2 * phi[1:-1] + phi[2:]) / g.dx**2
+        assert np.allclose(lap, -rho[1:-1] / EPS0, rtol=1e-9, atol=1e-12)
+
+    def test_shape_check(self):
+        g = Grid1D(8, 1.0)
+        with pytest.raises(ValueError):
+            solve_poisson_dirichlet(g, np.zeros(5))
+
+
+class TestPoissonPeriodic:
+    def test_single_mode_exact(self):
+        g = Grid1D(128, 2.0)
+        k = 2 * np.pi / g.length
+        x = g.node_positions()
+        rho = 1e-9 * np.cos(k * x)
+        phi = solve_poisson_periodic(g, rho)
+        exact = 1e-9 / (EPS0 * k * k) * np.cos(k * x)
+        assert np.allclose(phi, exact, rtol=1e-3, atol=1e-6 * np.abs(exact).max())
+
+    def test_mean_free(self):
+        g = Grid1D(64, 1.0)
+        rng = np.random.default_rng(2)
+        rho = rng.normal(0, 1e-9, g.nnodes)
+        phi = solve_poisson_periodic(g, rho)
+        assert abs(phi[:-1].mean()) < 1e-12
+
+    def test_endpoints_periodic(self):
+        g = Grid1D(32, 1.0)
+        rho = np.sin(2 * np.pi * g.node_positions())
+        phi = solve_poisson_periodic(g, rho)
+        assert phi[0] == pytest.approx(phi[-1])
+
+
+class TestElectricField:
+    def test_linear_potential_constant_field(self):
+        g = Grid1D(16, 1.0)
+        phi = 5.0 * g.node_positions()
+        e = electric_field(g, phi)
+        assert np.allclose(e, -5.0)
+
+    def test_shape_check(self):
+        g = Grid1D(8, 1.0)
+        with pytest.raises(ValueError):
+            electric_field(g, np.zeros(4))
+
+
+class TestMover:
+    def test_stream_advances_positions(self):
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.0], 100.0, 0, 0, 1.0)
+        stream(p, 0.01)
+        assert p.positions()[0] == pytest.approx(1.0)
+
+    def test_accelerate_uniform_field(self):
+        g = Grid1D(8, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.5], 0.0, 0, 0, 1.0)
+        e = np.full(g.nnodes, -1.0)  # E = -1 V/m pushes electrons +x
+        accelerate(g, p, e, 1e-12)
+        assert p.vx[0] == pytest.approx((QE / ME) * 1e-12)
+
+    def test_neutral_unaffected_by_field(self):
+        g = Grid1D(8, 1.0)
+        p = ParticleArrays("D", 1.0, 0.0)
+        p.add([0.5], 1.0, 0, 0, 1.0)
+        accelerate(g, p, np.full(g.nnodes, 1e6), 1e-9)
+        assert p.vx[0] == 1.0
+
+    def test_periodic_wrap(self):
+        g = Grid1D(8, 1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.99], 1e9, 0, 0, 1.0)
+        leapfrog_step(g, p, np.zeros(g.nnodes), 1e-9, periodic=True)
+        assert 0 <= p.positions()[0] < 1.0
+
+    def test_plasma_oscillation_frequency(self):
+        """A displaced electron slab oscillates at the plasma frequency —
+        the canonical electrostatic PIC validation (Birdsall & Langdon)."""
+        from repro.pic import deposit_charge, plasma_frequency
+        from repro.pic.mover import initial_half_kick
+
+        n0 = 1.0e14
+        g = Grid1D(64, 1.0)
+        npart = 6400
+        weight = n0 * g.length / npart
+        ions = ParticleArrays("i", 1.0, QE)   # immobile heavy background
+        electrons = ParticleArrays("e", ME, -QE)
+        x = (np.arange(npart) + 0.5) * (g.length / npart)
+        ions.add(x, 0, 0, 0, weight)
+        amplitude = 1e-4
+        k = 2 * np.pi / g.length
+        electrons.add(np.mod(x + amplitude * np.sin(k * x), g.length),
+                      0, 0, 0, weight)
+
+        wp = plasma_frequency(n0)
+        dt = 0.02 / wp
+        from repro.pic import solve_poisson_periodic as poisson
+
+        def field():
+            rho = deposit_charge(g, [ions, electrons])
+            return electric_field(g, poisson(g, rho), periodic=True)
+
+        initial_half_kick(g, electrons, field(), dt)
+        # track the (signed) first spatial Fourier mode of the charge
+        # density; it oscillates at wp.  Count zero crossings.
+        signal = []
+        steps = 2000
+        for _ in range(steps):
+            leapfrog_step(g, electrons, field(), dt, periodic=True)
+            rho = deposit_charge(g, [ions, electrons])
+            signal.append(np.real(np.fft.rfft(rho[:-1])[1]))
+        signal = np.asarray(signal)
+        crossings = int(np.sum(np.abs(np.diff(np.sign(signal))) > 0))
+        total_time = steps * dt
+        measured = np.pi * crossings / total_time  # rad/s
+        assert measured == pytest.approx(wp, rel=0.05)
+
+
+class TestIonization:
+    def _setup(self, n_e=200, n_d=400, ppc_density=1e17):
+        g = Grid1D(16, 0.01)
+        e = ParticleArrays("e", ME, -QE)
+        ions = ParticleArrays("D+", 2 * 1.67e-27, QE)
+        d = ParticleArrays("D", 2 * 1.67e-27, 0.0)
+        rng = np.random.default_rng(0)
+        w = ppc_density * g.length / n_e
+        e.add(rng.uniform(0, g.length, n_e), 0, 0, 0, w)
+        d.add(rng.uniform(0, g.length, n_d), 0, 0, 0, w)
+        return g, e, ions, d
+
+    def test_conservation_laws(self):
+        g, e, ions, d = self._setup()
+        op = IonizationOperator(5e-13)
+        rng = np.random.default_rng(1)
+        e0, d0 = len(e), len(d)
+        total_ionized = 0
+        for _ in range(50):
+            stats = op.step(g, e, ions, d, 1e-9, rng)
+            total_ionized += stats.ionized
+        # every ionization: -1 neutral, +1 ion, +1 electron
+        assert len(d) == d0 - total_ionized
+        assert len(ions) == total_ionized
+        assert len(e) == e0 + total_ionized
+
+    def test_decay_matches_analytic_law(self):
+        # the paper's dn/dt = -n n_e R (§III-C)
+        g, e, ions, d = self._setup(n_e=500, n_d=2000)
+        ne_phys = 1e17
+        rate, dt, steps = 5e-13, 1e-9, 300
+        op = IonizationOperator(rate)
+        rng = np.random.default_rng(2)
+        d0 = len(d)
+        for _ in range(steps):
+            op.step(g, e, ions, d, dt, rng)
+        measured = len(d) / d0
+        expected = expected_survival_fraction(ne_phys, rate, dt, steps)
+        assert measured == pytest.approx(expected, abs=0.03)
+
+    def test_zero_rate_inert(self):
+        g, e, ions, d = self._setup()
+        op = IonizationOperator(0.0)
+        stats = op.step(g, e, ions, d, 1e-9, np.random.default_rng(0))
+        assert stats.ionized == 0
+
+    def test_no_electrons_no_ionization(self):
+        g = Grid1D(8, 0.01)
+        e = ParticleArrays("e", ME, -QE)
+        ions = ParticleArrays("D+", 1.0, QE)
+        d = ParticleArrays("D", 1.0, 0.0)
+        d.add([0.005], 0, 0, 0, 1.0)
+        stats = IonizationOperator(1e-10).step(
+            g, e, ions, d, 1e-9, np.random.default_rng(0))
+        assert stats.ionized == 0
+        assert len(d) == 1
+
+    def test_ion_inherits_neutral_velocity(self):
+        g = Grid1D(8, 0.01)
+        e = ParticleArrays("e", ME, -QE)
+        e.add(np.full(500, 0.005), 0, 0, 0, 1e15)
+        ions = ParticleArrays("D+", 1.0, QE)
+        d = ParticleArrays("D", 1.0, 0.0)
+        d.add([0.005], 123.0, 456.0, 789.0, 1.0)
+        op = IonizationOperator(1e-4)  # certain ionization
+        op.step(g, e, ions, d, 1e-3, np.random.default_rng(0))
+        assert len(ions) == 1
+        assert ions.vx[0] == 123.0 and ions.vy[0] == 456.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            IonizationOperator(-1.0)
+
+    def test_survival_oracle_validates(self):
+        with pytest.raises(ValueError):
+            expected_survival_fraction(1e30, 1e-6, 1.0, 10)
+
+    @given(st.floats(1e16, 1e18), st.integers(10, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_survival_bounds(self, ne, steps):
+        s = expected_survival_fraction(ne, 1e-14, 1e-10, steps)
+        assert 0 < s <= 1
+
+
+class TestWalls:
+    def test_absorbs_and_counts(self):
+        w = AbsorbingWalls(1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([-0.1, 0.5, 1.2], 0, 0, 0, 2.0)
+        removed = w.apply(p)
+        assert removed == 2
+        assert len(p) == 1
+        flux = w.fluxes_for("e")
+        assert flux.particles_left == 2.0
+        assert flux.particles_right == 2.0
+
+    def test_energy_flux_accounting(self):
+        w = AbsorbingWalls(1.0)
+        p = ParticleArrays("test", 2.0, 0.0)
+        p.add([-0.1], 3.0, 4.0, 0.0, 1.0)  # KE = 25
+        w.apply(p)
+        assert w.fluxes_for("test").energy_left == pytest.approx(25.0)
+
+    def test_interior_untouched(self):
+        w = AbsorbingWalls(1.0)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.2, 0.8], 0, 0, 0, 1.0)
+        assert w.apply(p) == 0
+        assert len(p) == 2
+
+    def test_neutral_recycling(self):
+        w = AbsorbingWalls(1.0, recycle_neutrals=True,
+                           wall_temperature_ev=0.1)
+        p = ParticleArrays("D", 3.34e-27, 0.0)
+        p.add([-0.1, 1.1], 0, 0, 0, 1.0)
+        removed = w.apply(p, np.random.default_rng(0), is_neutral=True)
+        assert removed == 0
+        assert len(p) == 2  # re-emitted from the walls
+        x = p.positions()
+        assert np.all((x >= 0) & (x <= 1.0))
+        # re-emitted velocities point into the domain
+        vx = p.vx[:2]
+        inward = np.where(x < 0.5, vx > 0, vx < 0)
+        assert inward.all()
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            AbsorbingWalls(0.0)

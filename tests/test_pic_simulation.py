@@ -1,0 +1,242 @@
+"""Tests for the BIT1 config, diagnostics and simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import VirtualComm
+from repro.pic import (
+    Bit1Config,
+    Bit1Simulation,
+    DiagnosticsAccumulator,
+    Grid1D,
+    ParticleArrays,
+    SpeciesConfig,
+    TimeHistory,
+)
+from repro.pic.constants import MD, ME, QE
+from repro.workloads import paper_use_case, sheath_case, small_use_case
+
+
+class TestConfig:
+    def test_derived_event_counts(self):
+        cfg = paper_use_case()
+        # 200K steps, datfile 1K, dmpstep 10K -> 200 snapshots, 20 dumps
+        assert cfg.n_dat_events == 200
+        assert cfg.n_dmp_events == 20
+
+    def test_total_particles_30m(self):
+        # the paper's 30M-particle system
+        assert paper_use_case().total_particles() == 30_000_000
+
+    def test_input_file_roundtrip(self):
+        cfg = small_use_case()
+        assert Bit1Config.from_input_file(cfg.to_input_file()) == cfg
+
+    def test_input_file_size_in_paper_range(self):
+        # "relatively small (1-3 kB) file"
+        text = paper_use_case().to_input_file()
+        assert 500 <= len(text) <= 3072
+
+    def test_input_file_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            Bit1Config.from_input_file("bogus_key = 1\n")
+
+    def test_input_file_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Bit1Config.from_input_file("not an assignment\n")
+
+    def test_comments_ignored(self):
+        cfg = small_use_case()
+        text = "# a comment\n" + cfg.to_input_file()
+        assert Bit1Config.from_input_file(text) == cfg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bit1Config(datfile=0)
+        with pytest.raises(ValueError):
+            Bit1Config(mvflag=-1)
+        with pytest.raises(ValueError):
+            Bit1Config(boundary="reflecting")
+
+    def test_with_override(self):
+        cfg = small_use_case().with_(last_step=999)
+        assert cfg.last_step == 999
+
+    def test_paper_use_case_disables_field_solver(self):
+        # "An important point of this test is that it does not use the
+        # Field solver and smoother phases"
+        cfg = paper_use_case()
+        assert not cfg.field_solver
+        assert not cfg.smoothing
+
+    def test_paper_species(self):
+        names = [s.name for s in paper_use_case().species]
+        assert names == ["e", "D+", "D"]
+
+
+class TestDiagnostics:
+    def test_accumulate_and_snapshot(self):
+        g = Grid1D(16, 1.0)
+        acc = DiagnosticsAccumulator(g, ["e"], nbins=8)
+        p = ParticleArrays("e", ME, -QE)
+        p.add(np.full(10, 0.5), 1e5, 0, 0, 2.0)
+        acc.accumulate({"e": p})
+        acc.accumulate({"e": p})
+        assert acc.samples == 2
+        dists = acc.snapshot()
+        assert dists["e"].samples == 2
+        # averaging: two identical samples -> same as one
+        assert dists["e"].velocity.sum() == pytest.approx(20.0)
+        assert acc.samples == 0  # reset
+
+    def test_snapshot_without_reset(self):
+        g = Grid1D(8, 1.0)
+        acc = DiagnosticsAccumulator(g, ["e"], nbins=4)
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.5], 0, 0, 0, 1.0)
+        acc.accumulate({"e": p})
+        acc.snapshot(reset=False)
+        assert acc.samples == 1
+
+    def test_unknown_species_ignored(self):
+        g = Grid1D(8, 1.0)
+        acc = DiagnosticsAccumulator(g, ["e"], nbins=4)
+        p = ParticleArrays("zz", 1.0, 0.0)
+        p.add([0.5], 0, 0, 0, 1.0)
+        acc.accumulate({"zz": p})  # silently skipped
+        assert acc.snapshot()["e"].velocity.sum() == 0
+
+    def test_energy_histogram_total(self):
+        g = Grid1D(8, 1.0)
+        acc = DiagnosticsAccumulator(g, ["e"], nbins=16, vmax_ev=100.0)
+        p = ParticleArrays("e", ME, -QE)
+        # 1 eV electrons fall inside the [0, 100) eV range
+        from repro.pic.constants import EV
+
+        v = np.sqrt(2 * 1.0 * EV / ME)
+        p.add(np.full(5, 0.5), v, 0, 0, 1.0)
+        acc.accumulate({"e": p})
+        assert acc.snapshot()["e"].energy.sum() == pytest.approx(5.0)
+
+    def test_time_history(self):
+        h = TimeHistory()
+        p = ParticleArrays("e", ME, -QE)
+        p.add([0.1], 0, 0, 0, 2.0)
+        h.record(0, {"e": p})
+        p.add([0.2], 0, 0, 0, 2.0)
+        h.record(1, {"e": p})
+        assert list(h.series("e")) == [2.0, 4.0]
+        text = h.as_text()
+        assert text.startswith("# step e")
+        assert "4.0" in text
+
+    def test_time_history_missing_species(self):
+        assert len(TimeHistory().series("nope")) == 0
+
+
+class TestSimulation:
+    @pytest.fixture
+    def sim(self):
+        return Bit1Simulation(small_use_case(ncells=32, particles_per_cell=10,
+                                             last_step=60, datfile=20,
+                                             dmpstep=60),
+                              VirtualComm(4, 2))
+
+    def test_initial_loading(self, sim):
+        cfg = sim.config
+        for sp in cfg.species:
+            assert sim.total_count(sp.name) == pytest.approx(
+                sp.particles_per_cell * cfg.ncells, abs=len(sim.subdomains))
+
+    def test_particles_start_in_their_subdomains(self, sim):
+        for rank, sub in enumerate(sim.subdomains):
+            for arrays in sim.particles[rank].values():
+                x = arrays.positions()
+                assert np.all((x >= sub.x_min) & (x < sub.x_max))
+
+    def test_step_reports(self, sim):
+        rep = sim.step()
+        assert rep.step == 0
+        assert sim.step_index == 1
+
+    def test_migration_keeps_all_particles(self, sim):
+        before = {n: sim.total_count(n) for n in sim.species_names()}
+        for _ in range(20):
+            sim.step()
+        # periodic ionization-only run: D decreases, e/D+ increase, total
+        # (e + D) and (D+ + D) conserved pairwise
+        assert (sim.total_count("e") - before["e"]
+                == before["D"] - sim.total_count("D"))
+        assert (sim.total_count("D+") - before["D+"]
+                == before["D"] - sim.total_count("D"))
+
+    def test_migrated_particles_owned_correctly(self, sim):
+        for _ in range(10):
+            sim.step()
+        for rank, sub in enumerate(sim.subdomains):
+            for arrays in sim.particles[rank].values():
+                x = arrays.positions()
+                assert np.all((x >= sub.x_min) & (x < sub.x_max))
+
+    def test_run_fires_writers(self, sim):
+        events = []
+
+        class Spy:
+            def write_diagnostics(self, s, step):
+                events.append(("dat", step))
+
+            def write_checkpoint(self, s, step):
+                events.append(("dmp", step))
+
+            def finalize(self, s):
+                events.append(("fin", s.step_index))
+
+        sim.writers.append(Spy())
+        sim.run()
+        dats = [s for k, s in events if k == "dat"]
+        dmps = [s for k, s in events if k == "dmp"]
+        assert dats == [20, 40, 60]
+        assert dmps == [60, 60]  # dmpstep hit + final save
+        assert ("fin", 60) in events
+
+    def test_run_respects_last_step(self, sim):
+        sim.run(nsteps=1000)
+        assert sim.step_index == sim.config.last_step
+
+    def test_state_roundtrip(self, sim):
+        sim.step()
+        state = sim.state_arrays(0)
+        counts = {n: len(v["x"]) for n, v in state.items()}
+        sim.restore_state(0, state)
+        for n, c in counts.items():
+            assert len(sim.particles[0][n]) == c
+
+    def test_single_rank_runs(self):
+        sim = Bit1Simulation(small_use_case(ncells=16, particles_per_cell=5,
+                                            last_step=10))
+        sim.run()
+        assert sim.step_index == 10
+
+    def test_sheath_case_runs_field_solver(self):
+        sim = Bit1Simulation(sheath_case(ncells=32, particles_per_cell=10,
+                                         last_step=20), VirtualComm(2, 2))
+        e0 = sim.total_count("e")
+        sim.run(nsteps=20)
+        # absorbing walls remove some electrons
+        assert sim.total_count("e") <= e0
+
+    def test_history_recorded_every_step(self, sim):
+        sim.run(nsteps=5)
+        assert len(sim.history.steps) == 5
+
+    def test_deterministic_given_seed(self):
+        cfg = small_use_case(ncells=16, particles_per_cell=10, last_step=30)
+        a = Bit1Simulation(cfg, VirtualComm(2, 2))
+        b = Bit1Simulation(cfg, VirtualComm(2, 2))
+        a.run(nsteps=30)
+        b.run(nsteps=30)
+        for n in a.species_names():
+            assert a.total_count(n) == b.total_count(n)
+        xa = a.particles[0]["e"].positions()
+        xb = b.particles[0]["e"].positions()
+        assert np.array_equal(np.sort(xa), np.sort(xb))

@@ -1,0 +1,147 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adios2 import BP4Engine, EngineConfig, plan_aggregation
+from repro.cluster.presets import dardel
+from repro.fs import PosixIO, mount
+from repro.mpi import VirtualComm
+
+
+def make_env(nranks=8, rpn=4):
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(nranks, rpn)
+    posix = PosixIO(fs, comm)
+    posix.mkdir(0, "/out")
+    return fs, comm, posix
+
+
+class TestAggregationProperties:
+    @given(st.integers(1, 256), st.integers(1, 256))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_invariants(self, size, num_agg):
+        comm = VirtualComm(size, max(size // 4, 1))
+        num_agg = min(num_agg, size)
+        plan = plan_aggregation(comm, num_agg)
+        # aggregator ranks are sorted, unique, within range
+        agg = plan.aggregator_ranks
+        assert np.all(np.diff(agg) > 0)
+        assert agg[0] >= 0 and agg[-1] < size
+        # every rank maps to a valid subfile; aggregators map to themselves
+        idx = plan.agg_index_of_rank
+        assert idx.min() >= 0 and idx.max() < plan.num_aggregators
+        for i, r in enumerate(agg):
+            assert idx[r] == i
+        # bytes conservation under the mapping
+        per_rank = np.arange(size, dtype=np.float64)
+        assert plan.per_aggregator_bytes(per_rank).sum() == per_rank.sum()
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_default_plan_one_per_node(self, nodes):
+        comm = VirtualComm(nodes * 4, 4)
+        plan = plan_aggregation(comm)
+        assert plan.num_aggregators == nodes
+        # every rank's aggregator lives on its own node
+        agg_rank_of = plan.aggregator_ranks[plan.agg_index_of_rank]
+        assert np.all(comm.node_of_rank[agg_rank_of]
+                      == comm.node_of_rank[np.arange(comm.size)])
+
+
+class TestEngineSlotProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", None]),
+                              st.integers(1, 5000)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_slots_never_overlap(self, steps):
+        """Whatever mix of appended and overwritten steps is written, the
+        live extents in each subfile must never overlap."""
+        fs, comm, posix = make_env()
+        eng = BP4Engine(posix, comm, "/out/prop", "w",
+                        EngineConfig(num_aggregators=2))
+        ranks = np.arange(comm.size)
+        for key, nbytes in steps:
+            eng.begin_step()
+            eng.put_group("/v", ranks, nbytes)
+            eng.end_step(overwrite_key=key)
+        # reconstruct the live slot spans per subfile
+        spans: dict[int, list[tuple[int, int]]] = {0: [], 1: []}
+        for slots in eng._slots.values():
+            for sub, slot in enumerate(slots):
+                if slot.reserved:
+                    spans[sub].append((slot.offset,
+                                       slot.offset + slot.reserved))
+        for sub, slot_spans in spans.items():
+            slot_spans.sort()
+            for (a1, b1), (a2, _b2) in zip(slot_spans, slot_spans[1:]):
+                assert a2 >= b1, "overwrite slots must not overlap"
+            # nothing extends past the subfile tail
+            if slot_spans:
+                assert slot_spans[-1][1] <= eng._subfile_tails[sub]
+        eng.close()
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_overwrite_is_idempotent_in_size(self, rewrites):
+        fs, comm, posix = make_env()
+        eng = BP4Engine(posix, comm, "/out/ow", "w",
+                        EngineConfig(num_aggregators=1))
+        ranks = np.arange(comm.size)
+        for _ in range(rewrites):
+            eng.begin_step()
+            eng.put_group("/state", ranks, 512)
+            eng.end_step(overwrite_key="it0")
+        eng.close()
+        ino = fs.vfs.lookup("/out/ow.bp4/data.0")
+        assert fs.vfs.size_of(ino) == 512 * comm.size
+        assert fs.vfs.cols.bytes_written[ino] == 512 * comm.size * rewrites
+
+
+class TestClockProperties:
+    @given(st.lists(st.floats(0, 10), min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_barrier_monotone(self, advances):
+        comm = VirtualComm(4, 2)
+        for r, dt in enumerate(advances):
+            comm.advance(r, dt)
+        before = comm.clocks.copy()
+        t = comm.barrier()
+        assert np.all(comm.clocks >= before)
+        assert t >= max(advances)
+
+    @given(st.integers(1, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_exscan_offsets_tile_extent(self, size, per_rank):
+        comm = VirtualComm(size, max(size, 1))
+        counts = [per_rank] * size
+        offs = comm.exscan_sum(counts)
+        # chunks [off, off+count) tile [0, total) without gaps/overlap
+        total = per_rank * size
+        spans = sorted((int(o), int(o) + per_rank) for o in offs)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == total
+        for (a1, b1), (a2, _b2) in zip(spans, spans[1:]):
+            assert a2 == b1
+
+
+class TestPerfModelProperties:
+    @given(st.floats(1, 1e9), st.integers(1, 100000))
+    @settings(max_examples=50, deadline=None)
+    def test_costs_positive_and_monotone_in_bytes(self, nbytes, writers):
+        perf = mount(dardel().storage_named("lfs")).perf
+        c1 = float(perf.write_op_cost(nbytes, writers))
+        c2 = float(perf.write_op_cost(nbytes * 2, writers))
+        assert c1 > 0
+        assert c2 >= c1
+
+    @given(st.integers(1, 25600))
+    @settings(max_examples=50, deadline=None)
+    def test_aggregate_rate_bounded(self, m):
+        perf = mount(dardel().storage_named("lfs")).perf
+        rate = float(perf.aggregate_write_rate(m))
+        t = perf.tuning
+        upper = min(t.client_stream_bandwidth * m ** t.agg_beta,
+                    perf.num_osts * t.ost_stream_bandwidth)
+        assert 0 < rate <= upper * 1.0000001

@@ -1,0 +1,135 @@
+"""Tests for the SST streaming engine (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.adios2 import SSTEngine, SSTReader, open_streams, reset_streams
+from repro.cluster.presets import dardel
+from repro.fs import PosixIO, mount
+from repro.mpi import VirtualComm
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_streams()
+    yield
+    reset_streams()
+
+
+@pytest.fixture
+def env():
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(4, 2)
+    return fs, comm, PosixIO(fs, comm)
+
+
+class TestStreaming:
+    def test_producer_consumer_roundtrip(self, env):
+        fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/diag.sst")
+        reader = SSTReader("diag", comm)
+        eng.begin_step()
+        for r in range(4):
+            eng.put("/n_e", "double", (16,), r, (r * 4,), (4,),
+                    np.full(4, float(r)))
+        eng.end_step()
+        step = reader.begin_step()
+        assert step.step == 0
+        ne = reader.get(step, "/n_e")
+        assert np.array_equal(ne, np.repeat(np.arange(4.0), 4))
+
+    def test_no_files_touched(self, env):
+        fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/x.sst")
+        eng.begin_step()
+        eng.put("/v", "double", (4,), 0, (0,), (4,), np.zeros(4))
+        eng.end_step()
+        eng.close()
+        # in-situ: the stream never lands on the filesystem
+        assert fs.vfs.nfiles == 0
+
+    def test_multiple_steps_in_order(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/s.sst", queue_depth=10)
+        reader = SSTReader("s")
+        for i in range(3):
+            eng.begin_step()
+            eng.put("/v", "double", (1,), 0, (0,), (1,),
+                    np.array([float(i)]))
+            eng.end_step()
+        got = [reader.get(reader.begin_step(), "/v")[0] for _ in range(3)]
+        assert got == [0.0, 1.0, 2.0]
+
+    def test_queue_depth_discards_oldest(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/q.sst", queue_depth=2)
+        for i in range(5):
+            eng.begin_step()
+            eng.put("/v", "double", (1,), 0, (0,), (1,),
+                    np.array([float(i)]))
+            eng.end_step()
+        assert eng.stream.dropped == 3
+        reader = SSTReader("q")
+        first = reader.begin_step()
+        assert reader.get(first, "/v")[0] == 3.0  # oldest surviving step
+
+    def test_reader_sees_close(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/c.sst")
+        eng.begin_step()
+        eng.end_step()
+        eng.close()
+        reader = SSTReader("c")
+        assert reader.begin_step() is not None
+        assert reader.begin_step() is None  # producer gone, queue drained
+
+    def test_reader_blocks_while_producer_active(self, env):
+        _fs, comm, posix = env
+        SSTEngine(posix, comm, "/run/b.sst")
+        reader = SSTReader("b")
+        with pytest.raises(BlockingIOError):
+            reader.begin_step()
+
+    def test_attach_to_unknown_stream(self, env):
+        with pytest.raises(ConnectionError):
+            SSTReader("ghost")
+
+    def test_duplicate_producer_rejected(self, env):
+        _fs, comm, posix = env
+        SSTEngine(posix, comm, "/run/d.sst")
+        with pytest.raises(RuntimeError):
+            SSTEngine(posix, comm, "/run/d.sst")
+
+    def test_open_streams_listing(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/adv.sst")
+        assert "adv" in open_streams()
+        eng.close()
+        assert "adv" not in open_streams()
+
+    def test_read_mode_rejected(self, env):
+        _fs, comm, posix = env
+        with pytest.raises(ValueError):
+            SSTEngine(posix, comm, "/run/r.sst", mode="r")
+
+    def test_network_cost_charged(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/n.sst")
+        before = comm.clocks.copy()
+        eng.begin_step()
+        eng.put("/v", "double", (1_000_000,), 0, (0,), (1_000_000,),
+                np.zeros(1_000_000))
+        eng.end_step()
+        assert comm.clocks[0] > before[0]
+
+    def test_put_group_synthetic(self, env):
+        _fs, comm, posix = env
+        eng = SSTEngine(posix, comm, "/run/g.sst")
+        eng.begin_step()
+        eng.put_group("/bulk", np.arange(4), 1000)
+        data = eng.end_step()
+        assert data.total_bytes == 4000
+        reader = SSTReader("g")
+        step = reader.begin_step()
+        with pytest.raises(NotImplementedError):
+            reader.get(step, "/bulk")  # synthetic chunks carry no data

@@ -1,0 +1,173 @@
+"""Tests for the tooling layer: report generator, postproc driver,
+CLI entry points, BP5 buffering."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import dardel
+from repro.darshan import write_throughput_gib
+from repro.experiments.postproc import run_postproc
+from repro.experiments.report import SECTIONS, build_report, write_report
+from repro.workloads import run_openpmd_scaled, run_original_scaled
+
+
+class TestReportGenerator:
+    def test_build_with_partial_results(self, tmp_path):
+        (tmp_path / "fig5.txt").write_text("Fig 5 content here\n")
+        text = build_report(tmp_path)
+        assert "Fig 5 content here" in text
+        assert "missing sections" in text
+        assert text.startswith("# Reproduction report")
+
+    def test_write_report_creates_file(self, tmp_path):
+        (tmp_path / "fig6.txt").write_text("fig6 rows\n")
+        out = write_report(tmp_path)
+        assert out.name == "REPORT.md"
+        assert "fig6 rows" in out.read_text()
+
+    def test_all_sections_have_titles(self):
+        names = [s[0] for s in SECTIONS]
+        assert len(names) == len(set(names))
+        for name, title, _anchor in SECTIONS:
+            assert title
+
+    def test_anchor_lines_rendered(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "17.868" in text  # the Fig. 5 anchor appears
+        assert "15.8" in text    # the Fig. 6 anchor appears
+
+
+class TestPostproc:
+    def test_aggregated_restart_faster(self):
+        res = run_postproc(nodes=50, aggregators=(1, 50, 6400))
+        rates = dict(zip(res.aggregators, res.read_gib_s))
+        assert rates[50] > rates[1]
+        assert all(r > 0 for r in res.read_gib_s)
+
+    def test_render(self):
+        res = run_postproc(nodes=10, aggregators=(1, 10))
+        assert "restart read GiB/s" in res.render()
+
+
+class TestBP5Buffering:
+    def test_bp5_slower_but_same_order(self):
+        bp4 = run_openpmd_scaled(dardel(), 20, num_aggregators=20,
+                                 engine_ext=".bp4")
+        bp5 = run_openpmd_scaled(dardel(), 20, num_aggregators=20,
+                                 engine_ext=".bp5")
+        t4 = write_throughput_gib(bp4.log)
+        t5 = write_throughput_gib(bp5.log)
+        assert t5 <= t4 * 1.001
+        assert t5 > 0.5 * t4
+
+    def test_bp5_issues_more_write_ops(self):
+        bp4 = run_openpmd_scaled(dardel(), 20, num_aggregators=20,
+                                 engine_ext=".bp4")
+        bp5 = run_openpmd_scaled(dardel(), 20, num_aggregators=20,
+                                 engine_ext=".bp5")
+        assert (bp5.log.counter_total("POSIX_WRITES")
+                > bp4.log.counter_total("POSIX_WRITES"))
+
+    def test_bp5_disk_layout_identical(self):
+        bp4 = run_openpmd_scaled(dardel(), 5, num_aggregators=1,
+                                 engine_ext=".bp4")
+        bp5 = run_openpmd_scaled(dardel(), 5, num_aggregators=1,
+                                 engine_ext=".bp5")
+        s4 = np.sort(bp4.file_sizes())
+        s5 = np.sort(bp5.file_sizes())
+        # same data + one extra mmd.0 per series
+        assert len(s5) == len(s4) + 2
+        data4, data5 = s4[-2:], s5[-2:]
+        assert np.allclose(data4, data5, rtol=0.01)
+
+
+class TestCLIs:
+    def _run(self, *args):
+        return subprocess.run([sys.executable, "-m", *args],
+                              capture_output=True, text=True, timeout=240)
+
+    def test_darshan_cli_total_and_summary(self, tmp_path):
+        res = run_original_scaled(dardel(), 1)
+        log_path = tmp_path / "job.darshan.json.gz"
+        res.log.save(log_path)
+        out = self._run("repro.darshan", "--total", str(log_path))
+        assert out.returncode == 0
+        assert "total_STDIO_BYTES_WRITTEN" in out.stdout
+        out = self._run("repro.darshan", "--summary", str(log_path))
+        assert out.returncode == 0
+        assert json.loads(out.stdout)["nprocs"] == 128
+
+    def test_darshan_cli_missing_file(self):
+        out = self._run("repro.darshan", "/nonexistent.json.gz")
+        assert out.returncode == 1
+        assert "cannot read" in out.stderr
+
+    def test_experiments_cli_quick(self):
+        out = self._run("repro.experiments", "--quick", "fig8")
+        assert out.returncode == 0
+        assert "memory copies eliminated by compression: True" in out.stdout
+
+    def test_experiments_cli_unknown(self):
+        out = self._run("repro.experiments", "fig99")
+        assert out.returncode == 2
+
+    def test_ior_cli_table1_command(self):
+        out = self._run("repro.ior", "--machine", "dardel",
+                        "srun -n 256 ior -N=256 -a POSIX -F -C -e")
+        assert out.returncode == 0
+        assert "GiB/s write" in out.stdout
+        assert "file-per-process" in out.stdout
+
+    def test_ior_cli_bad_command(self):
+        out = self._run("repro.ior", "not an ior line")
+        assert out.returncode == 2
+
+    def test_ior_cli_unknown_machine(self):
+        out = self._run("repro.ior", "--machine", "summit",
+                        "ior -N=4 -a POSIX")
+        assert out.returncode == 2
+
+
+class TestWeakScaling:
+    def test_config_scales_with_nodes(self):
+        from repro.experiments.weak_scaling import scaled_config
+
+        small = scaled_config(1)
+        big = scaled_config(10)
+        assert big.ncells == 10 * small.ncells
+        assert big.length == pytest.approx(10 * small.length)
+        # per-rank particle load stays constant
+        assert big.total_particles() == pytest.approx(
+            10 * small.total_particles(), rel=0.05)
+
+    def test_bp4_retains_more_per_node_rate(self):
+        from repro.experiments.weak_scaling import run_weak_scaling
+
+        res = run_weak_scaling(node_counts=(1, 20))
+        orig = res.get("BIT1 Original I/O")
+        bp4 = res.get("BIT1 openPMD + BP4")
+        assert (bp4.y_at(20) / bp4.y_at(1)
+                > orig.y_at(20) / orig.y_at(1))
+
+
+class TestSensitivity:
+    def test_mechanism_isolation_small(self):
+        from repro.experiments.sensitivity import run_sensitivity
+
+        res = run_sensitivity(constants=("sync_latency",), nodes=10)
+        es = res.elasticities["sync_latency"]
+        assert abs(es["orig meta s @200"]) > 0.3
+        assert abs(es["BP4 @400 aggr"]) < 0.1
+        assert res.shape_survives["sync_latency"]
+        assert "sync_latency" in res.render()
+
+    def test_invalid_scale(self):
+        from repro.experiments.sensitivity import run_sensitivity
+
+        with pytest.raises(ValueError):
+            run_sensitivity(scale=1.0)

@@ -1,0 +1,135 @@
+"""Tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    ceil_div,
+    closest_power_of_two,
+    format_size,
+    format_throughput,
+    geometric_midpoint,
+    human_count,
+    parse_size,
+    round_up,
+    to_gib,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 11
+
+    def test_kilobyte_suffixes(self):
+        assert parse_size("1k") == 1024
+        assert parse_size("1K") == 1024
+        assert parse_size("1KiB") == 1024
+        assert parse_size("1kb") == 1024
+
+    def test_megabyte_suffixes(self):
+        assert parse_size("16M") == 16 * MiB
+        assert parse_size("2MiB") == 2 * MiB
+
+    def test_gigabyte(self):
+        assert parse_size("1.5G") == int(1.5 * GiB)
+
+    def test_lustre_style_stripe_size(self):
+        # the Table III command: -S 16M == 16,777,216 bytes
+        assert parse_size("16M") == 16_777_216
+
+    def test_bare_number_string(self):
+        assert parse_size("123") == 123
+
+    def test_whitespace_tolerated(self):
+        assert parse_size(" 4 MiB ") == 4 * MiB
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("sixteen megabytes")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("4XB")
+
+
+class TestFormatSize:
+    def test_table2_values(self):
+        # Table II renders sizes exactly like this
+        assert format_size(1.9 * MiB) == "1.9MiB"
+        assert format_size(13 * KiB) == "13KiB"
+        assert format_size(1.1 * GiB) == "1.1GiB"
+
+    def test_small_bytes(self):
+        assert format_size(100) == "100B"
+
+    def test_whole_number_trimmed(self):
+        assert format_size(81 * MiB) == "81MiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=10 * 1024**5))
+    def test_roundtrip_parse(self, n):
+        # formatting then parsing lands within the precision loss bound
+        text = format_size(n, precision=6)
+        back = parse_size(text)
+        assert abs(back - n) <= max(1, n * 1e-5)
+
+
+class TestThroughput:
+    def test_format(self):
+        assert format_throughput(0.41 * GiB) == "0.41 GiB/s"
+
+    def test_to_gib(self):
+        assert to_gib(GiB) == 1.0
+
+
+class TestIntegerHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 4) == 3
+        assert ceil_div(8, 4) == 2
+        assert ceil_div(1, 4) == 1
+
+    def test_ceil_div_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_round_up(self):
+        assert round_up(5, 4) == 8
+        assert round_up(8, 4) == 8
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**6))
+    def test_ceil_div_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b
+
+    def test_closest_power_of_two(self):
+        assert closest_power_of_two(1) == 1
+        assert closest_power_of_two(3) == 2  # tie rounds down
+        assert closest_power_of_two(5) == 4
+        assert closest_power_of_two(7) == 8
+
+    def test_closest_power_of_two_invalid(self):
+        with pytest.raises(ValueError):
+            closest_power_of_two(0)
+
+    def test_human_count(self):
+        assert human_count(25600) == "25.6K"
+        assert human_count(30e6) == "30M"
+        assert human_count(42) == "42"
+
+    def test_geometric_midpoint(self):
+        assert geometric_midpoint(1, 4) == 2.0
+        with pytest.raises(ValueError):
+            geometric_midpoint(0, 4)

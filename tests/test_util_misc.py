@@ -1,0 +1,116 @@
+"""Tests for repro.util.tables, rng and validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngRegistry, make_rng, stream_seed
+from repro.util.tables import Table, series_table, transposed_table
+from repro.util.validation import (
+    require_in,
+    require_int,
+    require_non_negative,
+    require_positive,
+    require_range,
+)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long_header"], title="demo")
+        t.add_row([1, 2.5])
+        lines = t.render().splitlines()
+        assert lines[0] == "demo"
+        assert "long_header" in lines[1]
+        assert lines[2].startswith("-")
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([0.123456789])
+        assert "0.1235" in t.render()
+
+    def test_series_table(self):
+        t = series_table("title", "x", [1, 2], {"y": [10, 20], "z": [30, 40]})
+        out = t.render()
+        assert "10" in out and "40" in out
+
+    def test_series_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table("t", "x", [1, 2], {"y": [1]})
+
+    def test_transposed_table(self):
+        t = transposed_table("t", ["files"], "metric", [1, 200],
+                             {"files": [262, 51206]})
+        assert "51206" in t.render()
+
+    def test_transposed_table_mismatch(self):
+        with pytest.raises(ValueError):
+            transposed_table("t", ["files"], "m", [1, 2], {"files": [1]})
+
+
+class TestRng:
+    def test_stream_seed_deterministic(self):
+        assert stream_seed(1, "a", 2) == stream_seed(1, "a", 2)
+
+    def test_stream_seed_distinct_names(self):
+        assert stream_seed(1, "a") != stream_seed(1, "b")
+
+    def test_stream_seed_distinct_roots(self):
+        assert stream_seed(1, "a") != stream_seed(2, "a")
+
+    def test_stream_order_matters(self):
+        assert stream_seed(1, "a", "b") != stream_seed(1, "b", "a")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(7, "x").random(4)
+        b = make_rng(7, "x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_registry_returns_same_generator(self):
+        reg = RngRegistry(3)
+        assert reg.get("mcc", 0) is reg.get("mcc", 0)
+
+    def test_registry_independent_streams(self):
+        reg = RngRegistry(3)
+        a = reg.get("mcc", 0).random(8)
+        b = reg.get("mcc", 1).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_registry_spawn_independent(self):
+        reg = RngRegistry(3)
+        child = reg.spawn("sub")
+        assert child.root_seed != reg.root_seed
+
+
+class TestValidation:
+    def test_require_positive(self):
+        assert require_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            require_positive("x", 0)
+
+    def test_require_non_negative(self):
+        assert require_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            require_non_negative("x", -1)
+
+    def test_require_int(self):
+        assert require_int("x", 5) == 5
+        assert require_int("x", 5.0) == 5
+        with pytest.raises(TypeError):
+            require_int("x", 5.5)
+        with pytest.raises(TypeError):
+            require_int("x", True)
+
+    def test_require_in(self):
+        assert require_in("x", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            require_in("x", "c", ("a", "b"))
+
+    def test_require_range(self):
+        assert require_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            require_range("x", 11, 0, 10)

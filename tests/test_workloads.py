@@ -1,0 +1,187 @@
+"""Tests for the workload presets, data model and scaled runners.
+
+The data-model checks pin the closed forms derived from the paper's
+Table II (see DESIGN.md §4 and repro/workloads/datamodel.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import dardel
+from repro.darshan import file_stats_from_sizes, write_throughput_gib
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads import (
+    Bit1DataModel,
+    paper_use_case,
+    run_openpmd_scaled,
+    run_original_scaled,
+    sheath_case,
+    small_use_case,
+)
+
+
+class TestPresets:
+    def test_paper_use_case_facts(self):
+        cfg = paper_use_case()
+        assert cfg.ncells == 100_000           # "100K cells"
+        assert len(cfg.species) == 3           # e, D+, D
+        assert cfg.total_particles() == 30_000_000  # "30M"
+        assert cfg.last_step == 200_000        # "200K time steps"
+
+    def test_small_case_is_same_physics(self):
+        small = small_use_case()
+        full = paper_use_case()
+        assert [s.name for s in small.species] == [s.name for s in full.species]
+        assert not small.field_solver
+
+    def test_sheath_case_enables_solver(self):
+        assert sheath_case().field_solver
+        assert sheath_case().boundary == "absorbing"
+
+
+class TestDataModel:
+    @pytest.fixture
+    def model200(self):
+        return Bit1DataModel(paper_use_case(), 25600)
+
+    @pytest.fixture
+    def model1(self):
+        return Bit1DataModel(paper_use_case(), 128)
+
+    def test_state_bytes_near_table2_fit(self, model1):
+        # Table II fit: checkpoint state ~478.4 MiB
+        assert model1.state_bytes == pytest.approx(478.4 * MiB, rel=0.01)
+
+    def test_particle_bytes(self, model1):
+        assert model1.particle_state_bytes == 30_000_000 * 16
+
+    def test_per_rank_partitions_sum(self, model200):
+        assert model200.ckpt_particle_bytes_per_rank().sum() \
+            == model200.particle_state_bytes
+        assert model200.ckpt_grid_bytes_per_rank().sum() \
+            == model200.grid_state_bytes
+
+    def test_file_count_closed_forms(self):
+        # Table II: 2*ranks+6 / nodes+5 / 6
+        cfg = paper_use_case()
+        assert Bit1DataModel(cfg, 128).original_file_count() == 262
+        assert Bit1DataModel(cfg, 25600).original_file_count() == 51206
+        m = Bit1DataModel(cfg, 25600)
+        assert m.openpmd_file_count(200) == 205
+        assert m.openpmd_file_count(1) == 6
+        assert m.openpmd_file_count(200, num_aggregators=1) == 6
+
+    def test_openpmd_ondisk_totals_match_table2(self):
+        cfg = paper_use_case()
+        # 1 node: 6 files * 81 MiB = 486 MiB
+        m1 = Bit1DataModel(cfg, 128)
+        assert m1.openpmd_ondisk_bytes() == pytest.approx(486 * MiB, rel=0.02)
+        # 200 nodes: 6 files * 326 MiB = 1956 MiB
+        m200 = Bit1DataModel(cfg, 25600)
+        assert m200.openpmd_ondisk_bytes() == pytest.approx(1956 * MiB,
+                                                            rel=0.02)
+
+    def test_transferred_multiplies_checkpoints(self, model200):
+        on_disk = model200.openpmd_ondisk_bytes()
+        moved = model200.openpmd_transferred_bytes()
+        # 20 checkpoint rewrites dominate
+        assert moved > 10 * on_disk / 2
+
+    def test_original_totals(self, model1, model200):
+        # Table II: 262 files * 1.9 MiB ~ 498 MiB; 51206 * 13 KiB ~ 650 MiB
+        assert model1.original_ondisk_bytes() == pytest.approx(
+            490 * MiB, rel=0.05)
+        assert model200.original_ondisk_bytes() == pytest.approx(
+            650 * MiB, rel=0.05)
+
+    def test_blosc_savings_direction(self, model200):
+        plain = model200.openpmd_ondisk_bytes()
+        blosc = model200.openpmd_ondisk_bytes(compress_particle=0.872,
+                                              compress_diag=0.972)
+        saving = 1 - blosc / plain
+        # paper: 3.68% saving at 200 nodes
+        assert 0.02 <= saving <= 0.06
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            Bit1DataModel(paper_use_case(), 0)
+
+
+class TestScaledRunners:
+    def test_original_census_1node(self):
+        res = run_original_scaled(dardel(), 1)
+        st = file_stats_from_sizes(res.file_sizes())
+        assert st.total_files == 262
+        assert st.avg_size_bytes == pytest.approx(1.9 * MiB, rel=0.07)
+        assert st.max_size_bytes == pytest.approx(3.8 * MiB, rel=0.07)
+
+    def test_openpmd_census_1node(self):
+        res = run_openpmd_scaled(dardel(), 1)
+        st = file_stats_from_sizes(res.file_sizes())
+        assert st.total_files == 6
+        assert st.avg_size_bytes == pytest.approx(81 * MiB, rel=0.03)
+        assert st.max_size_bytes == pytest.approx(476 * MiB, rel=0.03)
+
+    def test_openpmd_default_file_count_10nodes(self):
+        res = run_openpmd_scaled(dardel(), 10)
+        assert file_stats_from_sizes(res.file_sizes()).total_files == 15
+
+    def test_1aggr_constant_files(self):
+        for nodes in (2, 20):
+            res = run_openpmd_scaled(dardel(), nodes, num_aggregators=1)
+            assert file_stats_from_sizes(res.file_sizes()).total_files == 6
+
+    def test_profiling_adds_files(self):
+        res = run_openpmd_scaled(dardel(), 1, profiling=True)
+        names = [p.rsplit("/", 1)[1] for p in
+                 res.fs.vfs.files_under(res.outdir)]
+        assert names.count("profiling.json") == 2  # both series
+
+    def test_log_labels(self):
+        res = run_openpmd_scaled(dardel(), 1, num_aggregators=1,
+                                 compressor="blosc")
+        assert "blosc" in res.log.config
+        assert "1AGGR" in res.log.config
+
+    def test_striping_requires_lustre(self):
+        from repro.cluster.presets import vega
+
+        with pytest.raises(ValueError):
+            run_openpmd_scaled(vega(), 1, storage_name="cephfs",
+                               stripe_count=4)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            run_original_scaled(dardel(), 100_000)
+
+    def test_runs_deterministic(self):
+        a = run_original_scaled(dardel(), 2, seed=5)
+        b = run_original_scaled(dardel(), 2, seed=5)
+        assert write_throughput_gib(a.log) == write_throughput_gib(b.log)
+
+    def test_seed_changes_noise(self):
+        a = run_original_scaled(dardel(), 2, seed=1)
+        b = run_original_scaled(dardel(), 2, seed=2)
+        assert write_throughput_gib(a.log) != write_throughput_gib(b.log)
+
+    def test_compression_reduces_bytes_written(self):
+        plain = run_openpmd_scaled(dardel(), 2, num_aggregators=1)
+        blosc = run_openpmd_scaled(dardel(), 2, num_aggregators=1,
+                                   compressor="blosc")
+        assert (blosc.log.total_bytes_written()
+                < plain.log.total_bytes_written())
+
+    def test_reads_present_and_config_independent(self):
+        # "the time spent on reads remains consistent" (§IV-B)
+        orig = run_original_scaled(dardel(), 2)
+        bp4 = run_openpmd_scaled(dardel(), 2)
+        r_orig = orig.log.per_rank_time("F_READ_TIME").mean()
+        r_bp4 = bp4.log.per_rank_time("F_READ_TIME").mean()
+        assert r_orig > 0 and r_bp4 > 0
+        assert r_orig == pytest.approx(r_bp4, rel=0.05)
+
+    def test_bp5_engine_layout(self):
+        res = run_openpmd_scaled(dardel(), 1, engine_ext=".bp5")
+        names = {p.rsplit("/", 1)[1]
+                 for p in res.fs.vfs.files_under(res.outdir)}
+        assert "mmd.0" in names
