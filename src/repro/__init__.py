@@ -8,6 +8,7 @@ The package builds the paper's entire stack from scratch in Python:
 * :mod:`repro.mpi` — a simulated MPI communicator (in-process SPMD);
 * :mod:`repro.cluster` — virtual machine models of Discoverer, Dardel, Vega;
 * :mod:`repro.fs` — virtual filesystem + Lustre/NFS/CephFS performance models;
+* :mod:`repro.trace` — the typed I/O event spine every layer reports to;
 * :mod:`repro.darshan` — I/O monitoring (counters, logs, parser, reports);
 * :mod:`repro.compression` — Blosc-like and bzip2 codecs;
 * :mod:`repro.adios2` — BP4/BP5 engines with two-level aggregation;
@@ -32,6 +33,14 @@ from repro.ior import IORConfig, run_ior
 from repro.mpi import VirtualComm, comm_for_nodes
 from repro.openpmd import Access, Dataset, Series
 from repro.pic import Bit1Config, Bit1Simulation, SpeciesConfig
+from repro.trace import (
+    IOEvent,
+    TraceBus,
+    TraceSession,
+    chrome_trace,
+    dxt_dump,
+    layer_breakdown,
+)
 from repro.workloads import (
     Bit1DataModel,
     paper_use_case,
@@ -52,6 +61,7 @@ __all__ = [
     "DarshanLog",
     "DarshanMonitor",
     "Dataset",
+    "IOEvent",
     "IORConfig",
     "LustreFilesystem",
     "Machine",
@@ -59,11 +69,16 @@ __all__ = [
     "PosixIO",
     "Series",
     "SpeciesConfig",
+    "TraceBus",
+    "TraceSession",
     "VirtualComm",
+    "chrome_trace",
     "comm_for_nodes",
     "cost_split",
     "dardel",
     "discoverer",
+    "dxt_dump",
+    "layer_breakdown",
     "machine_by_name",
     "mount",
     "paper_use_case",

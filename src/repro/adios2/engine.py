@@ -40,6 +40,7 @@ from repro.compression.api import Compressor, get_compressor
 from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.mpi.comm import VirtualComm
+from repro.trace.subscribers import ProfileFold
 
 #: metadata size model (bytes) — calibrated so BP directory md files stay
 #: in the few-hundred-KiB range Table II implies
@@ -127,6 +128,12 @@ class BPEngineBase:
         self.plan: AggregationPlan = plan_aggregation(
             comm, self.config.num_aggregators)
         self.profile = EngineProfile(comm.size, self.engine_type)
+        # this engine's profiling.json is a fold over the event spine:
+        # the engine emits typed events (scoped to itself, so two open
+        # engines on one bus stay separate) and the fold accumulates
+        self._trace_scope = f"{self.engine_type}:{self.path}"
+        self._fold = ProfileFold(self.profile, scope=self._trace_scope)
+        posix.trace.subscribe(self._fold)
         self._index: list[_IndexEntry] = []
         self._slots: dict[str, list[_Slot]] = {}
         self._subfile_tails = np.zeros(self.plan.num_aggregators, dtype=np.int64)
@@ -194,15 +201,15 @@ class BPEngineBase:
         payload = (RealPayload(real, entropy="metadata") if real is not None
                    else SyntheticPayload(nbytes_model, "metadata"))
         with self.posix.phase(writers=1):
-            self.posix.write(0, self._md_fd, payload)
+            self.posix.write(0, self._md_fd, payload, meta=True)
             for fd in getattr(self, "_extra_fds", {}).values():
                 self.posix.write(0, fd, SyntheticPayload(
-                    max(nbytes_model // 2, 16), "metadata"))
+                    max(nbytes_model // 2, 16), "metadata"), meta=True)
 
     def _append_idx(self, nbytes: int) -> None:
         with self.posix.phase(writers=1):
             self.posix.write(0, self._idx_fd,
-                             SyntheticPayload(nbytes, "metadata"))
+                             SyntheticPayload(nbytes, "metadata"), meta=True)
 
     # -- write-side API -----------------------------------------------------------
 
@@ -264,18 +271,31 @@ class BPEngineBase:
         is periodically overwritten" checkpoint pattern.
         """
         self._check_in_step()
+        with self.posix.trace.scope(self._trace_scope):
+            self._flush_step(overwrite_key)
+        self._in_step = False
+        self.comm.barrier()
+
+    def _flush_step(self, overwrite_key: str | None) -> None:
+        """The staged→shuffled→written pipeline, inside the trace scope.
+
+        All accounting here goes through the event spine: stage copies
+        emit ``memcpy``/``compress``, the aggregator shuffle emits
+        ``shuffle``, and the subfile flushes emit ``collective_write``
+        from inside :meth:`~repro.fs.posix.PosixIO.write_aggregate`.
+        ``self.profile`` is one subscriber folding them back.
+        """
         n = self.comm.size
         staged = np.zeros(n, dtype=np.float64)
         for var in self._cur_vars.values():
             staged += var.per_rank_bytes(n)
         for _name, ranks, nbytes, _entropy in self._cur_bulk:
             np.add.at(staged, ranks, nbytes.astype(np.float64))
-        self.profile.add_bytes(np.arange(n), staged)
 
         stored = self._apply_operator(staged)
         gather = gather_cost_seconds(self.plan, stored, self.comm)
         self.comm.clocks += gather
-        self.profile.add("aggregation", np.arange(n), gather)
+        self._emit("shuffle", np.arange(n), stored, gather)
 
         per_agg = self.plan.per_aggregator_bytes(stored)
         offsets = self._allocate(overwrite_key, per_agg)
@@ -291,25 +311,29 @@ class BPEngineBase:
                 while (remaining > 0).any():
                     batch = np.minimum(remaining, bound)
                     live = batch > 0
-                    costs = self.posix.write_aggregate(
+                    self.posix.write_aggregate(
                         agg_ranks[active][live],
                         self._data_fds[active][live],
                         batch[live], overwrite_offset=offs[live],
                     )
-                    self.profile.add("write", agg_ranks[active][live], costs)
                     offs += batch
                     remaining -= batch
             else:
-                costs = self.posix.write_aggregate(
+                self.posix.write_aggregate(
                     agg_ranks[active], self._data_fds[active],
                     per_agg[active], overwrite_offset=offsets[active],
                 )
-                self.profile.add("write", agg_ranks[active], costs)
         self._materialize_chunks(offsets)
         self._write_step_metadata(overwrite_key)
         self.profile.steps += 1
-        self._in_step = False
-        self.comm.barrier()
+
+    def _emit(self, kind: str, ranks: np.ndarray, nbytes, seconds) -> None:
+        """Emit one engine-plane event (clocks already charged)."""
+        bus = self.posix.trace
+        if bus.wants(kind):
+            bus.emit(kind, ranks, nbytes=nbytes, duration=seconds,
+                     start=self.comm.clocks[ranks] - seconds,
+                     api="ENGINE", layer="engine")
 
     def _apply_operator(self, staged: np.ndarray) -> np.ndarray:
         """Compression / memcpy accounting; returns stored bytes per rank."""
@@ -318,7 +342,7 @@ class BPEngineBase:
         if self.compressor is None:
             memcpy_s = staged / self.config.memcpy_bandwidth
             self.comm.clocks += memcpy_s
-            self.profile.add("memcpy", ranks, memcpy_s)
+            self._emit("memcpy", ranks, staged, memcpy_s)
             # real chunks are stored as-is
             for var in self._cur_vars.values():
                 for chunk in var.chunks:
@@ -327,7 +351,7 @@ class BPEngineBase:
             return staged.copy()
         cpu_s = staged / self.compressor.compress_bandwidth
         self.comm.clocks += cpu_s
-        self.profile.add("compress", ranks, cpu_s)
+        self._emit("compress", ranks, staged, cpu_s)
         stored = np.zeros(n, dtype=np.float64)
         for var in self._cur_vars.values():
             for chunk in var.chunks:
@@ -512,6 +536,7 @@ class BPEngineBase:
             self.posix.close(0, self._idx_fd)
             for fd in self._extra_fds.values():
                 self.posix.close(0, fd)
+        self.posix.trace.unsubscribe(self._fold)
         self._closed = True
 
     # -- guards --------------------------------------------------------------------------

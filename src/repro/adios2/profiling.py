@@ -22,11 +22,32 @@ import json
 
 import numpy as np
 
+from repro.trace.events import IOEvent, make_event
+
 PROFILE_CATEGORIES = ("memcpy", "compress", "aggregation", "write", "meta")
+
+#: spine event kind -> profiling.json category
+KIND_TO_CATEGORY = {
+    "memcpy": "memcpy",
+    "compress": "compress",
+    "shuffle": "aggregation",
+    "collective_write": "write",
+    "meta_append": "meta",
+}
+_CATEGORY_TO_KIND = {v: k for k, v in KIND_TO_CATEGORY.items()}
+
+#: kinds whose payload counts toward ``bytes_put`` (the staging volume)
+_STAGING_KINDS = frozenset({"memcpy", "compress"})
 
 
 class EngineProfile:
-    """Columnar per-rank microsecond counters for one engine."""
+    """Columnar per-rank microsecond counters for one engine.
+
+    Since the ``repro.trace`` refactor this class holds no timing
+    arithmetic of its own: every counter is folded from spine events in
+    :meth:`fold_event` (the ``add``/``add_bytes`` entry points wrap
+    their arguments in synthetic events and fold those).
+    """
 
     def __init__(self, nranks: int, engine_type: str = "BP4"):
         self.nranks = nranks
@@ -36,19 +57,44 @@ class EngineProfile:
         self.bytes_put = np.zeros(nranks, dtype=np.float64)
         self.steps = 0
 
+    def fold_event(self, event: IOEvent) -> None:
+        """Fold one engine-plane spine event into the counters."""
+        category = KIND_TO_CATEGORY.get(event.kind)
+        if category is None:
+            return
+        np.add.at(self.us[category], event.ranks, event.duration * 1e6)
+        if event.kind in _STAGING_KINDS:
+            np.add.at(self.bytes_put, event.ranks, event.nbytes)
+
+    @classmethod
+    def from_events(cls, events, nranks: int, engine_type: str = "TRACE",
+                    scope: str | None = None) -> "EngineProfile":
+        """Rebuild a profile offline from a recorded event stream.
+
+        Applies the same kind filter and scope matching as the live
+        :class:`~repro.trace.subscribers.ProfileFold`, so a profile
+        derived after the fact is identical to the one folded in-run.
+        """
+        from repro.trace.subscribers import ProfileFold
+        profile = cls(nranks, engine_type)
+        fold = ProfileFold(profile, scope=scope)
+        for event in events:
+            if event.kind in fold.kinds:
+                fold.on_event(event)
+        return profile
+
     def add(self, category: str, ranks, seconds) -> None:
         """Accumulate seconds (converted to µs) for one or many ranks."""
         if category not in self.us:
             raise KeyError(f"unknown profile category {category!r}")
-        ranks = np.atleast_1d(np.asarray(ranks))
-        us = np.broadcast_to(np.asarray(seconds, dtype=np.float64) * 1e6,
-                             ranks.shape)
-        np.add.at(self.us[category], ranks, us)
+        self.fold_event(make_event(_CATEGORY_TO_KIND[category], ranks,
+                                   duration=seconds, layer="engine",
+                                   api="ENGINE"))
 
     def add_bytes(self, ranks, nbytes) -> None:
-        ranks = np.atleast_1d(np.asarray(ranks))
-        vals = np.broadcast_to(np.asarray(nbytes, dtype=np.float64), ranks.shape)
-        np.add.at(self.bytes_put, ranks, vals)
+        # a zero-duration staging event: contributes bytes_put only
+        self.fold_event(make_event("memcpy", ranks, nbytes=nbytes,
+                                   layer="engine", api="ENGINE"))
 
     def total_us(self, category: str) -> float:
         return float(self.us[category].sum())

@@ -25,6 +25,7 @@ from repro.adios2.profiling import EngineProfile
 from repro.adios2.variables import Variable
 from repro.fs.payload import Payload, RealPayload, SyntheticPayload
 from repro.mpi.comm import VirtualComm
+from repro.trace.subscribers import ProfileFold
 
 #: the "contact file" registry: stream name -> live stream
 _STREAMS: dict[str, "_Stream"] = {}
@@ -78,6 +79,11 @@ class SSTEngine:
         self.stream = _Stream(name=name, queue_depth=queue_depth)
         _STREAMS[name] = self.stream
         self.profile = EngineProfile(comm.size, "SST")
+        self._trace_scope = f"SST:{name}"
+        self._fold = None
+        if posix is not None:
+            self._fold = ProfileFold(self.profile, scope=self._trace_scope)
+            posix.trace.subscribe(self._fold)
         self._step = -1
         self._in_step = False
         self._cur_vars: dict[str, Variable] = {}
@@ -154,7 +160,15 @@ class SSTEngine:
         # producers ship their chunks over the NIC
         cost = per_rank / self.comm.config.bandwidth
         self.comm.clocks += cost
-        self.profile.add("aggregation", np.arange(self.comm.size), cost)
+        ranks = np.arange(self.comm.size)
+        if self._fold is not None:
+            with self.posix.trace.scope(self._trace_scope):
+                self.posix.trace.emit(
+                    "shuffle", ranks, nbytes=per_rank, duration=cost,
+                    start=self.comm.clocks - cost, api="ENGINE",
+                    layer="engine")
+        else:  # no POSIX layer attached: fold directly
+            self.profile.add("aggregation", ranks, cost)
         if len(self.stream.steps) >= self.stream.queue_depth:
             # SST discard policy when consumers lag (bounded memory)
             self.stream.steps.popleft()
@@ -168,6 +182,8 @@ class SSTEngine:
         if self._in_step:
             raise RuntimeError("cannot close an engine mid-step")
         self.stream.closed = True
+        if self._fold is not None:
+            self.posix.trace.unsubscribe(self._fold)
         self._closed = True
 
     def __enter__(self):

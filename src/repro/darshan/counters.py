@@ -69,7 +69,11 @@ SIZE_BUCKET_NAMES = (
     "SIZE_1G_PLUS",
 )
 
-#: op name (from the POSIX layer) → count field
+#: event kind (from the repro.trace spine) → count field.  The legacy
+#: "sync" alias is kept for pre-spine callers of ``record()``; on the
+#: wire the spine emits "fsync".  The engine-plane write kinds
+#: (collective_write / meta_append) are WRITES at the POSIX boundary —
+#: Darshan cannot tell an aggregator flush from any other write().
 OP_TO_COUNT = {
     "open": "OPENS",
     "create": "OPENS",
@@ -79,11 +83,15 @@ OP_TO_COUNT = {
     "unlink": "STATS",
     "seek": "SEEKS",
     "sync": "FSYNCS",
+    "fsync": "FSYNCS",
     "read": "READS",
     "write": "WRITES",
+    "collective_write": "WRITES",
+    "meta_append": "WRITES",
 }
 
-#: op name → time category field
+#: event kind → time category field (fsync time is metadata time — the
+#: accounting subtlety behind Fig. 5, see module docstring)
 OP_TO_TIME = {
     "open": "F_META_TIME",
     "create": "F_META_TIME",
@@ -93,9 +101,16 @@ OP_TO_TIME = {
     "unlink": "F_META_TIME",
     "seek": "F_META_TIME",
     "sync": "F_META_TIME",
+    "fsync": "F_META_TIME",
     "read": "F_READ_TIME",
     "write": "F_WRITE_TIME",
+    "collective_write": "F_WRITE_TIME",
+    "meta_append": "F_WRITE_TIME",
 }
+
+#: event kinds whose payload counts as written / read bytes
+WRITE_KINDS = frozenset({"write", "collective_write", "meta_append"})
+READ_KINDS = frozenset({"read"})
 
 
 def size_bucket_index(nbytes: np.ndarray) -> np.ndarray:

@@ -19,6 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.trace.events import DATA_KINDS, IOEvent, make_event
+
+#: spine kinds → the two-op DXT vocabulary real darshan-dxt-parser emits
+_DXT_OP = {"write": "write", "read": "read",
+           "collective_write": "write", "meta_append": "write"}
+
 
 @dataclass(frozen=True)
 class Segment:
@@ -148,13 +154,16 @@ class DXTRecorder:
 
 
 class TracingMonitor:
-    """Wraps a DarshanMonitor, forwarding records and tracing data ops.
+    """Spine subscriber that traces data ops and forwards everything.
 
     Drop-in for the ``monitor`` argument of :class:`~repro.fs.posix.
     PosixIO`: counters keep flowing to the wrapped monitor, and
-    read/write operations additionally produce DXT segments with
-    virtual-clock timestamps taken from the communicator.
+    data-moving events (``write``/``read``/``collective_write``/
+    ``meta_append``) additionally produce DXT segments from the events'
+    virtual-clock timestamps.
     """
+
+    kinds = None  # forward every event; segment filter is DATA_KINDS
 
     def __init__(self, monitor, comm, recorder: DXTRecorder | None = None):
         self.monitor = monitor
@@ -171,20 +180,34 @@ class TracingMonitor:
             self._paths[int(ino)] = path
         self.monitor.register_files(inos, paths)
 
+    def on_event(self, event: IOEvent) -> None:
+        fold = getattr(self.monitor, "on_event", None)
+        if fold is not None:
+            fold(event)
+        else:  # pre-spine monitor: translate back to record() vocabulary
+            self.monitor.record(
+                "sync" if event.kind == "fsync" else event.kind,
+                ranks=event.ranks, nbytes=event.nbytes,
+                seconds=event.duration, api=event.api, inos=event.inos,
+                n_ops=event.n_ops)
+        if event.kind not in DATA_KINDS or event.inos is None:
+            return
+        paths = [self._paths.get(int(i), f"<ino {int(i)}>")
+                 for i in np.broadcast_to(event.inos, event.ranks.shape)]
+        self.dxt.record(f"DXT_{event.api}", _DXT_OP[event.kind],
+                        event.ranks, paths, event.nbytes,
+                        event.start, event.end)
+
     def record(self, kind: str, ranks, nbytes, seconds, api: str,
                inos=None, n_ops=1) -> None:
-        self.monitor.record(kind, ranks=ranks, nbytes=nbytes,
-                            seconds=seconds, api=api, inos=inos,
-                            n_ops=n_ops)
-        if kind not in ("write", "read") or inos is None:
-            return
+        """Legacy entry point: wrap in an event with clock timestamps."""
         ranks_arr = np.atleast_1d(np.asarray(ranks))
-        inos_arr = np.atleast_1d(np.asarray(inos))
-        paths = [self._paths.get(int(i), f"<ino {int(i)}>")
-                 for i in np.broadcast_to(inos_arr, ranks_arr.shape)]
-        # the clock was already advanced by the caller: end = now
-        ends = self.comm.clocks[ranks_arr]
         secs = np.broadcast_to(np.asarray(seconds, dtype=np.float64),
                                ranks_arr.shape)
-        self.dxt.record(f"DXT_{api}", kind, ranks_arr, paths, nbytes,
-                        ends - secs, ends)
+        # the clock was already advanced by the caller: end = now
+        ends = self.comm.clocks[ranks_arr]
+        self.on_event(make_event(
+            "fsync" if kind == "sync" else kind, ranks_arr, nbytes=nbytes,
+            duration=secs, start=ends - secs, n_ops=n_ops, api=api,
+            layer={"STDIO": "stdio", "MPIIO": "mpiio"}.get(api, "posix"),
+            inos=inos))

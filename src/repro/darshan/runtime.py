@@ -1,9 +1,11 @@
 """Darshan runtime: per-rank, per-module, per-file I/O instrumentation.
 
-The :class:`DarshanMonitor` attaches to the POSIX layer (the same
-boundary real Darshan wraps with link-time interposition) and accumulates
-counters into columnar per-rank arrays — cheap enough to instrument
-25600-rank virtual jobs.
+The :class:`DarshanMonitor` is a *subscriber* on the ``repro.trace``
+event spine — the same boundary real Darshan wraps with link-time
+interposition — and folds every filesystem-plane event into columnar
+per-rank counters, cheap enough to instrument 25600-rank virtual jobs.
+It performs no timing or byte arithmetic of its own: all quantities
+arrive pre-computed on the events and are only accumulated here.
 
 Lifecycle mirrors the real tool: create a monitor per job, run the job,
 then :meth:`finalize` to freeze a :class:`~repro.darshan.log.DarshanLog`
@@ -23,11 +25,20 @@ from repro.darshan.counters import (
     MODULES,
     OP_TO_COUNT,
     OP_TO_TIME,
+    READ_KINDS,
     SIZE_BUCKET_NAMES,
     TIME_FIELDS,
+    WRITE_KINDS,
     size_bucket_index,
 )
 from repro.darshan.log import DarshanLog, FileRecord, ModuleRecord
+from repro.trace.events import FS_LAYERS, IOEvent, make_event
+
+#: legacy record() op names → spine event kinds
+_LEGACY_KIND = {"sync": "fsync"}
+
+#: record()-era api strings → spine layer tags
+_API_LAYER = {"STDIO": "stdio", "MPIIO": "mpiio"}
 
 
 class _ModuleCounters:
@@ -99,49 +110,64 @@ class DarshanMonitor:
         for ino, path in zip(inos, paths):
             self._files.paths.setdefault(int(ino), path)
 
-    # -- the single recording entry point ------------------------------------
+    # -- the single folding entry point ---------------------------------------
 
-    def record(self, kind: str, ranks, nbytes, seconds, api: str,
-               inos=None, n_ops=1) -> None:
-        """Account one (possibly group) operation.
+    #: spine event kinds this subscriber folds (everything fs-plane)
+    kinds = frozenset(OP_TO_TIME)
 
-        ``ranks``/``nbytes``/``seconds``/``n_ops`` broadcast against each
-        other; ``inos`` optionally attributes the op to files.
+    def on_event(self, event: IOEvent) -> None:
+        """Fold one spine event into the counters.
+
+        Events arrive with ``ranks``/``nbytes``/``duration``/``n_ops``
+        already broadcast to a common per-rank shape; ``inos``
+        optionally attributes the op to files.
         """
         if self._finalized is not None:
             # after shutdown real Darshan no longer interposes; post-job
             # I/O (e.g. reading results back) is simply not recorded
             return
-        mod = self._modules.get(api)
+        if event.layer not in FS_LAYERS:
+            return  # engine/MPI-plane events are not Darshan's to count
+        mod = self._modules.get(event.api)
         if mod is None:  # unknown module: fold into POSIX
             mod = self._modules["POSIX"]
-        ranks = np.atleast_1d(np.asarray(ranks))
-        nbytes_arr = np.broadcast_to(
-            np.asarray(nbytes, dtype=np.float64), ranks.shape)
-        seconds_arr = np.broadcast_to(
-            np.asarray(seconds, dtype=np.float64), ranks.shape)
-        ops_arr = np.broadcast_to(
-            np.asarray(n_ops, dtype=np.float64), ranks.shape)
+        kind = event.kind
+        ranks = event.ranks
+        ops_arr = event.n_ops
 
         count_field = OP_TO_COUNT.get(kind)
         if count_field is not None:
             np.add.at(mod.counts[count_field], ranks, ops_arr)
         time_field = OP_TO_TIME[kind]
-        np.add.at(mod.times[time_field], ranks, seconds_arr)
+        np.add.at(mod.times[time_field], ranks, event.duration)
 
-        if kind == "write":
-            np.add.at(mod.bytes["BYTES_WRITTEN"], ranks, nbytes_arr)
-            per_op = nbytes_arr / np.maximum(ops_arr, 1.0)
+        if kind in WRITE_KINDS:
+            np.add.at(mod.bytes["BYTES_WRITTEN"], ranks, event.nbytes)
+            per_op = event.nbytes / np.maximum(ops_arr, 1.0)
             buckets = size_bucket_index(per_op)
             np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
-        elif kind == "read":
-            np.add.at(mod.bytes["BYTES_READ"], ranks, nbytes_arr)
-            per_op = nbytes_arr / np.maximum(ops_arr, 1.0)
+        elif kind in READ_KINDS:
+            np.add.at(mod.bytes["BYTES_READ"], ranks, event.nbytes)
+            per_op = event.nbytes / np.maximum(ops_arr, 1.0)
             buckets = size_bucket_index(per_op)
             np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
 
-        if inos is not None:
-            self._record_files(kind, inos, nbytes_arr, seconds_arr, ops_arr)
+        if event.inos is not None:
+            self._record_files(kind, event.inos, event.nbytes,
+                               event.duration, ops_arr)
+
+    def record(self, kind: str, ranks, nbytes, seconds, api: str,
+               inos=None, n_ops=1) -> None:
+        """Legacy entry point: wrap the arguments in a spine event.
+
+        Pre-spine callers (and the Darshan unit tests) talk the old
+        ``record()`` vocabulary; everything funnels through
+        :meth:`on_event` so there is exactly one folding code path.
+        """
+        self.on_event(make_event(
+            _LEGACY_KIND.get(kind, kind), ranks, nbytes=nbytes,
+            duration=seconds, n_ops=n_ops, api=api,
+            layer=_API_LAYER.get(api, "posix"), inos=inos))
 
     def _record_files(self, kind: str, inos, nbytes, seconds, ops) -> None:
         inos = np.atleast_1d(np.asarray(inos, dtype=np.int64))
@@ -156,13 +182,13 @@ class DarshanMonitor:
         seconds = np.broadcast_to(seconds, shape)
         ops = np.broadcast_to(ops, shape)
         ft = self._files
-        if kind == "write":
+        if kind in WRITE_KINDS:
             np.add.at(ft.writes, inos, ops)
             np.add.at(ft.bytes_written, inos, nbytes)
-        elif kind == "read":
+        elif kind in READ_KINDS:
             np.add.at(ft.reads, inos, ops)
             np.add.at(ft.bytes_read, inos, nbytes)
-        elif kind == "sync":
+        elif kind == "fsync":
             np.add.at(ft.fsyncs, inos, ops)
         elif kind in ("open", "create"):
             np.add.at(ft.opens, inos, ops)

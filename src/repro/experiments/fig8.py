@@ -5,11 +5,18 @@ operation execution times are entirely eliminated for the BIT1 openPMD +
 BP4 configuration with Blosc compression and 1 AGGR" — because the
 compressor emits straight into the staging buffer, skipping the staging
 memcpy an uncompressed put performs.
+
+The figure's numbers are derived from the :mod:`repro.trace` event
+stream alone: each run carries a ``trace_mode="summary"`` session whose
+``stream_profile`` folds every engine event (memcpy, compress, shuffle,
+collective_write) across both series, and whose streaming
+:class:`~repro.trace.export.LayerBreakdown` gives the per-layer time
+split reported alongside the table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.presets import dardel
 from repro.experiments.common import resolve_machine
@@ -27,6 +34,8 @@ class Fig8Result:
     memcpy_us_compressed: float
     compress_us_uncompressed: float
     compress_us_compressed: float
+    #: per-layer time breakdowns rendered from each run's event stream
+    breakdowns: dict = field(default_factory=dict)
 
     @property
     def memcpy_eliminated(self) -> bool:
@@ -50,29 +59,45 @@ class Fig8Result:
         out = self.to_table().render()
         out += ("\n  memory copies eliminated by compression: "
                 f"{self.memcpy_eliminated} (paper: True)")
+        for label, text in self.breakdowns.items():
+            out += f"\n\n[{label}]\n{text}"
         return out
 
 
-def _mean_us(profiles, category: str) -> float:
-    total = sum(p.total_us(category) for p in profiles)
-    ranks = max(p.nranks for p in profiles) if profiles else 1
-    return total / ranks
+def _mean_us(result, category: str) -> float:
+    """Mean per-rank microseconds of ``category``, folded from events.
+
+    The whole-run ``stream_profile`` sums the category across every
+    engine in the run (diagnostics + checkpoint series), so dividing by
+    the rank count matches the pre-spine per-profile aggregation.
+    """
+    profile = result.trace.stream_profile
+    return profile.total_us(category) / profile.nranks
 
 
 def run_fig8(nodes: int = 200, machine=None, seed: int = 0) -> Fig8Result:
-    """Reproduce Fig. 8 from the engines' profiling counters."""
+    """Reproduce Fig. 8 from the runs' trace event streams."""
     machine = resolve_machine(machine) if machine is not None else dardel()
     plain = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                               profiling=True, seed=seed)
+                               profiling=True, seed=seed,
+                               trace_mode="summary")
     blosc = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                               compressor="blosc", profiling=True, seed=seed)
+                               compressor="blosc", profiling=True, seed=seed,
+                               trace_mode="summary")
+    breakdowns = {
+        "openPMD+BP4 + 1 AGGR (no compression)":
+            plain.trace.render_breakdown(),
+        "openPMD+BP4 + Blosc + 1 AGGR":
+            blosc.trace.render_breakdown(),
+    }
     return Fig8Result(
         machine=machine.name,
         nodes=nodes,
-        memcpy_us_uncompressed=_mean_us(plain.profiles, "memcpy"),
-        memcpy_us_compressed=_mean_us(blosc.profiles, "memcpy"),
-        compress_us_uncompressed=_mean_us(plain.profiles, "compress"),
-        compress_us_compressed=_mean_us(blosc.profiles, "compress"),
+        memcpy_us_uncompressed=_mean_us(plain, "memcpy"),
+        memcpy_us_compressed=_mean_us(blosc, "memcpy"),
+        compress_us_uncompressed=_mean_us(plain, "compress"),
+        compress_us_compressed=_mean_us(blosc, "compress"),
+        breakdowns=breakdowns,
     )
 
 

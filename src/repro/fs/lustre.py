@@ -12,6 +12,12 @@ Implements the paper's Table III / Listing 1 workflow:
 When a file is written to Lustre it is divided into "stripes" distributed
 round-robin (raid0) across the configured object storage targets; the
 ``lfs_getstripe`` output mirrors the paper's Listing 1 fields.
+
+The striping layout shapes the *durations* of the I/O events emitted on
+the :mod:`repro.trace` bus (via :class:`~repro.fs.posix.PosixIO`): the
+stripe count bounds the parallel streams the performance model grants a
+write, so a ``lfs_setstripe`` change is directly visible in Chrome-trace
+exports of the event stream.
 """
 
 from __future__ import annotations

@@ -31,6 +31,12 @@ mechanisms (each with calibration constants in
     400, and 3.87 GiB/s at 25600.
 
 Everything is vectorised: scalar or ndarray inputs broadcast.
+
+The virtual seconds computed here are the ``duration`` fields of the
+typed events :class:`~repro.fs.posix.PosixIO` emits on the
+:mod:`repro.trace` bus — this model is the single source of I/O time, so
+every downstream consumer (Darshan counters, engine profiles, trace
+exports) agrees by construction.
 """
 
 from __future__ import annotations

@@ -29,6 +29,14 @@ import numpy as np
 from repro.fs.mount import MountedFilesystem
 from repro.fs.payload import Payload, RealPayload, SyntheticPayload, as_payload
 from repro.mpi.comm import VirtualComm
+from repro.trace.bus import TraceBus
+from repro.trace.subscribers import LegacyMonitorAdapter
+
+#: legacy op names → spine event kinds
+_KIND_ALIAS = {"sync": "fsync"}
+
+#: api string → spine layer tag (everything else is the POSIX boundary)
+_API_LAYER = {"STDIO": "stdio", "MPIIO": "mpiio"}
 
 #: metadata-op weights (an exclusive create touches the MDS more than a stat)
 MD_OPS = {
@@ -58,10 +66,22 @@ class PosixIO:
 
     def __init__(self, fs: MountedFilesystem,
                  comm: VirtualComm | None = None,
-                 monitor: "object | None" = None):
+                 monitor: "object | None" = None,
+                 trace: TraceBus | None = None):
         self.fs = fs
         self.comm = comm
         self.monitor = monitor
+        #: the event spine this layer emits onto; shared with the
+        #: engines and the communicator when a TraceSession built it
+        self.trace = trace if trace is not None else TraceBus(
+            node_of_rank=getattr(comm, "node_of_rank", None))
+        if monitor is not None:
+            # back-compat: a monitor passed directly becomes the first
+            # subscriber (modern callers subscribe via the session)
+            if hasattr(monitor, "on_event"):
+                self.trace.subscribe(monitor)
+            else:
+                self.trace.subscribe(LegacyMonitorAdapter(monitor))
         self._fds: dict[int, OpenFile] = {}
         self._fd_ino = np.full(256, -1, dtype=np.int64)  # fd -> ino map
         self._next_fd = 3  # 0-2 are stdin/out/err, as tradition demands
@@ -97,10 +117,21 @@ class PosixIO:
 
     def _notify(self, kind: str, ranks, nbytes, seconds, api: str,
                 inos=None, n_ops=1) -> None:
-        if self.monitor is not None:
-            self.monitor.record(kind, ranks=ranks, nbytes=nbytes,
-                                seconds=seconds, api=api, inos=inos,
-                                n_ops=n_ops)
+        """Emit one typed event for an operation already charged to the
+        clocks (so ``clock - duration`` is the op's start time)."""
+        kind = _KIND_ALIAS.get(kind, kind)
+        bus = self.trace
+        if not bus.wants(kind):
+            return
+        start = None
+        if self.comm is not None:
+            ranks = np.atleast_1d(np.asarray(ranks))
+            secs = np.broadcast_to(
+                np.asarray(seconds, dtype=np.float64), ranks.shape)
+            start = self.comm.clocks[ranks] - secs
+        bus.emit(kind, ranks, nbytes=nbytes, duration=seconds, start=start,
+                 n_ops=n_ops, api=api, layer=_API_LAYER.get(api, "posix"),
+                 inos=inos)
 
     def _alloc_fd(self, of: OpenFile) -> int:
         fd = self._next_fd
@@ -164,8 +195,7 @@ class PosixIO:
         pos = self.fs.vfs.size_of(ino) if append else 0
         fd = self._alloc_fd(OpenFile(ino=ino, path=path, rank=rank, pos=pos,
                                      api=api))
-        if self.monitor is not None:
-            self.monitor.register_file(ino, path)
+        self.trace.register_file(ino, path)
         self._md(rank, op, api, ino=ino)
         return fd
 
@@ -184,13 +214,17 @@ class PosixIO:
               offset: int | None = None,
               chunk_size: int | None = None,
               sync_each_chunk: bool = False,
-              api: str | None = None) -> int:
+              api: str | None = None,
+              meta: bool = False) -> int:
         """Write a payload; returns bytes written.
 
         ``chunk_size`` models buffered-stdio flush chains: the payload is
         charged as ``ceil(n/chunk_size)`` write RPC ops, and with
         ``sync_each_chunk`` every chunk is followed by an fsync — BIT1's
-        original output behaviour.
+        original output behaviour.  ``meta=True`` marks the write as a
+        metadata/index append (engine ``md.0``/``md.idx`` maintenance):
+        same cost and Darshan accounting, but the spine types it
+        ``meta_append`` so profile folds can separate it from data.
         """
         payload = as_payload(data)
         of = self._fds[fd]
@@ -210,7 +244,8 @@ class PosixIO:
             per_chunk, self._writers, stripe_count, stripe_size,
             n_ops=n_chunks)) * float(self.fs.perf.noise())
         self._charge(rank, cost)
-        self._notify("write", rank, n, cost, api, inos=of.ino, n_ops=n_chunks)
+        self._notify("meta_append" if meta else "write", rank, n, cost, api,
+                     inos=of.ino, n_ops=n_chunks)
         if sync_each_chunk:
             sync_cost = float(self.fs.perf.fsync_cost(
                 self._writers, stripe_count, n_ops=n_chunks))
@@ -271,8 +306,7 @@ class PosixIO:
                                          api=api))
             inos[i] = ino
             fds[i] = fd
-        if self.monitor is not None:
-            self.monitor.register_files(inos, paths)
+        self.trace.register_files(inos, paths)
         op = "create" if create else "open"
         weight = MD_OPS[op]
         cost = self.fs.perf.metadata_op_cost(self._md_clients, weight)
@@ -389,8 +423,8 @@ class PosixIO:
         # the write() system calls the engine issues are stripe-sized
         # buffer flushes; the per-RPC fan-out below them is the cost model
         n_writes = np.maximum(np.ceil(nbytes / stripe_size), 1.0)
-        self._notify("write", ranks, nbytes, costs, api, inos=inos,
-                     n_ops=n_writes)
+        self._notify("collective_write", ranks, nbytes, costs, api,
+                     inos=inos, n_ops=n_writes)
         return costs
 
     def close_group(self, ranks: np.ndarray, fds: np.ndarray,

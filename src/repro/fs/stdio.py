@@ -13,6 +13,11 @@ many small synced writes — so the layer reproduces it faithfully:
 
 ``fprintf`` formats real text in functional mode; synthetic payloads
 pass through by size.
+
+Accounting: every flush/sync lands on the POSIX layer with
+``api="STDIO"``, so it reaches the :mod:`repro.trace` bus as a typed
+event attributed to ``layer="stdio"`` — the Darshan STDIO module and any
+trace exporters consume the same event stream.
 """
 
 from __future__ import annotations

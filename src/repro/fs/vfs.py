@@ -43,10 +43,23 @@ class IsADir(FSError):
 
 
 def normalize(path: str) -> str:
-    """Normalise to an absolute, ``/``-separated path."""
+    """Normalise to an absolute, ``/``-separated path.
+
+    Empty paths are rejected (they would silently alias the root), and
+    trailing slashes are stripped consistently: ``/a/b/``, ``/a/b//``
+    and ``/a/b`` all name the same entry.  POSIX's special treatment of
+    a leading ``//`` is deliberately not honoured — the virtual FS has a
+    single namespace.
+    """
+    if not path:
+        raise FSError("empty path")
     if not path.startswith("/"):
         path = "/" + path
     norm = posixpath.normpath(path)
+    # posixpath.normpath preserves a leading double slash (POSIX allows
+    # an implementation-defined root there); collapse it
+    if norm.startswith("//"):
+        norm = norm[1:]
     return norm
 
 

@@ -66,6 +66,11 @@ class Bit1OpenPMDWriter:
 
     def write_diagnostics(self, sim, step: int) -> None:
         """One iteration per snapshot: profiles + distribution functions."""
+        with self.posix.trace.step(step):
+            self._write_diagnostics(sim, step)
+        self._snapshots += 1
+
+    def _write_diagnostics(self, sim, step: int) -> None:
         it = self.diag_series.iterations[step]
         it.set_time(step * sim.config.dt, sim.config.dt)
         # profiles must be taken before snapshot() resets the accumulators
@@ -115,12 +120,15 @@ class Bit1OpenPMDWriter:
             comp.store_chunk(np.asarray(row, dtype=np.float64),
                              (int(offsets[rank]),), rank=rank)
         it.close()
-        self._snapshots += 1
 
     # -- checkpoints -------------------------------------------------------------------
 
     def write_checkpoint(self, sim, step: int) -> None:
         """Overwrite iteration 0 with the complete system state."""
+        with self.posix.trace.step(step):
+            self._write_checkpoint(sim, step)
+
+    def _write_checkpoint(self, sim, step: int) -> None:
         it = self.ckpt_series.iterations[0].reopen()
         it.set_time(step * sim.config.dt, sim.config.dt)
         it.attributes["checkpointStep"] = step

@@ -62,6 +62,10 @@ class VirtualComm:
         self.clocks = np.zeros(size, dtype=np.float64)
         #: node index of each rank (block distribution, like slurm default)
         self.node_of_rank = np.arange(size) // ranks_per_node
+        #: optional repro.trace bus; when attached (by a TraceSession),
+        #: barriers emit typed events with per-rank wait times
+        self.trace = None
+        self._all_ranks = np.arange(size)
 
     # -- topology ---------------------------------------------------------
 
@@ -104,8 +108,18 @@ class VirtualComm:
         """Align all clocks to the slowest rank plus the collective cost.
 
         Returns the synchronised time, which is also the job wall time at
-        this point.
+        this point.  With a trace bus attached, emits one ``barrier``
+        event whose per-rank durations are the wait times (fast ranks
+        wait longest) — the load-imbalance signal in trace timelines.
         """
+        bus = self.trace
+        if bus is not None and bus.wants("barrier"):
+            entered = self.clocks.copy()
+            t = self.max_time() + self._collective_cost()
+            self.clocks[:] = t
+            bus.emit("barrier", self._all_ranks, duration=t - entered,
+                     start=entered, api="MPI", layer="mpi")
+            return t
         t = self.max_time() + self._collective_cost()
         self.clocks[:] = t
         return t

@@ -34,6 +34,7 @@ from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.ior.benchmark import SHARED_FILE_LOCK_EFFICIENCY
 from repro.mpi.comm import VirtualComm
+from repro.trace.subscribers import ProfileFold
 
 #: HDF5's metadata is heavier per object than BP's index entries
 H5_SUPERBLOCK = 2048
@@ -63,6 +64,9 @@ class HDF5Engine:
                 "for compressed output"
             )
         self.profile = EngineProfile(comm.size, self.engine_type)
+        self._trace_scope = f"{self.engine_type}:{self.path}"
+        self._fold = ProfileFold(self.profile, scope=self._trace_scope)
+        posix.trace.subscribe(self._fold)
         self._index: list[dict] = []
         self._attributes: dict[str, object] = {}
         self._slots: dict[str, tuple[int, int]] = {}
@@ -196,11 +200,14 @@ class HDF5Engine:
         costs = staged / (rate / writers) * fs.perf.noise(len(staged))
         ranks = np.arange(self.comm.size)
         self.posix._charge(ranks, costs)
-        self.posix._notify("write", ranks, staged, costs, "POSIX", inos=ino)
-        self.profile.add("write", ranks, costs)
-        # collective metadata: every rank participates in the H5 object
-        # creation handshake
-        self.posix.meta_group(ranks, "stat")
+        with self.posix.trace.scope(self._trace_scope):
+            # one collective_write event feeds both Darshan (POSIX
+            # module) and this engine's profile fold (scope match)
+            self.posix._notify("collective_write", ranks, staged, costs,
+                               "POSIX", inos=ino)
+            # collective metadata: every rank participates in the H5
+            # object creation handshake
+            self.posix.meta_group(ranks, "stat")
 
     # -- read protocol -----------------------------------------------------------
 
@@ -265,6 +272,7 @@ class HDF5Engine:
                                  RealPayload(footer, "metadata"),
                                  offset=vfs.size_of(ino))
         self.posix.close(0, self._fd)
+        self.posix.trace.unsubscribe(self._fold)
         self._closed = True
 
     def _check_writable(self) -> None:

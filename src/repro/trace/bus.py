@@ -1,0 +1,211 @@
+"""The event bus: producers emit, subscribers fold.
+
+Design constraints, in priority order:
+
+1. **Zero-cost when disabled.**  With no subscribers, ``emit`` is one
+   attribute load and a truthiness check — no event object, no
+   broadcasting, no timestamp gather.  Producers on hot paths guard
+   expensive argument preparation with :meth:`TraceBus.wants`.
+2. **Deterministic.**  Subscribers are dispatched in subscription
+   order; the monotonically increasing ``seq`` stamps a global total
+   order over events so two runs with the same seed produce an
+   identical stream.
+3. **Typed.**  Kinds outside :data:`~repro.trace.events.EVENT_KINDS`
+   raise immediately.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.trace.events import EVENT_KINDS, IOEvent, make_event
+
+
+class TraceBus:
+    """Dispatches typed I/O events to an ordered list of subscribers.
+
+    A subscriber is any object with an ``on_event(event)`` method.  Two
+    optional attributes refine dispatch:
+
+    - ``kinds``: a set of event kinds the subscriber cares about
+      (``None`` or absent means *all* kinds);
+    - ``register_file(ino, path)`` / ``register_files(inos, paths)``:
+      called when producers name the files behind inode numbers, so
+      path-keyed subscribers (Darshan file table, DXT) can label
+      records.
+
+    Legacy objects exposing only a Darshan-style ``record(...)`` method
+    can be attached through
+    :class:`~repro.trace.subscribers.LegacyMonitorAdapter`.
+    """
+
+    __slots__ = ("_subs", "_dispatch", "_wanted", "_scope_stack", "_step",
+                 "_path_batches", "node_of_rank", "_seq")
+
+    def __init__(self, node_of_rank=None):
+        self._subs: list = []
+        self._dispatch: list = []
+        self._wanted: frozenset | None = frozenset()
+        self._scope_stack: list[str] = []
+        self._step: int | None = None
+        # ino→path registrations, kept as appended batches so group
+        # opens stay O(1) here; materialised to a dict on demand
+        self._path_batches: list[tuple] = []
+        self.node_of_rank = node_of_rank
+        self._seq = 0
+
+    # -- subscription ---------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subs)
+
+    @property
+    def seq(self) -> int:
+        """Number of events emitted so far (next event's sequence id)."""
+        return self._seq
+
+    def subscribe(self, subscriber):
+        """Attach a subscriber; returns it for chaining.
+
+        Replays the ino→path registry into the new subscriber so late
+        joiners can still label files opened before they attached.
+        """
+        if not hasattr(subscriber, "on_event"):
+            raise TypeError(
+                f"{type(subscriber).__name__} has no on_event(); wrap "
+                "record()-style monitors in LegacyMonitorAdapter")
+        if subscriber not in self._subs:
+            self._subs.append(subscriber)
+            self._refresh_wanted()
+            if hasattr(subscriber, "register_file") or hasattr(
+                    subscriber, "register_files"):
+                for inos, paths in self._path_batches:
+                    self._forward_registration(subscriber, inos, paths)
+        return subscriber
+
+    def unsubscribe(self, subscriber) -> None:
+        try:
+            self._subs.remove(subscriber)
+        except ValueError:
+            pass
+        self._refresh_wanted()
+
+    def _refresh_wanted(self) -> None:
+        """Precompute dispatch pairs and the union of interests."""
+        self._dispatch = [
+            (sub.on_event, getattr(sub, "kinds", None)) for sub in self._subs
+        ]
+        if any(kinds is None for _, kinds in self._dispatch):
+            self._wanted = None  # someone wants everything
+        else:
+            union: set[str] = set()
+            for _, kinds in self._dispatch:
+                union |= set(kinds)
+            self._wanted = frozenset(union)
+
+    def wants(self, kind: str) -> bool:
+        """True if any subscriber would receive an event of ``kind``.
+
+        Producers use this to skip expensive argument preparation (clock
+        gathers, byte tallies) on the disabled path.
+        """
+        return self._wanted is None or kind in self._wanted
+
+    # -- attribution context --------------------------------------------
+
+    @contextmanager
+    def scope(self, token: str):
+        """Attribute events emitted inside the block to ``token``.
+
+        Scopes nest; the innermost wins.  Engines use this to tag the
+        filesystem events triggered by their flushes, so profile folds
+        can tell two concurrently open engines apart.
+        """
+        self._scope_stack.append(token)
+        try:
+            yield self
+        finally:
+            self._scope_stack.pop()
+
+    @contextmanager
+    def step(self, step: int):
+        """Attribute events emitted inside the block to a timestep."""
+        prev, self._step = self._step, step
+        try:
+            yield self
+        finally:
+            self._step = prev
+
+    @property
+    def current_scope(self) -> str | None:
+        return self._scope_stack[-1] if self._scope_stack else None
+
+    @property
+    def current_step(self) -> int | None:
+        return self._step
+
+    # -- file registry ---------------------------------------------------
+
+    @staticmethod
+    def _forward_registration(subscriber, inos, paths) -> None:
+        regs = getattr(subscriber, "register_files", None)
+        if regs is not None:
+            regs(inos, paths)
+            return
+        reg = getattr(subscriber, "register_file", None)
+        if reg is not None:
+            for ino, path in zip(inos, paths):
+                reg(ino, path)
+
+    def register_file(self, ino: int, path: str) -> None:
+        self._path_batches.append(((int(ino),), (path,)))
+        for sub in self._subs:
+            reg = getattr(sub, "register_file", None)
+            if reg is not None:
+                reg(ino, path)
+
+    def register_files(self, inos, paths) -> None:
+        """Register a batch (one group open); O(1) on the bus itself."""
+        self._path_batches.append((inos, paths))
+        for sub in self._subs:
+            self._forward_registration(sub, inos, paths)
+
+    def paths(self) -> dict[int, str]:
+        """Materialise the ino→path registry (first registration wins,
+        matching Darshan's file-table semantics)."""
+        out: dict[int, str] = {}
+        for inos, paths in self._path_batches:
+            for ino, path in zip(inos, paths):
+                out.setdefault(int(ino), path)
+        return out
+
+    def path_of(self, ino: int, default: str | None = None) -> str | None:
+        return self.paths().get(int(ino), default)
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, kind: str, ranks, *, nbytes=0, duration=0.0, start=None,
+             n_ops=1, api: str = "POSIX", layer: str = "posix",
+             inos=None) -> IOEvent | None:
+        """Build and dispatch one event; returns it (None when disabled).
+
+        The scope/step attribution comes from the ambient context
+        managers, so producers never thread those through call chains.
+        """
+        wanted = self._wanted
+        if wanted is not None and kind not in wanted:
+            if kind not in EVENT_KINDS:  # keep typo detection on the
+                raise ValueError(        # disabled path too
+                    f"unknown trace event kind {kind!r}")
+            return None
+        event = make_event(
+            kind, ranks, nbytes=nbytes, duration=duration, start=start,
+            n_ops=n_ops, api=api, layer=layer, inos=inos,
+            scope=self.current_scope, step=self._step, seq=self._seq)
+        self._seq += 1
+        for on_event, kinds in self._dispatch:
+            if kinds is None or kind in kinds:
+                on_event(event)
+        return event

@@ -1,0 +1,126 @@
+"""Typed I/O events: the vocabulary of the instrumentation spine.
+
+Every accountable action in the virtual I/O stack — a POSIX syscall, a
+stdio flush, an engine-side memcpy, an MPI barrier — is described by one
+:class:`IOEvent`.  Events are *vectorised over ranks*: a group write by
+256 ranks is one event whose per-rank arrays carry 256 entries, mirroring
+how the rest of the codebase (``VirtualComm`` clocks, Darshan columnar
+counters) treats ranks as numpy axes rather than Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The closed event taxonomy.  ``emit`` rejects anything else so a typo
+#: in a producer fails loudly instead of silently dropping accounting.
+EVENT_KINDS = frozenset({
+    # filesystem plane (POSIX / STDIO surfaces)
+    "open", "create", "close", "stat", "mkdir", "unlink", "seek",
+    "write", "read", "fsync",
+    # engine plane (ADIOS2 / HDF5 staging pipeline)
+    "memcpy", "compress", "shuffle", "collective_write", "meta_append",
+    # communicator plane
+    "barrier",
+})
+
+#: Layers whose events the Darshan subscriber folds into counters.
+FS_LAYERS = frozenset({"posix", "stdio", "mpiio"})
+
+#: Event kinds that move payload bytes to storage (used by DXT and the
+#: per-file byte accounting).
+DATA_KINDS = frozenset({"write", "read", "collective_write", "meta_append"})
+
+
+@dataclass(frozen=True, slots=True)
+class IOEvent:
+    """One typed, timestamped accounting record.
+
+    ``ranks``/``nbytes``/``duration``/``n_ops``/``start`` are 1-d arrays
+    of identical length; scalars passed to :func:`make_event` are
+    broadcast (as zero-copy views).  ``start`` holds per-rank virtual
+    start times in seconds; ``start + duration`` is the completion time,
+    which by construction equals the emitting rank's virtual clock at
+    emission.
+    """
+
+    kind: str
+    layer: str
+    api: str
+    ranks: np.ndarray
+    nbytes: np.ndarray
+    duration: np.ndarray
+    start: np.ndarray
+    n_ops: np.ndarray
+    inos: np.ndarray | None = None
+    scope: str | None = None
+    step: int | None = None
+    seq: int = field(default=-1)
+
+    @property
+    def size(self) -> int:
+        """Number of participating ranks."""
+        return int(self.ranks.shape[0])
+
+    @property
+    def end(self) -> np.ndarray:
+        """Per-rank virtual completion times (seconds)."""
+        return self.start + self.duration
+
+    @property
+    def total_bytes(self) -> float:
+        return float(np.sum(self.nbytes))
+
+    @property
+    def total_seconds(self) -> float:
+        return float(np.sum(self.duration))
+
+    def __repr__(self) -> str:  # compact: events appear in test diffs
+        return (f"IOEvent(#{self.seq} {self.kind} {self.layer}/{self.api} "
+                f"ranks={self.size} bytes={self.total_bytes:.0f} "
+                f"dur={self.total_seconds:.3e}s"
+                + (f" scope={self.scope!r}" if self.scope else "")
+                + (f" step={self.step}" if self.step is not None else "")
+                + ")")
+
+
+def _per_rank(value, shape) -> np.ndarray:
+    """Broadcast a scalar or array to the per-rank shape (view, no copy)."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.shape == shape:
+        return arr
+    return np.broadcast_to(arr, shape)
+
+
+def make_event(kind: str, ranks, *, nbytes=0, duration=0.0, start=None,
+               n_ops=1, api: str = "POSIX", layer: str = "posix",
+               inos=None, scope: str | None = None, step: int | None = None,
+               seq: int = -1) -> IOEvent:
+    """Normalise raw producer arguments into an :class:`IOEvent`.
+
+    Raises ``ValueError`` for a kind outside :data:`EVENT_KINDS`.
+    """
+    if kind not in EVENT_KINDS:
+        raise ValueError(f"unknown trace event kind {kind!r}; "
+                         f"valid kinds: {sorted(EVENT_KINDS)}")
+    ranks_arr = np.atleast_1d(np.asarray(ranks, dtype=np.int64))
+    shape = ranks_arr.shape
+    start_arr = (np.zeros(shape) if start is None
+                 else _per_rank(start, shape))
+    inos_arr = None if inos is None else np.atleast_1d(np.asarray(inos))
+    return IOEvent(
+        kind=kind,
+        layer=layer,
+        api=api,
+        ranks=ranks_arr,
+        nbytes=_per_rank(nbytes, shape),
+        duration=_per_rank(duration, shape),
+        start=start_arr,
+        n_ops=_per_rank(n_ops, shape),
+        inos=inos_arr,
+        scope=scope,
+        step=step,
+        seq=seq,
+    )

@@ -1,0 +1,100 @@
+"""TraceSession — one handle that threads the spine through a run.
+
+The workload runners build a session once and hand its bus to the
+POSIX layer, the communicator and the engines; everything downstream
+(Darshan log, DXT segments, engine profiles, Chrome export, per-layer
+breakdown) is then a view over the same event stream.
+
+Three modes trade memory for fidelity:
+
+- ``None`` (default): counters only — the Darshan monitor subscribes,
+  nothing else; hot paths stay at pre-spine cost.
+- ``"summary"``: adds O(1)-memory streaming folds — a
+  :class:`~repro.trace.export.LayerBreakdown` and a whole-run
+  ``EngineProfile`` (``stream_profile``) — safe at 25600 ranks.
+- ``"full"``: additionally retains raw events in a bounded
+  :class:`~repro.trace.subscribers.EventRecorder` for Chrome/DXT
+  export; per-rank arrays are kept alive, so use at test scale.
+"""
+
+from __future__ import annotations
+
+from repro.trace.bus import TraceBus
+from repro.trace.export import (
+    LayerBreakdown,
+    chrome_trace,
+    chrome_trace_json,
+    dxt_dump,
+)
+from repro.trace.subscribers import EventRecorder, ProfileFold
+
+MODES = (None, "summary", "full")
+
+
+class TraceSession:
+    """Binds a bus to a communicator and a standard subscriber set."""
+
+    def __init__(self, comm, monitor=None, mode: str | None = None,
+                 capacity: int = 65536):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.comm = comm
+        self.mode = mode
+        self.bus = TraceBus(node_of_rank=getattr(comm, "node_of_rank", None))
+        self.monitor = monitor
+        self.recorder: EventRecorder | None = None
+        self.breakdown: LayerBreakdown | None = None
+        self.stream_profile = None
+        if monitor is not None:
+            self.bus.subscribe(monitor)
+        if mode in ("summary", "full"):
+            self.breakdown = self.bus.subscribe(LayerBreakdown())
+            # imported here: repro.adios2 pulls in the engines, which
+            # themselves import repro.trace
+            from repro.adios2.profiling import EngineProfile
+            self.stream_profile = EngineProfile(comm.size,
+                                                engine_type="TRACE")
+            self.bus.subscribe(ProfileFold(self.stream_profile, scope=None))
+        if mode == "full":
+            self.recorder = self.bus.subscribe(EventRecorder(capacity))
+        # let the communicator emit barrier events onto this bus
+        if comm is not None:
+            comm.trace = self.bus
+
+    # -- views over the stream -------------------------------------------
+
+    @property
+    def events(self) -> list:
+        """Recorded events (empty unless mode == 'full')."""
+        return self.recorder.events if self.recorder is not None else []
+
+    @property
+    def paths(self) -> dict[int, str]:
+        """The bus's ino → path registry."""
+        return self.bus.paths()
+
+    def chrome_trace(self, max_events: int = 100_000) -> dict:
+        return chrome_trace(self.events, node_of_rank=self.bus.node_of_rank,
+                            paths=self.paths, max_events=max_events)
+
+    def chrome_trace_json(self, max_events: int = 100_000,
+                          indent=None) -> str:
+        return chrome_trace_json(self.events,
+                                 node_of_rank=self.bus.node_of_rank,
+                                 paths=self.paths, max_events=max_events,
+                                 indent=indent)
+
+    def dxt_text(self, max_lines: int = 100_000) -> str:
+        return dxt_dump(self.events, paths=self.paths, max_lines=max_lines)
+
+    def render_breakdown(self) -> str:
+        if self.breakdown is None:
+            raise RuntimeError(
+                "no breakdown attached; build the session with "
+                "mode='summary' or mode='full'")
+        return self.breakdown.render()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        nsubs = len(self.bus._subs)
+        return (f"TraceSession(mode={self.mode!r}, subscribers={nsubs}, "
+                f"events={self.bus.seq})")

@@ -1,0 +1,109 @@
+"""Reusable spine subscribers.
+
+The heavyweight consumers (Darshan counter fold, DXT segment tracer)
+live next to their data models in ``repro.darshan``; this module holds
+the small generic ones: the bounded in-memory recorder the exporters
+read from, the engine-profile fold, and the adapter that lets
+pre-spine ``record()``-style monitors ride the bus unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.trace.events import IOEvent
+
+
+class EventRecorder:
+    """Bounded in-memory event log (mirrors the DXT ring-buffer design).
+
+    Keeps the most recent ``capacity`` events; ``dropped`` counts what
+    the ring evicted so exporters can flag truncation instead of
+    silently presenting a partial trace as complete.
+    """
+
+    kinds = None  # record everything
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[IOEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def on_event(self, event: IOEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[IOEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class ProfileFold:
+    """Folds engine-plane events into an ``EngineProfile``.
+
+    ``scope=None`` folds every engine event on the bus (useful for a
+    whole-run roll-up); a string folds only events attributed to that
+    scope, which is how each engine keeps its own ``profiling.json``
+    while sharing one bus.
+    """
+
+    kinds = frozenset({"memcpy", "compress", "shuffle", "collective_write"})
+
+    def __init__(self, profile, scope: str | None = None):
+        self.profile = profile
+        self.scope = scope
+
+    def on_event(self, event: IOEvent) -> None:
+        if self.scope is not None and event.scope != self.scope:
+            return
+        self.profile.fold_event(event)
+
+
+class LegacyMonitorAdapter:
+    """Adapts a pre-spine monitor (``record()``/``register_file()``) to
+    the subscriber protocol, translating event kinds back to the legacy
+    Darshan op vocabulary."""
+
+    #: spine kind -> legacy record() op
+    _LEGACY_OP = {
+        "fsync": "sync",
+        "collective_write": "write",
+        "meta_append": "write",
+    }
+
+    kinds = frozenset({
+        "open", "create", "close", "stat", "mkdir", "unlink", "seek",
+        "write", "read", "fsync", "collective_write", "meta_append",
+    })
+
+    def __init__(self, monitor):
+        self.monitor = monitor
+
+    def on_event(self, event: IOEvent) -> None:
+        self.monitor.record(
+            self._LEGACY_OP.get(event.kind, event.kind),
+            ranks=event.ranks,
+            nbytes=event.nbytes,
+            seconds=event.duration,
+            api=event.api,
+            inos=event.inos,
+            n_ops=event.n_ops,
+        )
+
+    def register_file(self, ino, path) -> None:
+        reg = getattr(self.monitor, "register_file", None)
+        if reg is not None:
+            reg(ino, path)

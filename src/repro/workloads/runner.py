@@ -28,6 +28,7 @@ from repro.mpi.comm import VirtualComm, comm_for_nodes
 from repro.openpmd.record import Dataset
 from repro.openpmd.series import Access, Series
 from repro.pic.config import Bit1Config
+from repro.trace.session import TraceSession
 from repro.util.rng import RngRegistry, stream_seed
 from repro.workloads.datamodel import (
     ORIGINAL_DIAG_TEXT_PER_RANK,
@@ -71,6 +72,10 @@ class ScaledRunResult:
     comm: VirtualComm
     outdir: str
     profiles: list[EngineProfile] = field(default_factory=list)
+    #: the run's instrumentation session; its bus carried every counter
+    #: folded into ``log`` and ``profiles`` (None only if tracing was
+    #: explicitly torn down)
+    trace: TraceSession | None = None
 
     def file_sizes(self) -> np.ndarray:
         return self.fs.vfs.subtree_file_sizes(self.outdir)
@@ -87,9 +92,10 @@ def _event_steps(config: Bit1Config) -> list[tuple[int, bool]]:
 
 
 def _setup(machine: Machine, nodes: int, ranks_per_node: int,
-           storage_name: str | None, seed: int,
-           exe: str) -> tuple[VirtualComm, MountedFilesystem, PosixIO,
-                              DarshanMonitor]:
+           storage_name: str | None, seed: int, exe: str,
+           trace_mode: str | None = None,
+           ) -> tuple[VirtualComm, MountedFilesystem, PosixIO,
+                      DarshanMonitor, TraceSession]:
     if nodes < 1 or nodes > machine.num_nodes:
         raise ValueError(
             f"{machine.name} has {machine.num_nodes} nodes; asked for {nodes}")
@@ -101,9 +107,13 @@ def _setup(machine: Machine, nodes: int, ranks_per_node: int,
     comm = comm_for_nodes(nodes, ranks_per_node,
                           latency=machine.network.latency,
                           bandwidth=machine.network.nic_bandwidth)
+    # one TraceSession per run is the instrumentation spine: the Darshan
+    # monitor subscribes to its bus, and PosixIO emits onto the same bus
+    # (passing the monitor to PosixIO as well would double-subscribe it)
     monitor = DarshanMonitor(comm.size, exe=exe)
-    posix = PosixIO(fs, comm, monitor)
-    return comm, fs, posix, monitor
+    session = TraceSession(comm, monitor=monitor, mode=trace_mode)
+    posix = PosixIO(fs, comm, trace=session.bus)
+    return comm, fs, posix, monitor, session
 
 
 def run_original_scaled(machine: Machine, nodes: int,
@@ -112,16 +122,20 @@ def run_original_scaled(machine: Machine, nodes: int,
                         storage_name: str | None = None,
                         seed: int = 0,
                         bufsize: int = DEFAULT_BUFSIZE,
-                        fsync_checkpoints: bool = True) -> ScaledRunResult:
+                        fsync_checkpoints: bool = True,
+                        trace_mode: str | None = None) -> ScaledRunResult:
     """Full-scale BIT1 with the original file I/O (Figs. 2-5 baseline).
 
     ``fsync_checkpoints=False`` ablates the crash-safety fsyncs (the
     mechanism behind the paper's metadata mountain) — used by the
-    ablation benches.
+    ablation benches.  ``trace_mode`` selects the instrumentation depth
+    (None: counters only; "summary": streaming per-layer breakdown;
+    "full": retain the raw event stream — test scale only).
     """
     config = config or paper_use_case()
-    comm, fs, posix, monitor = _setup(machine, nodes, ranks_per_node,
-                                      storage_name, seed, "bit1-original")
+    comm, fs, posix, monitor, session = _setup(
+        machine, nodes, ranks_per_node, storage_name, seed,
+        "bit1-original", trace_mode)
     model = Bit1DataModel(config, comm.size)
     outdir = "/scratch/bit1_original"
     posix.mkdir(0, outdir, parents=True)
@@ -150,24 +164,27 @@ def run_original_scaled(machine: Machine, nodes: int,
             posix.close(0, fd)
 
         for step, is_ckpt in _event_steps(config):
-            # diagnostics: reopen-append-close per event, buffered stdio
-            posix.meta_group(ranks, "open", api="STDIO")
-            posix.write_group(ranks, dat_fds, diag_per_event, api="STDIO")
-            posix.meta_group(ranks, "close", api="STDIO")
-            posix.write(0, global_fd,
-                        SyntheticPayload(64, "ascii_table"), api="STDIO")
-            if is_ckpt:
-                # checkpoint: truncate + rewrite the full state in
-                # buffered chunks, each committed with fsync
+            with posix.trace.step(step):
+                # diagnostics: reopen-append-close per event, buffered
+                # stdio
                 posix.meta_group(ranks, "open", api="STDIO")
-                posix.write_group(
-                    ranks, dmp_fds,
-                    ckpt_per_rank + int(ORIGINAL_FILE_HEADER),
-                    chunk_size=bufsize,
-                    sync_each_chunk=fsync_checkpoints,
-                    truncate_first=True, api="STDIO")
+                posix.write_group(ranks, dat_fds, diag_per_event,
+                                  api="STDIO")
                 posix.meta_group(ranks, "close", api="STDIO")
-            comm.barrier()
+                posix.write(0, global_fd,
+                            SyntheticPayload(64, "ascii_table"), api="STDIO")
+                if is_ckpt:
+                    # checkpoint: truncate + rewrite the full state in
+                    # buffered chunks, each committed with fsync
+                    posix.meta_group(ranks, "open", api="STDIO")
+                    posix.write_group(
+                        ranks, dmp_fds,
+                        ckpt_per_rank + int(ORIGINAL_FILE_HEADER),
+                        chunk_size=bufsize,
+                        sync_each_chunk=fsync_checkpoints,
+                        truncate_first=True, api="STDIO")
+                    posix.meta_group(ranks, "close", api="STDIO")
+                comm.barrier()
 
         posix.close(0, global_fd)
         posix.close_group(ranks, dat_fds, api="STDIO")
@@ -176,7 +193,7 @@ def run_original_scaled(machine: Machine, nodes: int,
     log = monitor.finalize(runtime_seconds=comm.max_time(),
                            machine=machine.name, config="original")
     return ScaledRunResult(machine.name, "original", nodes, comm.size,
-                           log, fs, comm, outdir)
+                           log, fs, comm, outdir, trace=session)
 
 
 def run_openpmd_scaled(machine: Machine, nodes: int,
@@ -189,11 +206,13 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                        stripe_size: int | str | None = None,
                        engine_ext: str = ".bp4",
                        storage_name: str | None = None,
-                       seed: int = 0) -> ScaledRunResult:
+                       seed: int = 0,
+                       trace_mode: str | None = None) -> ScaledRunResult:
     """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II)."""
     config = config or paper_use_case()
-    comm, fs, posix, monitor = _setup(machine, nodes, ranks_per_node,
-                                      storage_name, seed, "bit1-openpmd")
+    comm, fs, posix, monitor, session = _setup(
+        machine, nodes, ranks_per_node, storage_name, seed,
+        "bit1-openpmd", trace_mode)
     model = Bit1DataModel(config, comm.size)
     outdir = "/scratch/io_openPMD"
     posix.mkdir(0, outdir, parents=True)
@@ -232,38 +251,40 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
 
     with posix.phase(writers=comm.size, md_clients=comm.size):
         for step, is_ckpt in _event_steps(config):
-            it = diag_series.iterations[step]
-            it.set_time(step * config.dt, config.dt)
-            comp = it.meshes["rank_summary"].scalar
-            comp.entropy = "diagnostic_float64"
-            comp.reset_dataset(Dataset(np.float64,
-                                       (int(diag_elems) * comm.size,)))
-            comp.store_chunk_group(ranks, int(diag_elems))
-            it.close()
+            with posix.trace.step(step):
+                it = diag_series.iterations[step]
+                it.set_time(step * config.dt, config.dt)
+                comp = it.meshes["rank_summary"].scalar
+                comp.entropy = "diagnostic_float64"
+                comp.reset_dataset(Dataset(np.float64,
+                                           (int(diag_elems) * comm.size,)))
+                comp.store_chunk_group(ranks, int(diag_elems))
+                it.close()
 
-            if is_ckpt:
-                it0 = ckpt_series.iterations[0].reopen()
-                it0.set_time(step * config.dt, config.dt)
-                sp = it0.particles["all_species"]
-                for rec_name, comp_name in (("position", "x"),
-                                            ("momentum", "x"),
-                                            ("momentum", "y"),
-                                            ("momentum", "z")):
-                    rec = sp[rec_name]
-                    comp = rec[comp_name]
-                    comp.entropy = "particle_float32"
-                    comp.reset_dataset(Dataset(np.float32, (n_particles,)))
-                    comp.store_chunk_group(ranks, per_rank_particles)
-                moments = it0.meshes["grid_moments"].scalar
-                moments.entropy = "diagnostic_float64"
-                moments.reset_dataset(Dataset(np.float64, (grid_elems,)))
-                moments.store_chunk_group(ranks, per_rank_grid)
-                meta = it0.meshes["rank_state"].scalar
-                meta.entropy = "diagnostic_float64"
-                meta.reset_dataset(Dataset(np.float64,
-                                           (int(meta_elems) * comm.size,)))
-                meta.store_chunk_group(ranks, int(meta_elems))
-                it0.close()
+                if is_ckpt:
+                    it0 = ckpt_series.iterations[0].reopen()
+                    it0.set_time(step * config.dt, config.dt)
+                    sp = it0.particles["all_species"]
+                    for rec_name, comp_name in (("position", "x"),
+                                                ("momentum", "x"),
+                                                ("momentum", "y"),
+                                                ("momentum", "z")):
+                        rec = sp[rec_name]
+                        comp = rec[comp_name]
+                        comp.entropy = "particle_float32"
+                        comp.reset_dataset(Dataset(np.float32,
+                                                   (n_particles,)))
+                        comp.store_chunk_group(ranks, per_rank_particles)
+                    moments = it0.meshes["grid_moments"].scalar
+                    moments.entropy = "diagnostic_float64"
+                    moments.reset_dataset(Dataset(np.float64, (grid_elems,)))
+                    moments.store_chunk_group(ranks, per_rank_grid)
+                    meta = it0.meshes["rank_state"].scalar
+                    meta.entropy = "diagnostic_float64"
+                    meta.reset_dataset(Dataset(np.float64,
+                                               (int(meta_elems) * comm.size,)))
+                    meta.store_chunk_group(ranks, int(meta_elems))
+                    it0.close()
 
         diag_series.close()
         ckpt_series.close()
@@ -285,4 +306,4 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                            config="+".join(label_parts))
     return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
                            comm.size, log, fs, comm, outdir,
-                           profiles=profiles)
+                           profiles=profiles, trace=session)

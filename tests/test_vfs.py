@@ -8,6 +8,7 @@ from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.vfs import (
     FileExists,
     FileNotFound,
+    FSError,
     IsADir,
     NotADir,
     VirtualFS,
@@ -29,6 +30,29 @@ class TestNamespace:
         assert normalize("a/b") == "/a/b"
         assert normalize("/a//b/") == "/a/b"
         assert normalize("/a/../b") == "/b"
+
+    def test_normalize_rejects_empty_path(self):
+        with pytest.raises(FSError, match="empty path"):
+            normalize("")
+
+    def test_normalize_strips_trailing_slashes(self):
+        assert normalize("/a/b/") == "/a/b"
+        assert normalize("/a/b//") == "/a/b"
+        assert normalize("a/b///") == "/a/b"
+        # the root itself stays the root
+        assert normalize("/") == "/"
+
+    def test_normalize_collapses_leading_double_slash(self):
+        # POSIX reserves a leading "//"; the virtual FS does not
+        assert normalize("//a/b") == "/a/b"
+        assert normalize("//") == "/"
+
+    def test_trailing_slash_names_same_file(self, fs):
+        fs.mkdir("/d")
+        ino = fs.create("/d/f.dat")
+        assert fs.stat("/d/f.dat").ino == ino
+        assert fs.exists("/d/")
+        assert fs.is_dir("/d//")
 
     def test_create_and_stat(self, fs):
         ino = fs.create("/f.dat")
