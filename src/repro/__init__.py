@@ -15,6 +15,8 @@ The package builds the paper's entire stack from scratch in Python:
 * :mod:`repro.openpmd` — the openPMD standard layer (Series/Iterations/Records);
 * :mod:`repro.io_adaptor` — BIT1's original output and the openPMD adaptor;
 * :mod:`repro.ior` — the IOR benchmark;
+* :mod:`repro.faults` — seeded fault injection & recovery (retry, failover,
+  checkpoint restart);
 * :mod:`repro.workloads` / :mod:`repro.experiments` — the paper's use case
   and one driver per figure/table of the evaluation.
 
@@ -27,6 +29,18 @@ Quickstart::
 
 from repro.cluster import Machine, dardel, discoverer, machine_by_name, vega
 from repro.darshan import DarshanLog, DarshanMonitor, cost_split, write_throughput_gib
+from repro.faults import (
+    AggregatorFailure,
+    FaultPlan,
+    MDSSlowdown,
+    NICFlap,
+    NodeCrash,
+    OSTFault,
+    RetryPolicy,
+    SilentCorruption,
+    TransientError,
+    install_faults,
+)
 from repro.fs import LustreFilesystem, PosixIO, mount
 from repro.io_adaptor import Bit1OpenPMDWriter, OriginalIOWriter
 from repro.ior import IORConfig, run_ior
@@ -43,7 +57,9 @@ from repro.trace import (
 )
 from repro.workloads import (
     Bit1DataModel,
+    ResilientRunReport,
     paper_use_case,
+    run_crash_restart,
     run_openpmd_scaled,
     run_original_scaled,
     sheath_case,
@@ -54,6 +70,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Access",
+    "AggregatorFailure",
     "Bit1Config",
     "Bit1DataModel",
     "Bit1OpenPMDWriter",
@@ -61,16 +78,25 @@ __all__ = [
     "DarshanLog",
     "DarshanMonitor",
     "Dataset",
+    "FaultPlan",
     "IOEvent",
     "IORConfig",
     "LustreFilesystem",
+    "MDSSlowdown",
     "Machine",
+    "NICFlap",
+    "NodeCrash",
+    "OSTFault",
     "OriginalIOWriter",
     "PosixIO",
+    "ResilientRunReport",
+    "RetryPolicy",
     "Series",
+    "SilentCorruption",
     "SpeciesConfig",
     "TraceBus",
     "TraceSession",
+    "TransientError",
     "VirtualComm",
     "chrome_trace",
     "comm_for_nodes",
@@ -78,10 +104,12 @@ __all__ = [
     "dardel",
     "discoverer",
     "dxt_dump",
+    "install_faults",
     "layer_breakdown",
     "machine_by_name",
     "mount",
     "paper_use_case",
+    "run_crash_restart",
     "run_ior",
     "run_openpmd_scaled",
     "run_original_scaled",

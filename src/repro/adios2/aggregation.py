@@ -47,6 +47,35 @@ class AggregationPlan:
         is_local = own_agg_rank == np.arange(self.num_ranks)
         return np.where(is_local, 0, per_rank_bytes)
 
+    def failover(self, dead_ranks) -> "AggregationPlan":
+        """Reassign dead aggregators' subfiles to surviving aggregators.
+
+        The subfile set is immutable mid-run (BP subfiles already exist
+        on disk), so recovery keeps every subfile index alive but hands
+        the dead owners' subfiles round-robin to surviving aggregator
+        ranks — a survivor then drives two (or more) subfile streams and
+        pays the bandwidth skew in both the gather and the write phase.
+        Returns self when no owner died.
+        """
+        dead = set(int(r) for r in np.atleast_1d(np.asarray(dead_ranks)))
+        owners = self.aggregator_ranks
+        survivors = [int(r) for r in owners if int(r) not in dead]
+        if len(survivors) == len(owners):
+            return self
+        if not survivors:
+            raise RuntimeError("all aggregators died; no failover target")
+        new_owners = owners.copy()
+        j = 0
+        for i, r in enumerate(owners):
+            if int(r) in dead:
+                new_owners[i] = survivors[j % len(survivors)]
+                j += 1
+        return AggregationPlan(
+            num_ranks=self.num_ranks,
+            aggregator_ranks=new_owners,
+            agg_index_of_rank=self.agg_index_of_rank,
+        )
+
 
 def plan_aggregation(comm: VirtualComm,
                      num_aggregators: int | None = None) -> AggregationPlan:
@@ -91,7 +120,7 @@ def gather_cost_seconds(plan: AggregationPlan, per_rank_bytes: np.ndarray,
     their incoming volume.  Node-local transfers are modelled at memory
     speed (effectively free at these sizes) — shared-memory transport.
     """
-    nic = comm.config.bandwidth
+    nic = comm.effective_bandwidth()
     out = np.zeros(comm.size, dtype=np.float64)
     remote = plan.remote_bytes(per_rank_bytes).astype(np.float64)
     out += remote / nic

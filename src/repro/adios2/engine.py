@@ -99,7 +99,19 @@ class _Slot:
 
 
 class IntegrityError(RuntimeError):
-    """Stored data failed its checksum (corrupt checkpoint/diagnostics)."""
+    """Stored data failed its checksum (corrupt checkpoint/diagnostics).
+
+    Carries structured ``context`` (path, rank, step, expected/actual
+    checksum) so restart orchestration can report *what* was corrupt,
+    not just that something was.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 rank: int | None = None, step: str | int | None = None,
+                 expected: int | None = None, actual: int | None = None):
+        super().__init__(message)
+        self.context = {"path": path, "rank": rank, "step": step,
+                        "expected": expected, "actual": actual}
 
 
 class BPEngineBase:
@@ -500,7 +512,10 @@ class BPEngineBase:
                 raise IntegrityError(
                     f"checksum mismatch reading {e.var!r} "
                     f"(subfile data.{e.subfile} @ {e.offset}): the "
-                    f"checkpoint is corrupt")
+                    f"checkpoint is corrupt",
+                    path=self._subfile_path(e.subfile), rank=e.rank,
+                    step=e.step_key, expected=e.checksum,
+                    actual=zlib.crc32(raw))
             cost = float(self.posix.fs.perf.read_op_cost(e.stored_nbytes))
             self.posix._charge(rank, cost)
             self.posix._notify("read", rank, e.stored_nbytes, cost, "POSIX",
@@ -514,6 +529,54 @@ class BPEngineBase:
                         for o, x in zip(e.chunk_offset, e.chunk_extent))
             out[sel] = arr
         return out
+
+    # -- fault plane --------------------------------------------------------------------
+
+    def handle_rank_failure(self, dead_ranks) -> None:
+        """Fail this engine's subfiles over when aggregator ranks die.
+
+        Survivor aggregators adopt the dead owners' subfiles (same fds,
+        same on-disk layout); subsequent flushes charge the doubled-up
+        survivors, reproducing the post-failover bandwidth skew.  Emits
+        one ``failover`` event per adopted subfile.
+        """
+        if self.mode == "r" or self._closed:
+            return
+        new_plan = self.plan.failover(dead_ranks)
+        if new_plan is self.plan:
+            return
+        changed = np.nonzero(
+            new_plan.aggregator_ranks != self.plan.aggregator_ranks)[0]
+        bus = self.posix.trace
+        if bus.wants("failover"):
+            ranks = new_plan.aggregator_ranks[changed]
+            bus.emit("failover", ranks,
+                     start=self.comm.clocks[ranks],
+                     api="AGG", layer="faults",
+                     inos=self.posix._fd_ino[self._data_fds[changed]])
+        self.plan = new_plan
+
+    def abandon(self) -> None:
+        """Drop the engine as a crashed process would: no closing I/O.
+
+        Descriptors are reaped without metadata cost and the profile fold
+        is unsubscribed; whatever was flushed stays on disk exactly as
+        the crash left it (``md.0`` is JSON-lines appended per step, so
+        it stays readable up to the last completed flush).
+        """
+        if self._closed:
+            return
+        if len(self._data_fds):
+            self.posix.release_fds(self._data_fds)
+        for attr in ("_md_fd", "_idx_fd"):
+            fd = getattr(self, attr, None)
+            if fd is not None:
+                self.posix.release_fds(fd)
+        for fd in getattr(self, "_extra_fds", {}).values():
+            self.posix.release_fds(fd)
+        self.posix.trace.unsubscribe(self._fold)
+        self._in_step = False
+        self._closed = True
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.postproc import PostprocResult, run_postproc
+from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.weak_scaling import run_weak_scaling
@@ -18,6 +19,7 @@ __all__ = [
     "ExperimentResult",
     "Fig5Result",
     "PostprocResult",
+    "ResilienceResult",
     "SensitivityResult",
     "Fig8Result",
     "Fig9Result",
@@ -32,6 +34,7 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_postproc",
+    "run_resilience",
     "run_sensitivity",
     "run_table2",
     "run_weak_scaling",

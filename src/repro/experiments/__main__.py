@@ -23,6 +23,7 @@ from repro.experiments import (
     run_fig8,
     run_fig9,
     run_postproc,
+    run_resilience,
     run_sensitivity,
     run_table2,
     run_weak_scaling,
@@ -31,7 +32,7 @@ from repro.experiments.common import subset
 from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-       "table2", "postproc", "weak_scaling", "sensitivity")
+       "table2", "postproc", "weak_scaling", "sensitivity", "resilience")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
             y_format=lambda v: f"{v:.4f}"),
         "sensitivity": lambda: run_sensitivity(
             nodes=50 if args.quick else 200).render(),
+        "resilience": lambda: run_resilience(quick=args.quick).render(),
     }
     for name in args.experiments:
         fn = table.get(name)

@@ -1,0 +1,193 @@
+"""Resilience sweep — MTBF × checkpoint interval on the dardel preset.
+
+The paper's §VI names "continuing with checkpoint restarts towards
+evaluating and improving resilience capabilities" as the next step; this
+driver is that evaluation.  It answers the operational question behind
+every ``dmpstep`` choice: given a machine failure rate, how often should
+BIT1 checkpoint?
+
+Method:
+
+1. **Measure** the per-checkpoint wall cost on the virtual machine: two
+   scaled openPMD runs of the same config, one with checkpoints on the
+   paper's cadence and one with checkpointing disabled; the wall-time
+   delta divided by the checkpoint count is the measured cost (the
+   second run also carries a ``summary`` trace whose per-layer breakdown
+   lands in the notes).
+2. **Replay** a seeded failure timeline (exponential inter-failure times
+   per MTBF, drawn from a named RNG stream, so the sweep is exactly
+   reproducible) against each checkpoint interval: completed work
+   advances block by block, a crash rolls back to the last checkpoint
+   and pays a restart penalty, and the run completes when the paper's
+   200K steps are done.
+
+Reported per (MTBF, interval): crash count, checkpoint overhead, lost
+(re-executed) work, time-to-solution, and waste relative to the
+failure-free, checkpoint-free ideal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.presets import dardel
+from repro.experiments.common import resolve_machine, subset
+from repro.util.rng import make_rng
+from repro.util.tables import Table
+from repro.workloads.presets import paper_use_case
+from repro.workloads.runner import run_openpmd_scaled
+
+#: MTBF sweep, hours (machine-wide failure rate seen by the job)
+MTBF_HOURS = (2.0, 6.0, 24.0)
+#: checkpoint-interval sweep, steps (the ``dmpstep`` candidates)
+CKPT_INTERVALS = (1_000, 5_000, 10_000, 20_000)
+#: nominal compute seconds per step for the 200K-step job (the scaled
+#: runs charge only I/O; this stands in for the PIC cycle itself)
+COMPUTE_SECONDS_PER_STEP = 0.05
+#: seconds to requeue, relaunch and restore after a crash
+RESTART_PENALTY_SECONDS = 120.0
+
+
+@dataclass
+class ResilienceRow:
+    """One (MTBF, interval) cell of the sweep."""
+
+    mtbf_hours: float
+    interval: int
+    n_crashes: int
+    ckpt_overhead_s: float
+    lost_work_s: float
+    time_to_solution_s: float
+    wasted_pct: float
+
+
+@dataclass
+class ResilienceResult:
+    """The sweep plus the measured checkpoint cost it is built on."""
+
+    machine: str
+    nodes: int
+    ckpt_cost_s: float
+    step_seconds: float
+    total_steps: int
+    rows: list[ResilienceRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def best_interval(self, mtbf_hours: float) -> int:
+        """The interval minimising time-to-solution for one MTBF."""
+        rows = [r for r in self.rows if r.mtbf_hours == mtbf_hours]
+        if not rows:
+            raise KeyError(f"no rows for MTBF {mtbf_hours} h")
+        return min(rows, key=lambda r: r.time_to_solution_s).interval
+
+    def to_table(self) -> Table:
+        t = Table(["MTBF [h]", "interval", "crashes", "ckpt ovh [s]",
+                   "lost work [s]", "TTS [h]", "waste [%]"],
+                  title=f"Resilience sweep on {self.machine} "
+                        f"({self.nodes} nodes, {self.total_steps} steps)")
+        for r in self.rows:
+            t.add_row([f"{r.mtbf_hours:g}", r.interval, r.n_crashes,
+                       f"{r.ckpt_overhead_s:.1f}", f"{r.lost_work_s:.1f}",
+                       f"{r.time_to_solution_s / 3600.0:.3f}",
+                       f"{r.wasted_pct:.2f}"])
+        return t
+
+    def render(self) -> str:
+        out = self.to_table().render()
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+def _replay(total_steps: int, step_s: float, interval: int,
+            ckpt_cost_s: float, mtbf_s: float, rng) -> ResilienceRow:
+    """Walk one failure timeline against one checkpoint cadence."""
+    wall = 0.0
+    completed = 0
+    n_crashes = 0
+    ckpt_overhead = 0.0
+    lost_work = 0.0
+    next_fail = wall + float(rng.exponential(mtbf_s))
+    while completed < total_steps:
+        block = min(interval, total_steps - completed)
+        block_time = block * step_s + ckpt_cost_s
+        if wall + block_time >= next_fail:
+            # the crash interrupts this block: everything since the last
+            # checkpoint is lost and the job restarts from it
+            lost_work += max(next_fail - wall, 0.0)
+            wall = next_fail + RESTART_PENALTY_SECONDS
+            next_fail = wall + float(rng.exponential(mtbf_s))
+            n_crashes += 1
+            continue
+        wall += block_time
+        completed += block
+        ckpt_overhead += ckpt_cost_s
+    ideal = total_steps * step_s
+    return ResilienceRow(
+        mtbf_hours=mtbf_s / 3600.0,
+        interval=interval,
+        n_crashes=n_crashes,
+        ckpt_overhead_s=ckpt_overhead,
+        lost_work_s=lost_work,
+        time_to_solution_s=wall,
+        wasted_pct=100.0 * (wall - ideal) / wall,
+    )
+
+
+def run_resilience(machine=None, nodes: int = 2, quick: bool = False,
+                   seed: int = 0,
+                   mtbf_hours=MTBF_HOURS,
+                   intervals=CKPT_INTERVALS) -> ResilienceResult:
+    """Measure the checkpoint cost, then sweep MTBF × interval."""
+    machine = resolve_machine(machine) if machine is not None else dardel()
+    mtbf_hours = subset(tuple(mtbf_hours), quick)
+    intervals = subset(tuple(intervals), quick)
+
+    # measurement config: one short scaled run with the paper's
+    # checkpoint cadence, one with checkpointing pushed past last_step
+    meas_steps = 2_000 if quick else 10_000
+    cfg_ckpt = paper_use_case().with_(last_step=meas_steps,
+                                      datfile=1_000, dmpstep=1_000)
+    cfg_none = cfg_ckpt.with_(dmpstep=meas_steps * 2)
+    res_ckpt = run_openpmd_scaled(machine, nodes, config=cfg_ckpt, seed=seed)
+    res_none = run_openpmd_scaled(machine, nodes, config=cfg_none, seed=seed,
+                                  trace_mode="summary")
+    n_ckpts = meas_steps // cfg_ckpt.dmpstep
+    ckpt_cost = max(
+        (res_ckpt.comm.max_time() - res_none.comm.max_time()) / n_ckpts, 0.0)
+
+    total_steps = paper_use_case().last_step
+    step_s = (COMPUTE_SECONDS_PER_STEP
+              + res_none.comm.max_time() / cfg_none.last_step)
+
+    result = ResilienceResult(
+        machine=machine.name, nodes=nodes, ckpt_cost_s=ckpt_cost,
+        step_seconds=step_s, total_steps=total_steps)
+    result.notes.append(
+        f"measured checkpoint cost {ckpt_cost:.2f} s, effective step time "
+        f"{step_s * 1e3:.2f} ms (incl. {COMPUTE_SECONDS_PER_STEP * 1e3:.0f} "
+        f"ms nominal compute), restart penalty "
+        f"{RESTART_PENALTY_SECONDS:.0f} s")
+    result.notes.append("I/O layer breakdown of the measurement run:")
+    result.notes.extend(res_none.trace.render_breakdown().splitlines())
+
+    for mtbf_h in mtbf_hours:
+        # one seeded timeline per MTBF, shared across intervals, so the
+        # interval comparison sees identical failure times
+        for interval in intervals:
+            rng = make_rng(seed, "resilience", mtbf_h, interval)
+            result.rows.append(_replay(
+                total_steps, step_s, int(interval), ckpt_cost,
+                mtbf_h * 3600.0, rng))
+        best = result.best_interval(mtbf_h)
+        result.notes.append(
+            f"MTBF {mtbf_h:g} h: best checkpoint interval {best} steps")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run_resilience().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

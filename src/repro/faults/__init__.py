@@ -1,0 +1,52 @@
+"""Deterministic fault injection & recovery (paper §VI future work).
+
+``repro.faults`` makes failure a first-class, reproducible input to the
+virtual machine: a seeded :class:`FaultPlan` schedules OST outages, MDS
+slowdowns, NIC flaps, transient I/O errors, aggregator deaths, node
+crashes and silent corruption; the :class:`FaultInjector` applies them
+at run time; a :class:`RetryPolicy` recovers what can be recovered in
+place; and :func:`repro.workloads.runner.run_crash_restart` orchestrates
+checkpoint-restart for what cannot.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultState,
+    InjectedIOError,
+    NodeCrashError,
+    install_faults,
+    uninstall_faults,
+)
+from repro.faults.plan import (
+    RECOVERABLE_TYPES,
+    SPEC_TYPES,
+    AggregatorFailure,
+    FaultPlan,
+    MDSSlowdown,
+    NICFlap,
+    NodeCrash,
+    OSTFault,
+    SilentCorruption,
+    TransientError,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "AggregatorFailure",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultState",
+    "InjectedIOError",
+    "MDSSlowdown",
+    "NICFlap",
+    "NodeCrash",
+    "NodeCrashError",
+    "OSTFault",
+    "RECOVERABLE_TYPES",
+    "RetryPolicy",
+    "SilentCorruption",
+    "SPEC_TYPES",
+    "TransientError",
+    "install_faults",
+    "uninstall_faults",
+]

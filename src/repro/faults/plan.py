@@ -1,0 +1,184 @@
+"""Declarative fault plans: what breaks, when, and how badly.
+
+The paper's §VI names "continuing with checkpoint restarts towards
+evaluating and improving resilience capabilities" as the explicit next
+step; a credible resilience evaluation needs *reproducible* failures.  A
+:class:`FaultPlan` is a seeded, declarative schedule of fault specs —
+pure data, no behaviour — that the runtime
+:class:`~repro.faults.injector.FaultInjector` interprets against the
+virtual machine.  Because every spec is pinned to a simulation step and
+all stochastic recovery behaviour (backoff jitter) derives from the
+plan/policy seeds, the same plan produces an identical trace event
+stream run after run.
+
+Spec vocabulary (each maps to one failure mode of a real Lustre/slurm
+machine):
+
+=====================  ======================================================
+:class:`OSTFault`       an OST drops out (``bw_factor=0``, writes touching it
+                        fail until the file is re-striped) or serves a
+                        degraded-bandwidth window (``0 < bw_factor < 1``)
+:class:`MDSSlowdown`    metadata ops cost ``factor``× during a step window
+:class:`NICFlap`        a node's NIC degrades to ``factor``× bandwidth
+:class:`TransientError` the next ``count`` matching ops raise EIO/ETIMEDOUT
+:class:`NodeCrash`      the job dies at step N (checkpoint-restart territory)
+:class:`AggregatorFailure`  an ADIOS2 aggregator process dies; its subfiles
+                        fail over to survivors
+:class:`SilentCorruption`  bytes of a file are bit-flipped without any error
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class OSTFault:
+    """One OST misbehaves during ``[start_step, end_step]``.
+
+    ``bw_factor == 0`` is a hard outage: operations touching files
+    striped over the OST fail with EIO until recovery re-stripes them
+    across survivors.  ``0 < bw_factor < 1`` is graceful degradation:
+    no errors, but the storage bandwidth derate reflects the slow OST.
+    """
+
+    ost: int
+    start_step: int
+    end_step: int
+    bw_factor: float = 0.0
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step <= self.end_step
+
+
+@dataclass(frozen=True)
+class MDSSlowdown:
+    """Metadata server congestion window: md ops cost ``factor``×."""
+
+    start_step: int
+    end_step: int
+    factor: float = 10.0
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step <= self.end_step
+
+
+@dataclass(frozen=True)
+class NICFlap:
+    """A node's NIC degrades to ``factor``× bandwidth for a window."""
+
+    node: int
+    start_step: int
+    end_step: int
+    factor: float = 0.1
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step <= self.end_step
+
+
+@dataclass(frozen=True)
+class TransientError:
+    """The next ``count`` ops of kind ``op`` fail once armed.
+
+    Armed at ``step`` (fires on the first matching operation at or after
+    it, so plans need not know the exact I/O cadence).  ``errno_name``
+    is ``"EIO"`` or ``"ETIMEDOUT"`` — a timeout additionally charges the
+    retry policy's per-op timeout before the op is retried.  ``rank``
+    restricts the error to one rank's operations (None: any rank).
+    """
+
+    op: str  # "write" | "fsync" | "read"
+    step: int
+    count: int = 1
+    errno_name: str = "EIO"
+    rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "fsync", "read"):
+            raise ValueError(f"TransientError.op must be write/fsync/read, "
+                             f"got {self.op!r}")
+        if self.errno_name not in ("EIO", "ETIMEDOUT"):
+            raise ValueError(f"unsupported errno {self.errno_name!r}")
+        if self.count < 1:
+            raise ValueError("TransientError.count must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """The job loses ``node`` at the *start* of ``step`` (before any of
+    the step's compute or I/O runs).  Recovery is checkpoint restart —
+    :func:`repro.workloads.runner.run_crash_restart` orchestrates it."""
+
+    node: int
+    step: int
+
+
+@dataclass(frozen=True)
+class AggregatorFailure:
+    """An ADIOS2 aggregator process on ``rank`` dies at ``step``.
+
+    Recovery reassigns its subfiles to surviving aggregators
+    (:meth:`repro.adios2.aggregation.AggregationPlan.failover`); the
+    doubled-up survivor pays the bandwidth skew.
+    """
+
+    rank: int
+    step: int
+
+
+@dataclass(frozen=True)
+class SilentCorruption:
+    """Bit-flip ``nbytes`` of ``path`` at the start of ``step`` — no
+    error is raised; only checksums at restart can catch it."""
+
+    path: str
+    step: int
+    offset: int = 0
+    nbytes: int = 8
+
+
+#: every spec type a plan may carry
+SPEC_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError, NodeCrash,
+              AggregatorFailure, SilentCorruption)
+
+#: spec types whose faults are recoverable in place (no restart needed),
+#: provided a RetryPolicy with enough retries is installed
+RECOVERABLE_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError,
+                     AggregatorFailure)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable schedule of fault specs.
+
+    The seed feeds the retry-backoff jitter stream (via the injector) so
+    that replaying the same plan yields bit-identical virtual timelines.
+    """
+
+    specs: tuple = ()
+    seed: int = 0
+
+    def __init__(self, specs: Sequence = (), seed: int = 0):
+        for spec in specs:
+            if not isinstance(spec, SPEC_TYPES):
+                raise TypeError(
+                    f"unknown fault spec type {type(spec).__name__}; "
+                    f"valid: {[t.__name__ for t in SPEC_TYPES]}")
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+
+    def of_type(self, spec_type) -> tuple:
+        return tuple(s for s in self.specs if isinstance(s, spec_type))
+
+    @property
+    def recoverable(self) -> bool:
+        """True when no spec requires a job restart (no node crashes)."""
+        return all(isinstance(s, RECOVERABLE_TYPES) for s in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

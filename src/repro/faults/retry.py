@@ -1,0 +1,61 @@
+"""Bounded retry with seeded exponential backoff.
+
+Models what a resilient I/O middleware layer (or the ADIOS2 SST/BP
+engine's timeout handling, cf. Poeschel et al.) does when a write or
+fsync comes back with a transient error: wait, retry, give up after a
+budget.  The waits are *virtual* — they are charged to the participating
+ranks' clocks, never slept — and the jitter stream is seeded so the same
+policy over the same fault plan reproduces the same timeline bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a per-op timeout.
+
+    ``delay(attempt)`` for attempt = 0, 1, 2, ... is
+    ``min(base_delay * backoff**attempt, max_delay) * (1 + U[0, jitter))``
+    — the classic capped-exponential schedule.  ``op_timeout`` is the
+    virtual seconds charged when a fault manifests as ``ETIMEDOUT``
+    (the op hangs for the full timeout before the caller notices),
+    on top of the backoff delay.
+
+    A policy instance carries its own jitter generator; two policies
+    built with the same seed produce identical delay sequences.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 1e-3
+    backoff: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    op_timeout: float | None = None
+    seed: int = 0
+    _rng: object = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+        self._rng = make_rng(self.seed, "faults", "retry-jitter")
+
+    def delay(self, attempt: int) -> float:
+        """Virtual seconds to back off before retry number ``attempt``."""
+        base = min(self.base_delay * self.backoff ** attempt, self.max_delay)
+        if self.jitter > 0.0:
+            base *= 1.0 + float(self._rng.random()) * self.jitter
+        return base
+
+    def timeout_charge(self) -> float:
+        """Virtual seconds a timed-out op burns before failing."""
+        return float(self.op_timeout) if self.op_timeout else 0.0

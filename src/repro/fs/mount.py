@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.cluster.machine import StorageSystem
 from repro.fs.perfmodel import StoragePerfModel
-from repro.fs.vfs import VirtualFS
+from repro.fs.vfs import FSError, VirtualFS
 from repro.util.rng import RngRegistry
 
 
@@ -30,16 +30,67 @@ class MountedFilesystem:
         )
         self.perf = StoragePerfModel(system, rng)
         self._next_ost = 0
+        #: OSTs currently down (fault injection); the allocator skips
+        #: them and :meth:`restripe_surviving` migrates files off them
+        self.dead_osts: set[int] = set()
 
     # -- OST placement ------------------------------------------------------
 
     def assign_ost(self, ino: int) -> int:
-        """Round-robin starting OST for a new file (Lustre's allocator)."""
+        """Round-robin starting OST for a new file (Lustre's allocator).
+
+        OSTs marked dead are skipped, so new files land on survivors —
+        graceful degradation during an OST outage window.
+        """
         cols = self.vfs.cols
         if cols.ost_start[ino] < 0:
-            cols.ost_start[ino] = self._next_ost
-            self._next_ost = (self._next_ost + 1) % self.system.num_osts
+            n = self.system.num_osts
+            for _ in range(n):
+                cand = self._next_ost
+                self._next_ost = (self._next_ost + 1) % n
+                if cand not in self.dead_osts:
+                    break
+            cols.ost_start[ino] = cand
         return int(cols.ost_start[ino])
+
+    # -- OST failure / recovery ---------------------------------------------
+
+    def fail_ost(self, ost: int) -> None:
+        """Mark one OST as down (fault injection)."""
+        if not 0 <= ost < self.system.num_osts:
+            raise ValueError(f"no OST {ost} on {self.system.name}")
+        self.dead_osts.add(int(ost))
+
+    def restore_ost(self, ost: int) -> None:
+        """Bring a previously failed OST back."""
+        self.dead_osts.discard(int(ost))
+
+    def restripe_surviving(self, ino: int) -> tuple[int, int]:
+        """Move a file's stripe layout off the dead OSTs.
+
+        Models evicting a failed OST and ``lfs migrate``-ing the file
+        onto the survivors: picks the first start OST whose round-robin
+        stripe window avoids every dead OST, shrinking the stripe count
+        to the survivor count when necessary.  Returns the new
+        ``(ost_start, stripe_count)``.
+        """
+        cols = self.vfs.cols
+        n = self.system.num_osts
+        alive = [o for o in range(n) if o not in self.dead_osts]
+        if not alive:
+            raise FSError("no surviving OSTs to restripe onto")
+        count = max(min(int(cols.stripe_count[ino]), len(alive)), 1)
+        for start in range(n):
+            window = {(start + k) % n for k in range(count)}
+            if not window & self.dead_osts:
+                cols.ost_start[ino] = start
+                cols.stripe_count[ino] = count
+                return start, count
+        # survivors are too fragmented for a contiguous window: fall
+        # back to a single stripe on the first survivor
+        cols.ost_start[ino] = alive[0]
+        cols.stripe_count[ino] = 1
+        return alive[0], 1
 
     def osts_of(self, ino: int) -> np.ndarray:
         """The OST indices a file's stripes round-robin over."""

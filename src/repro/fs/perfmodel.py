@@ -56,6 +56,9 @@ class StoragePerfModel:
         self.system = system
         self.tuning: StorageTuning = system.tuning
         self.num_osts = system.num_osts
+        #: optional live :class:`repro.faults.injector.FaultState`; when
+        #: installed, its factors derate bandwidth / inflate MDS latency
+        self.fault_state = None
         self._rng = (rng or RngRegistry()).get("perfmodel", system.name)
         # "storage weather": one multiplicative factor for the whole run,
         # drawn at mount time — busy machines (Vega) swing run to run
@@ -83,7 +86,11 @@ class StoragePerfModel:
         return draw if shape != () else float(draw)
 
     def _bw_derate(self) -> float:
-        return 1.0 - self.tuning.background_load
+        derate = 1.0 - self.tuning.background_load
+        if self.fault_state is not None:
+            # degraded/failed OSTs shrink the aggregate stream bandwidth
+            derate *= max(self.fault_state.bw_factor, 1e-6)
+        return derate
 
     # -- queue shapes -------------------------------------------------------
 
@@ -126,6 +133,9 @@ class StoragePerfModel:
         t = self.tuning
         c = np.maximum(np.asarray(concurrent_clients, dtype=np.float64), 1.0)
         per_op = t.mds_latency + (c ** t.mds_gamma) / t.mds_rate
+        if self.fault_state is not None:
+            # an MDS slowdown window inflates every metadata op
+            per_op = per_op * self.fault_state.mds_factor
         return np.asarray(n_ops, dtype=np.float64) * per_op
 
     def fsync_cost(self, concurrent_writers: ArrayLike,

@@ -87,6 +87,12 @@ class PosixIO:
         self._next_fd = 3  # 0-2 are stdin/out/err, as tradition demands
         self._writers = comm.size if comm is not None else 1
         self._md_clients = comm.size if comm is not None else 1
+        #: optional :class:`repro.faults.injector.FaultInjector`; when
+        #: installed (see ``repro.faults.install_faults``), data ops pass
+        #: through its guard before touching the vfs, so injected
+        #: EIO/timeout/OST faults fire (and retries happen) exactly where
+        #: a real middleware layer would intercept them
+        self.faults = None
 
     # -- phase context ------------------------------------------------------
 
@@ -112,8 +118,16 @@ class PosixIO:
     # -- clock/monitor plumbing ----------------------------------------------
 
     def _charge(self, ranks: int | np.ndarray, seconds: float | np.ndarray) -> None:
-        if self.comm is not None:
+        if self.comm is None:
+            return
+        r = np.asarray(ranks)
+        if r.ndim == 0 or r.size <= 1 or bool(np.all(np.diff(r) > 0)):
             self.comm.clocks[ranks] += seconds
+        else:
+            # a rank may appear twice (post-failover an aggregator owns
+            # several subfiles); fancy += would drop the duplicates
+            np.add.at(self.comm.clocks, r, np.broadcast_to(
+                np.asarray(seconds, dtype=np.float64), r.shape))
 
     def _notify(self, kind: str, ranks, nbytes, seconds, api: str,
                 inos=None, n_ops=1) -> None:
@@ -229,6 +243,8 @@ class PosixIO:
         payload = as_payload(data)
         of = self._fds[fd]
         api = api or of.api
+        if self.faults is not None:
+            self.faults.guard(self, "write", of.rank, of.ino, api)
         pos = of.pos if offset is None else offset
         n = self.fs.vfs.write(of.ino, pos, payload)
         of.pos = pos + n
@@ -256,6 +272,8 @@ class PosixIO:
 
     def fsync(self, rank: int, fd: int, api: str | None = None) -> None:
         of = self._fds[fd]
+        if self.faults is not None:
+            self.faults.guard(self, "fsync", rank, of.ino, api or of.api)
         st = self.fs.vfs.cols
         cost = float(self.fs.perf.fsync_cost(
             self._writers, int(st.stripe_count[of.ino])))
@@ -265,6 +283,8 @@ class PosixIO:
     def read(self, rank: int, fd: int, nbytes: int,
              offset: int | None = None, api: str | None = None) -> bytes:
         of = self._fds[fd]
+        if self.faults is not None:
+            self.faults.guard(self, "read", rank, of.ino, api or of.api)
         pos = of.pos if offset is None else offset
         data = self.fs.vfs.read(of.ino, pos, nbytes)
         of.pos = pos + len(data)
@@ -277,6 +297,8 @@ class PosixIO:
                        api: str | None = None) -> int:
         """Account a read without materialised content (modeled mode)."""
         of = self._fds[fd]
+        if self.faults is not None:
+            self.faults.guard(self, "read", rank, of.ino, api or of.api)
         self.fs.vfs.account_read(of.ino, nbytes)
         cost = float(self.fs.perf.read_op_cost(nbytes, self._md_clients))
         self._charge(rank, cost)
@@ -329,6 +351,8 @@ class PosixIO:
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
         inos = self._inos_of(fds)
+        if self.faults is not None:
+            self.faults.guard(self, "write", ranks, inos, api)
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape
         ).copy()
@@ -370,6 +394,8 @@ class PosixIO:
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
         inos = self._inos_of(fds)
+        if self.faults is not None:
+            self.faults.guard(self, "read", ranks, inos, api)
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
         cols = self.fs.vfs.cols
@@ -400,6 +426,8 @@ class PosixIO:
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
         inos = self._inos_of(fds)
+        if self.faults is not None:
+            self.faults.guard(self, "write", ranks, inos, api)
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape
         ).copy()
@@ -426,6 +454,17 @@ class PosixIO:
         self._notify("collective_write", ranks, nbytes, costs, api,
                      inos=inos, n_ops=n_writes)
         return costs
+
+    def release_fds(self, fds: int | np.ndarray) -> None:
+        """Drop descriptors without close cost — a crashed process's fds.
+
+        The kernel reaps a dead process's descriptors for free; no
+        metadata ops are charged and no events are emitted.  Used by the
+        ``abandon()`` paths of writers when a node-crash fault fires.
+        """
+        for fd in np.atleast_1d(np.asarray(fds, dtype=np.int64)):
+            self._fds.pop(int(fd), None)
+            self._fd_ino[int(fd)] = -1
 
     def close_group(self, ranks: np.ndarray, fds: np.ndarray,
                     api: str = "POSIX") -> None:

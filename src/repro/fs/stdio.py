@@ -142,6 +142,16 @@ class StdioFile:
         self.posix.close(self.rank, self.fd)
         self._closed = True
 
+    def abandon(self) -> None:
+        """Drop the stream as a crashed process would: buffered bytes are
+        lost and the descriptor is reaped without close cost."""
+        if self._closed:
+            return
+        self._buffer.clear()
+        self._synthetic_pending = 0
+        self.posix.release_fds(self.fd)
+        self._closed = True
+
     def _check_writable(self) -> None:
         if self._closed:
             raise OSError("stream is closed")

@@ -355,14 +355,21 @@ class VirtualFS:
         return int(self.cols.size[ino])
 
     def corrupt(self, path: str, offset: int = 0, nbytes: int = 1) -> None:
-        """Flip bits in materialised content (fault injection for the
+        """Flip bits in a file's content (fault injection for the
         resilience tests — the paper's §VI names "evaluating and
-        improving resilience capabilities" as future work)."""
+        improving resilience capabilities" as future work).
+
+        Hole-backed extents (synthetic payloads, sparse regions that were
+        never materialised) read back as zeros, so corrupting them
+        materialises the zeros first and flips those — fault plans can
+        target sparse checkpoint regions just like dense ones.
+        """
         ino = self.lookup(path)
-        store = self._content.get(ino)
-        if store is None:
-            raise FSError(f"{path} has no materialised content to corrupt")
-        end = min(offset + nbytes, len(store))
+        c = self.cols
+        if c.is_dir[ino]:
+            raise IsADir(f"inode {ino}")
+        store = self._content.setdefault(ino, ExtentStore())
+        end = min(offset + nbytes, max(int(c.size[ino]), len(store)))
         if end <= offset:
             raise ValueError("corruption range outside file content")
         original = store.read(offset, end - offset)

@@ -59,7 +59,10 @@ def restore_from_openpmd(sim, posix: PosixIO, comm: VirtualComm,
             arrays.remove(np.ones(len(arrays), dtype=bool))
             if sel.any():
                 arrays.add(x[sel], vx[sel], vy[sel], vz[sel], w[sel])
-    return 0
+    step = int(getattr(series.engine, "attributes", {}).get(
+        "/data/0/checkpointStep", 0))
+    series.close()
+    return step
 
 
 def restore_from_original(sim, writer: OriginalIOWriter) -> None:

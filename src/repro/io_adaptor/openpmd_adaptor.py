@@ -171,6 +171,16 @@ class Bit1OpenPMDWriter:
 
     # -- lifecycle -----------------------------------------------------------------------
 
+    def abandon(self) -> None:
+        """Drop both series as a crashed job would (no closing I/O)."""
+        self.diag_series.abandon()
+        self.ckpt_series.abandon()
+
+    def handle_rank_failure(self, dead_ranks) -> None:
+        """Fail dead aggregator ranks over in both series' engines."""
+        self.diag_series.handle_rank_failure(dead_ranks)
+        self.ckpt_series.handle_rank_failure(dead_ranks)
+
     def finalize(self, sim) -> None:
         self.diag_series.close()
         self.ckpt_series.close()

@@ -23,7 +23,21 @@ from repro.fs.stdio import DEFAULT_BUFSIZE, StdioFile
 from repro.mpi.comm import VirtualComm
 
 class CorruptCheckpointError(RuntimeError):
-    """A .dmp file failed its checksum during restart."""
+    """A .dmp file failed its checksum during restart.
+
+    Carries structured ``context`` (path, rank, step, species,
+    expected/actual checksum) so restart orchestration can report the
+    damaged file precisely.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 rank: int | None = None, step: int | None = None,
+                 species: str | None = None, expected: int | None = None,
+                 actual: int | None = None):
+        super().__init__(message)
+        self.context = {"path": path, "rank": rank, "step": step,
+                        "species": species, "expected": expected,
+                        "actual": actual}
 
 
 #: the global (rank-0) files of a BIT1 run
@@ -177,7 +191,10 @@ class OriginalIOWriter:
             if expected_crc and zlib.crc32(body) != expected_crc:
                 raise CorruptCheckpointError(
                     f"rank {rank} .dmp species {name!r}: checksum mismatch "
-                    f"— the checkpoint is corrupt, restart refused")
+                    f"— the checkpoint is corrupt, restart refused",
+                    path=self.dmp_path(rank), rank=rank,
+                    step=int(fields.get("step", 0)), species=name,
+                    expected=expected_crc, actual=zlib.crc32(body))
             data = np.frombuffer(body, dtype=np.float64)
             pos += nbytes
             rows = data.reshape(5, n) if n else np.zeros((5, 0))
@@ -186,6 +203,12 @@ class OriginalIOWriter:
         return out
 
     # -- lifecycle ------------------------------------------------------------------------
+
+    def abandon(self) -> None:
+        """Drop the writer as a crashed job would: no flush, no close I/O."""
+        for f in self._globals.values():
+            f.abandon()
+        self._globals.clear()
 
     def finalize(self, sim) -> None:
         echo = self._global("input.echo")

@@ -65,6 +65,9 @@ class VirtualComm:
         #: optional repro.trace bus; when attached (by a TraceSession),
         #: barriers emit typed events with per-rank wait times
         self.trace = None
+        #: optional live :class:`repro.faults.injector.FaultState`; when
+        #: installed, NIC flaps derate the effective interconnect bandwidth
+        self.fault_state = None
         self._all_ranks = np.arange(size)
 
     # -- topology ---------------------------------------------------------
@@ -98,11 +101,23 @@ class VirtualComm:
         """Wall time of the job so far (slowest rank)."""
         return float(self.clocks.max())
 
+    def effective_bandwidth(self) -> float:
+        """NIC bandwidth after any active fault derating (bytes/s).
+
+        The model's bandwidth is job-global, so a NIC flap on one node is
+        applied conservatively: collectives and shuffles run at the
+        slowest participating NIC's rate.
+        """
+        bw = self.config.bandwidth
+        if self.fault_state is not None:
+            bw *= max(self.fault_state.nic_factor, 1e-6)
+        return bw
+
     def _collective_cost(self, nbytes: int = 0) -> float:
         """Cost of one collective: log2(P) latency steps + payload."""
         cfg = self.config
         steps = max(1, int(np.ceil(np.log2(max(self.size, 2)))))
-        return steps * cfg.latency + nbytes / cfg.bandwidth
+        return steps * cfg.latency + nbytes / self.effective_bandwidth()
 
     def barrier(self) -> float:
         """Align all clocks to the slowest rank plus the collective cost.
@@ -196,7 +211,7 @@ class VirtualComm:
         per_rank_out = send_matrix.sum(axis=1)
         per_rank_in = send_matrix.sum(axis=0)
         volume = np.maximum(per_rank_out, per_rank_in)
-        dt = self._collective_cost() + volume.max() / self.config.bandwidth
+        dt = self._collective_cost() + volume.max() / self.effective_bandwidth()
         self.barrier()
         self.clocks += dt
         return float(dt)

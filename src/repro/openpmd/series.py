@@ -305,6 +305,28 @@ class Series:
     def bytes_flushed(self) -> int:
         return self._bytes_flushed
 
+    def abandon(self) -> None:
+        """Drop the series as a crashed job would: no flush, no close I/O.
+
+        Engines release their descriptors without metadata cost; staged
+        but unflushed iteration data is lost, flushed steps stay on disk
+        exactly as the crash left them.
+        """
+        if self._closed:
+            return
+        for eng in self._engines.values():
+            if hasattr(eng, "abandon"):
+                eng.abandon()
+            else:  # pragma: no cover - non-BP backends
+                eng.close()
+        self._closed = True
+
+    def handle_rank_failure(self, dead_ranks) -> None:
+        """Forward an aggregator-rank failure to every live engine."""
+        for eng in self._engines.values():
+            if hasattr(eng, "handle_rank_failure"):
+                eng.handle_rank_failure(dead_ranks)
+
     def close(self) -> None:
         """"If no further iterations are needed, the series is closed."""
         if self._closed:

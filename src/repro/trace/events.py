@@ -24,6 +24,8 @@ EVENT_KINDS = frozenset({
     "memcpy", "compress", "shuffle", "collective_write", "meta_append",
     # communicator plane
     "barrier",
+    # fault plane (repro.faults): injected failures and recovery actions
+    "fault", "retry", "failover", "restart",
 })
 
 #: Layers whose events the Darshan subscriber folds into counters.

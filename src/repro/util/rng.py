@@ -9,6 +9,7 @@ subsystems never share a stream.
 from __future__ import annotations
 
 import hashlib
+import pickle
 
 import numpy as np
 
@@ -56,6 +57,33 @@ class RngRegistry:
     def spawn(self, *names: object) -> "RngRegistry":
         """Create a child registry with an independent derived root seed."""
         return RngRegistry(stream_seed(self.root_seed, "spawn", *names))
+
+    # -- checkpointable state ------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise every live stream's state (for checkpoint restart).
+
+        A restarted job replays exactly the random sequence the crashed
+        one would have drawn, so a fault-free run and a crash-restart run
+        of the same plan converge on bit-identical final states.
+        """
+        state = {key: gen.bit_generator.state
+                 for key, gen in self._streams.items()}
+        return pickle.dumps((self.root_seed, state))
+
+    def restore(self, blob: bytes) -> None:
+        """Restore stream states captured by :meth:`snapshot`.
+
+        Streams absent from the snapshot are left untouched (they will be
+        derived fresh, as in the original run before their first draw).
+        """
+        root_seed, state = pickle.loads(blob)
+        if root_seed != self.root_seed:
+            raise ValueError(
+                f"snapshot root seed {root_seed:#x} does not match registry "
+                f"root seed {self.root_seed:#x}")
+        for key, bg_state in state.items():
+            self.get(*key).bit_generator.state = bg_state
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RngRegistry(root_seed={self.root_seed:#x}, streams={len(self._streams)})"

@@ -3,15 +3,21 @@
 from repro.workloads.datamodel import Bit1DataModel
 from repro.workloads.presets import paper_use_case, sheath_case, small_use_case
 from repro.workloads.runner import (
+    FailureRecord,
+    ResilientRunReport,
     ScaledRunResult,
+    run_crash_restart,
     run_openpmd_scaled,
     run_original_scaled,
 )
 
 __all__ = [
     "Bit1DataModel",
+    "FailureRecord",
+    "ResilientRunReport",
     "ScaledRunResult",
     "paper_use_case",
+    "run_crash_restart",
     "run_openpmd_scaled",
     "run_original_scaled",
     "sheath_case",

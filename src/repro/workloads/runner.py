@@ -11,23 +11,33 @@ yields a Darshan log plus the filesystem for the file census.
 
 from __future__ import annotations
 
+import base64
+import json
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.adios2.engine import IntegrityError
 from repro.adios2.profiling import EngineProfile
 from repro.cluster.machine import Machine, StorageSystem
 from repro.darshan.log import DarshanLog
 from repro.darshan.runtime import DarshanMonitor
+from repro.faults import FaultPlan, NodeCrashError, RetryPolicy, install_faults
 from repro.fs.lustre import LustreFilesystem
 from repro.fs.mount import MountedFilesystem, mount
-from repro.fs.payload import SyntheticPayload
+from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.fs.stdio import DEFAULT_BUFSIZE
+from repro.fs.vfs import FileNotFound
+from repro.io_adaptor.checkpoint import restore_from_openpmd, restore_from_original
+from repro.io_adaptor.openpmd_adaptor import Bit1OpenPMDWriter
+from repro.io_adaptor.original import CorruptCheckpointError, OriginalIOWriter
 from repro.mpi.comm import VirtualComm, comm_for_nodes
 from repro.openpmd.record import Dataset
 from repro.openpmd.series import Access, Series
 from repro.pic.config import Bit1Config
+from repro.pic.simulation import Bit1Simulation
 from repro.trace.session import TraceSession
 from repro.util.rng import RngRegistry, stream_seed
 from repro.workloads.datamodel import (
@@ -123,7 +133,10 @@ def run_original_scaled(machine: Machine, nodes: int,
                         seed: int = 0,
                         bufsize: int = DEFAULT_BUFSIZE,
                         fsync_checkpoints: bool = True,
-                        trace_mode: str | None = None) -> ScaledRunResult:
+                        trace_mode: str | None = None,
+                        fault_plan: FaultPlan | None = None,
+                        retry_policy: RetryPolicy | None = None,
+                        ) -> ScaledRunResult:
     """Full-scale BIT1 with the original file I/O (Figs. 2-5 baseline).
 
     ``fsync_checkpoints=False`` ablates the crash-safety fsyncs (the
@@ -131,11 +144,16 @@ def run_original_scaled(machine: Machine, nodes: int,
     ablation benches.  ``trace_mode`` selects the instrumentation depth
     (None: counters only; "summary": streaming per-layer breakdown;
     "full": retain the raw event stream — test scale only).
+    ``fault_plan`` injects seeded failures into the run; recoverable ones
+    are retried under ``retry_policy``, node crashes raise
+    :class:`~repro.faults.NodeCrashError`.
     """
     config = config or paper_use_case()
     comm, fs, posix, monitor, session = _setup(
         machine, nodes, ranks_per_node, storage_name, seed,
         "bit1-original", trace_mode)
+    injector = (install_faults(posix, fault_plan, retry_policy)
+                if fault_plan is not None else None)
     model = Bit1DataModel(config, comm.size)
     outdir = "/scratch/bit1_original"
     posix.mkdir(0, outdir, parents=True)
@@ -165,6 +183,8 @@ def run_original_scaled(machine: Machine, nodes: int,
 
         for step, is_ckpt in _event_steps(config):
             with posix.trace.step(step):
+                if injector is not None:
+                    injector.begin_step(step)
                 # diagnostics: reopen-append-close per event, buffered
                 # stdio
                 posix.meta_group(ranks, "open", api="STDIO")
@@ -207,12 +227,17 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                        engine_ext: str = ".bp4",
                        storage_name: str | None = None,
                        seed: int = 0,
-                       trace_mode: str | None = None) -> ScaledRunResult:
+                       trace_mode: str | None = None,
+                       fault_plan: FaultPlan | None = None,
+                       retry_policy: RetryPolicy | None = None,
+                       ) -> ScaledRunResult:
     """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II)."""
     config = config or paper_use_case()
     comm, fs, posix, monitor, session = _setup(
         machine, nodes, ranks_per_node, storage_name, seed,
         "bit1-openpmd", trace_mode)
+    injector = (install_faults(posix, fault_plan, retry_policy)
+                if fault_plan is not None else None)
     model = Bit1DataModel(config, comm.size)
     outdir = "/scratch/io_openPMD"
     posix.mkdir(0, outdir, parents=True)
@@ -252,6 +277,10 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     with posix.phase(writers=comm.size, md_clients=comm.size):
         for step, is_ckpt in _event_steps(config):
             with posix.trace.step(step):
+                if injector is not None:
+                    for directive in injector.begin_step(step):
+                        diag_series.handle_rank_failure(directive.rank)
+                        ckpt_series.handle_rank_failure(directive.rank)
                 it = diag_series.iterations[step]
                 it.set_time(step * config.dt, config.dt)
                 comp = it.meshes["rank_summary"].scalar
@@ -307,3 +336,197 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
                            comm.size, log, fs, comm, outdir,
                            profiles=profiles, trace=session)
+
+
+# -- checkpoint-restart orchestration (functional, fault-injected) ------------
+
+
+@dataclass
+class FailureRecord:
+    """One refused/failed restart attempt and why."""
+
+    step: int
+    error: str
+    context: dict = field(default_factory=dict)
+
+
+@dataclass
+class ResilientRunReport:
+    """Outcome of one :func:`run_crash_restart` orchestration."""
+
+    sim: Bit1Simulation
+    writer_kind: str
+    crashes: int
+    restarts: int
+    executed_steps: int
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def wasted_steps(self) -> int:
+        """Steps computed more than once (re-executed after restarts)."""
+        return self.executed_steps - self.sim.step_index
+
+    def render(self) -> str:
+        lines = [
+            f"resilient run ({self.writer_kind}): "
+            f"{self.sim.step_index} steps, {self.crashes} crash(es), "
+            f"{self.restarts} restart(s), {self.wasted_steps} wasted step(s)",
+        ]
+        for rec in self.failures:
+            lines.append(f"  restart at step {rec.step} failed: {rec.error}")
+            ctx = {k: v for k, v in rec.context.items() if v is not None}
+            if ctx:
+                lines.append("    " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(ctx.items())))
+        return "\n".join(lines)
+
+
+def _sidecar_path(outdir: str) -> str:
+    return f"{outdir.rstrip('/')}/resilience.meta"
+
+
+def _write_sidecar(posix: PosixIO, outdir: str, step: int,
+                   rng: RngRegistry) -> None:
+    """Persist restart metadata next to the checkpoint (rank 0, fsynced).
+
+    The RNG snapshot rides along so a restarted run replays exactly the
+    stochastic sequence the crashed run would have drawn — the piece of
+    state neither output format records.
+    """
+    blob = rng.snapshot()
+    doc = {"step": int(step), "rng_crc": zlib.crc32(blob),
+           "rng": base64.b64encode(blob).decode("ascii")}
+    payload = (json.dumps(doc) + "\n").encode()
+    fd = posix.open(0, _sidecar_path(outdir), create=True, truncate=True)
+    posix.write(0, fd, RealPayload(payload, "ascii_table"))
+    posix.fsync(0, fd)
+    posix.close(0, fd)
+
+
+def _read_sidecar(posix: PosixIO, outdir: str) -> tuple[int, bytes] | None:
+    """Load restart metadata; None when absent or torn."""
+    path = _sidecar_path(outdir)
+    try:
+        fd = posix.open(0, path)
+    except FileNotFound:
+        return None
+    size = posix.fs.vfs.size_of(posix._fds[fd].ino)
+    raw = posix.read(0, fd, size)
+    posix.close(0, fd)
+    try:
+        doc = json.loads(raw.decode())
+        blob = base64.b64decode(doc["rng"])
+        if zlib.crc32(blob) != int(doc["rng_crc"]):
+            return None
+        return int(doc["step"]), blob
+    except (ValueError, KeyError):
+        return None
+
+
+def _make_writer(kind: str, posix: PosixIO, comm: VirtualComm, outdir: str):
+    if kind == "original":
+        return OriginalIOWriter(posix, comm, outdir)
+    if kind == "openpmd":
+        return Bit1OpenPMDWriter(posix, comm, outdir)
+    raise ValueError(f"unknown writer kind {kind!r}")
+
+
+def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
+                      outdir: str, writer: str = "original",
+                      plan: FaultPlan | None = None,
+                      policy: RetryPolicy | None = None,
+                      max_restarts: int = 8) -> ResilientRunReport:
+    """Run a functional BIT1 simulation under a fault plan, restarting
+    from the last valid checkpoint whenever a node crash kills the job.
+
+    The orchestration mirrors a batch system resubmitting the job:
+
+    1. the simulation advances step by step; diagnostics and checkpoints
+       fire on the ``datfile``/``dmpstep`` cadence, and every checkpoint
+       also persists a fsynced restart sidecar (checkpoint step + RNG
+       snapshot);
+    2. a :class:`~repro.faults.NodeCrashError` abandons the writer (open
+       descriptors reaped, buffers lost — no closing I/O), emits a
+       ``restart`` event, and brings up a fresh simulation restored from
+       the last checkpoint;
+    3. a checkpoint that fails verification
+       (:class:`~repro.io_adaptor.original.CorruptCheckpointError` /
+       :class:`~repro.adios2.engine.IntegrityError`) is *refused*: the
+       failure is recorded with its structured context and the run falls
+       back to a scratch restart from step 0.
+
+    Because particle order, RNG state and rank assignment all survive
+    the round trip, a recovered run's final state is bit-identical to a
+    fault-free run of the same config and seed.
+    """
+    injector = (install_faults(posix, plan, policy)
+                if plan is not None else None)
+    sim = Bit1Simulation(config, comm)
+    out = _make_writer(writer, posix, comm, outdir)
+    crashes = 0
+    restarts = 0
+    executed = 0
+    failures: list[FailureRecord] = []
+    bus = posix.trace
+
+    while True:
+        try:
+            while sim.step_index < config.last_step:
+                nxt = sim.step_index + 1
+                with bus.step(nxt):
+                    if injector is not None:
+                        for directive in injector.begin_step(nxt):
+                            if hasattr(out, "handle_rank_failure"):
+                                out.handle_rank_failure(directive.rank)
+                    sim.step()
+                    executed += 1
+                    if sim.step_index % config.datfile == 0:
+                        out.write_diagnostics(sim, sim.step_index)
+                    if sim.step_index % config.dmpstep == 0:
+                        out.write_checkpoint(sim, sim.step_index)
+                        _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+            out.write_checkpoint(sim, sim.step_index)
+            _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+            out.finalize(sim)
+            break
+        except NodeCrashError as crash:
+            crashes += 1
+            if crashes > max_restarts:
+                raise
+            out.abandon()
+            if bus.wants("restart"):
+                all_ranks = np.arange(comm.size)
+                bus.emit("restart", all_ranks, api="NODE", layer="faults",
+                         start=comm.clocks[all_ranks])
+            # bring up the replacement job: fresh simulation, restored
+            # from the last valid checkpoint (or from scratch)
+            sim = Bit1Simulation(config, comm)
+            meta = _read_sidecar(posix, outdir)
+            if meta is not None:
+                step, rng_blob = meta
+                try:
+                    if writer == "original":
+                        reader = OriginalIOWriter(posix, comm, outdir)
+                        restore_from_original(sim, reader)
+                        reader.abandon()
+                    else:
+                        restore_from_openpmd(
+                            sim, posix, comm, f"{outdir}/bit1_dmp.bp4")
+                    sim.rng.restore(rng_blob)
+                    sim.step_index = step
+                except (CorruptCheckpointError, IntegrityError) as exc:
+                    failures.append(FailureRecord(
+                        step=crash.step, error=str(exc),
+                        context=dict(getattr(exc, "context", {}))))
+                    sim = Bit1Simulation(config, comm)  # scratch restart
+            restarts += 1
+            # the replacement writer truncates the output set; re-seed it
+            # with the restored state so a second crash can still restore
+            out = _make_writer(writer, posix, comm, outdir)
+            if sim.step_index > 0:
+                out.write_checkpoint(sim, sim.step_index)
+                _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+
+    return ResilientRunReport(sim=sim, writer_kind=writer, crashes=crashes,
+                              restarts=restarts, executed_steps=executed,
+                              failures=failures)

@@ -25,6 +25,8 @@ from repro.mpi import VirtualComm
 from repro.pic import Bit1Simulation
 from repro.workloads import small_use_case
 
+pytestmark = pytest.mark.resilience
+
 
 @pytest.fixture
 def env():
@@ -52,15 +54,24 @@ class TestFaultInjection:
         fs.vfs.corrupt("/f", offset=1, nbytes=2)
         assert fs.vfs.read(fs.vfs.lookup("/f"), 0, 5) == b"hello"
 
-    def test_corrupt_requires_content(self, env):
+    def test_corrupt_hole_backed_materialises(self, env):
+        # synthetic payloads leave no content extents; corrupting one
+        # materialises the zero-filled hole and flips those bytes
         fs, comm, posix = env
         from repro.fs import SyntheticPayload
 
         fd = posix.open(0, "/s", create=True)
         posix.write(0, fd, SyntheticPayload(100))
         posix.close(0, fd)
+        fs.vfs.corrupt("/s", offset=4, nbytes=4)
+        blob = fs.vfs.read(fs.vfs.lookup("/s"), 0, 12)
+        assert blob == b"\x00" * 4 + b"\xff" * 4 + b"\x00" * 4
+
+    def test_corrupt_dir_refused(self, env):
+        fs, comm, posix = env
+        fs.vfs.mkdir("/d")
         with pytest.raises(FSError):
-            fs.vfs.corrupt("/s")
+            fs.vfs.corrupt("/d")
 
     def test_corrupt_out_of_range(self, env):
         fs, comm, posix = env
