@@ -1,0 +1,122 @@
+"""Standalone performance snapshot — emits ``BENCH_<date>.json``.
+
+Times the two drivers that exercise the batched data plane hardest
+(fig8's per-layer profile and the weak-scaling study) plus a raw
+modeled-mode point, with the sweep cache disabled so the numbers
+measure the model, not the memoiser.  Each timing is a min-of-N to
+survive noisy shared machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out DIR]
+        [--repeats N] [--quick]
+
+The JSON is append-friendly for trend tracking: one file per day,
+keyed by benchmark name, with the environment recorded.  The CI smoke
+step runs ``--quick`` and only asserts the file appears and every
+timing is finite — regression *detection* is a human diffing
+snapshots, not a flaky threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.cluster.presets import dardel                   # noqa: E402
+from repro.experiments.fig8 import run_fig8                # noqa: E402
+from repro.experiments.points import original_report       # noqa: E402
+from repro.experiments.weak_scaling import run_weak_scaling  # noqa: E402
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _time(fn, repeats: int) -> dict:
+    """min/mean wall seconds over ``repeats`` calls (min is the signal)."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "min_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "samples": len(samples),
+    }
+
+
+def build_suite(quick: bool) -> dict:
+    """name -> zero-arg callable; quick mode shrinks the node counts."""
+    fig8_nodes = 5 if quick else 200
+    weak_nodes = (1, 5) if quick else (1, 5, 20, 50, 200)
+    point_nodes = 5 if quick else 200
+    return {
+        f"fig8_profile_{fig8_nodes}nodes":
+            lambda: run_fig8(nodes=fig8_nodes),
+        f"weak_scaling_{max(weak_nodes)}nodes":
+            lambda: run_weak_scaling(node_counts=weak_nodes),
+        f"original_point_{point_nodes}nodes":
+            lambda: original_report(machine=dardel(), nodes=point_nodes),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=".", help="directory for the JSON")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--quick", action="store_true",
+                    help="small node counts (CI smoke)")
+    args = ap.parse_args(argv)
+
+    # measure the model, not the memoiser
+    os.environ["REPRO_SWEEP_CACHE"] = ""
+
+    suite = build_suite(args.quick)
+    timings = {}
+    for name, fn in suite.items():
+        timings[name] = _time(fn, args.repeats)
+        print(f"{name}: min {timings[name]['min_s']:.3f}s over "
+              f"{args.repeats} runs", flush=True)
+
+    snapshot = {
+        "date": datetime.date.today().isoformat(),
+        "git": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "timings": timings,
+    }
+    path = os.path.join(args.out,
+                        f"BENCH_{snapshot['date'].replace('-', '')}.json")
+    with open(path, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path}")
+
+    bad = [n for n, t in timings.items()
+           if not (t["min_s"] > 0 and t["min_s"] < float("inf"))]
+    if bad:
+        print(f"non-finite timings: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mpi.comm import VirtualComm
+from repro.util.scatter import scatter_add
 
 
 @dataclass(frozen=True)
@@ -126,9 +127,9 @@ def gather_cost_seconds(plan: AggregationPlan, per_rank_bytes: np.ndarray,
     out += remote / nic
     incoming = plan.per_aggregator_bytes(per_rank_bytes).astype(np.float64)
     own = np.zeros(comm.size, dtype=np.float64)
-    np.add.at(own, plan.aggregator_ranks, incoming)
+    scatter_add(own, plan.aggregator_ranks, incoming)
     local_own = np.zeros(comm.size, dtype=np.float64)
-    np.add.at(local_own, plan.aggregator_ranks[plan.agg_index_of_rank],
-              np.where(remote > 0, 0.0, per_rank_bytes))
+    scatter_add(local_own, plan.aggregator_ranks[plan.agg_index_of_rank],
+                np.where(remote > 0, 0.0, per_rank_bytes))
     out += np.maximum(own - local_own, 0.0) / nic
     return out

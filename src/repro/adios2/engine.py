@@ -41,6 +41,7 @@ from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.mpi.comm import VirtualComm
 from repro.trace.subscribers import ProfileFold
+from repro.util.scatter import scatter_add
 
 #: metadata size model (bytes) — calibrated so BP directory md files stay
 #: in the few-hundred-KiB range Table II implies
@@ -302,7 +303,7 @@ class BPEngineBase:
         for var in self._cur_vars.values():
             staged += var.per_rank_bytes(n)
         for _name, ranks, nbytes, _entropy in self._cur_bulk:
-            np.add.at(staged, ranks, nbytes.astype(np.float64))
+            scatter_add(staged, ranks, nbytes.astype(np.float64))
 
         stored = self._apply_operator(staged)
         gather = gather_cost_seconds(self.plan, stored, self.comm)
@@ -373,7 +374,7 @@ class BPEngineBase:
                 stored[chunk.rank] += result.compressed_nbytes
         for name, ranks_b, nbytes, entropy in self._cur_bulk:
             ratio = self.compressor.synthetic_ratio(entropy)
-            np.add.at(stored, ranks_b, np.round(nbytes * ratio))
+            scatter_add(stored, ranks_b, np.round(nbytes * ratio))
         return stored
 
     def _allocate(self, key: str | None, per_agg: np.ndarray) -> np.ndarray:

@@ -176,8 +176,7 @@ class TracingMonitor:
         self.monitor.register_file(ino, path)
 
     def register_files(self, inos, paths) -> None:
-        for ino, path in zip(np.asarray(inos), paths):
-            self._paths[int(ino)] = path
+        self._paths.update(zip(np.asarray(inos).tolist(), paths))
         self.monitor.register_files(inos, paths)
 
     def on_event(self, event: IOEvent) -> None:
@@ -192,11 +191,36 @@ class TracingMonitor:
                 n_ops=event.n_ops)
         if event.kind not in DATA_KINDS or event.inos is None:
             return
+        self._trace_row(event.api, event.kind, event.ranks, event.inos,
+                        event.nbytes, event.start, event.end)
+
+    def on_batch(self, batch) -> None:
+        """Fold a struct-of-arrays batch: forward once, trace data rows.
+
+        The wrapped monitor gets the whole batch in one call when it
+        can take it; DXT segments come straight off the batch columns,
+        row by row in sequence order.
+        """
+        fold = getattr(self.monitor, "on_batch", None)
+        if fold is not None:
+            fold(batch)
+        else:
+            for event in batch.events():
+                self.on_event(event)
+            return
+        if batch.inos is None:
+            return
+        for i, kind in enumerate(batch.kinds):
+            if kind in DATA_KINDS:
+                self._trace_row(batch.api, kind, batch.ranks, batch.inos,
+                                batch.nbytes[i], batch.start[i],
+                                batch.start[i] + batch.duration[i])
+
+    def _trace_row(self, api, kind, ranks, inos, nbytes, start, end) -> None:
         paths = [self._paths.get(int(i), f"<ino {int(i)}>")
-                 for i in np.broadcast_to(event.inos, event.ranks.shape)]
-        self.dxt.record(f"DXT_{event.api}", _DXT_OP[event.kind],
-                        event.ranks, paths, event.nbytes,
-                        event.start, event.end)
+                 for i in np.broadcast_to(inos, ranks.shape)]
+        self.dxt.record(f"DXT_{api}", _DXT_OP[kind],
+                        ranks, paths, nbytes, start, end)
 
     def record(self, kind: str, ranks, nbytes, seconds, api: str,
                inos=None, n_ops=1) -> None:

@@ -32,7 +32,8 @@ from repro.darshan.counters import (
     size_bucket_index,
 )
 from repro.darshan.log import DarshanLog, FileRecord, ModuleRecord
-from repro.trace.events import FS_LAYERS, IOEvent, make_event
+from repro.trace.events import FS_LAYERS, EventBatch, IOEvent, make_event
+from repro.util.scatter import scatter_add, scatter_add2
 
 #: legacy record() op names → spine event kinds
 _LEGACY_KIND = {"sync": "fsync"}
@@ -65,7 +66,11 @@ class _FileTable:
 
     def __init__(self, capacity: int = 256):
         self._cap = capacity
-        self.paths: dict[int, str] = {}
+        # registrations arrive in (possibly huge) batches from group
+        # opens; they are kept as appended batches — O(1) per group —
+        # and only folded into the dict when someone asks for it
+        self._path_batches: list[tuple] = []
+        self._paths: dict[int, str] = {}
         for f in self._FIELDS:
             setattr(self, f, np.zeros(capacity))
 
@@ -82,7 +87,23 @@ class _FileTable:
 
     def register(self, ino: int, path: str) -> None:
         self.ensure(ino)
-        self.paths.setdefault(ino, path)
+        self._path_batches.append(((int(ino),), (path,)))
+
+    def register_batch(self, inos: np.ndarray, paths: Sequence[str]) -> None:
+        if inos.size:
+            self.ensure(int(inos.max()))
+            self._path_batches.append((inos, paths))
+
+    @property
+    def paths(self) -> dict[int, str]:
+        """Materialised ino → path registry (first registration wins)."""
+        if self._path_batches:
+            setdefault = self._paths.setdefault
+            for inos, paths in self._path_batches:
+                for ino, path in zip(inos, paths):
+                    setdefault(int(ino), path)
+            self._path_batches.clear()
+        return self._paths
 
 
 class DarshanMonitor:
@@ -104,11 +125,7 @@ class DarshanMonitor:
         self._files.register(ino, path)
 
     def register_files(self, inos: np.ndarray, paths: Sequence[str]) -> None:
-        inos = np.asarray(inos)
-        if inos.size:
-            self._files.ensure(int(inos.max()))
-        for ino, path in zip(inos, paths):
-            self._files.paths.setdefault(int(ino), path)
+        self._files.register_batch(np.asarray(inos), paths)
 
     # -- the single folding entry point ---------------------------------------
 
@@ -131,30 +148,49 @@ class DarshanMonitor:
         mod = self._modules.get(event.api)
         if mod is None:  # unknown module: fold into POSIX
             mod = self._modules["POSIX"]
-        kind = event.kind
-        ranks = event.ranks
-        ops_arr = event.n_ops
+        self._fold(mod, event.kind, event.ranks, event.nbytes,
+                   event.duration, event.n_ops, event.inos)
 
+    def on_batch(self, batch: EventBatch) -> None:
+        """Fold a struct-of-arrays batch without building event objects.
+
+        Rows fold in order, so accumulation onto shared counters (the
+        per-file cumulative time, most visibly) stays bit-identical to
+        the equivalent sequence of scalar events.
+        """
+        if self._finalized is not None or batch.layer not in FS_LAYERS:
+            return
+        mod = self._modules.get(batch.api)
+        if mod is None:
+            mod = self._modules["POSIX"]
+        ranks = batch.ranks
+        for i, kind in enumerate(batch.kinds):
+            self._fold(mod, kind, ranks, batch.nbytes[i],
+                       batch.duration[i], batch.n_ops[i], batch.inos)
+
+    def _fold(self, mod: _ModuleCounters, kind: str, ranks, nbytes,
+              duration, ops_arr, inos) -> None:
         count_field = OP_TO_COUNT.get(kind)
         if count_field is not None:
-            np.add.at(mod.counts[count_field], ranks, ops_arr)
+            scatter_add(mod.counts[count_field], ranks, ops_arr)
         time_field = OP_TO_TIME[kind]
-        np.add.at(mod.times[time_field], ranks, event.duration)
+        scatter_add(mod.times[time_field], ranks, duration)
 
         if kind in WRITE_KINDS:
-            np.add.at(mod.bytes["BYTES_WRITTEN"], ranks, event.nbytes)
-            per_op = event.nbytes / np.maximum(ops_arr, 1.0)
+            scatter_add(mod.bytes["BYTES_WRITTEN"], ranks, nbytes)
+            per_op = nbytes / np.maximum(ops_arr, 1.0)
             buckets = size_bucket_index(per_op)
-            np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
+            scatter_add2(mod.size_hist, ranks, buckets,
+                         ops_arr.astype(np.int64))
         elif kind in READ_KINDS:
-            np.add.at(mod.bytes["BYTES_READ"], ranks, event.nbytes)
-            per_op = event.nbytes / np.maximum(ops_arr, 1.0)
+            scatter_add(mod.bytes["BYTES_READ"], ranks, nbytes)
+            per_op = nbytes / np.maximum(ops_arr, 1.0)
             buckets = size_bucket_index(per_op)
-            np.add.at(mod.size_hist, (ranks, buckets), ops_arr.astype(np.int64))
+            scatter_add2(mod.size_hist, ranks, buckets,
+                         ops_arr.astype(np.int64))
 
-        if event.inos is not None:
-            self._record_files(kind, event.inos, event.nbytes,
-                               event.duration, ops_arr)
+        if inos is not None:
+            self._record_files(kind, inos, nbytes, duration, ops_arr)
 
     def record(self, kind: str, ranks, nbytes, seconds, api: str,
                inos=None, n_ops=1) -> None:
@@ -183,16 +219,16 @@ class DarshanMonitor:
         ops = np.broadcast_to(ops, shape)
         ft = self._files
         if kind in WRITE_KINDS:
-            np.add.at(ft.writes, inos, ops)
-            np.add.at(ft.bytes_written, inos, nbytes)
+            scatter_add(ft.writes, inos, ops)
+            scatter_add(ft.bytes_written, inos, nbytes)
         elif kind in READ_KINDS:
-            np.add.at(ft.reads, inos, ops)
-            np.add.at(ft.bytes_read, inos, nbytes)
+            scatter_add(ft.reads, inos, ops)
+            scatter_add(ft.bytes_read, inos, nbytes)
         elif kind == "fsync":
-            np.add.at(ft.fsyncs, inos, ops)
+            scatter_add(ft.fsyncs, inos, ops)
         elif kind in ("open", "create"):
-            np.add.at(ft.opens, inos, ops)
-        np.add.at(ft.time, inos, seconds)
+            scatter_add(ft.opens, inos, ops)
+        scatter_add(ft.time, inos, seconds)
 
     # -- queries used while the job runs --------------------------------------
 

@@ -11,25 +11,28 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.presets import all_machines
-from repro.darshan.report import write_throughput_gib
 from repro.experiments.common import ExperimentResult, SeriesResult
 from repro.experiments.paper_data import FIG2_ANCHORS, NODE_COUNTS
-from repro.workloads.runner import run_original_scaled
+from repro.experiments.points import original_report
+from repro.experiments.sweep import sweep
 
 
 def run_fig2(node_counts: Sequence[int] = NODE_COUNTS,
              machines=None, seed: int = 0) -> ExperimentResult:
     """Reproduce Fig. 2; returns one series per machine."""
-    machines = machines if machines is not None else all_machines()
+    machines = list(machines) if machines is not None else all_machines()
+    node_counts = list(node_counts)
     result = ExperimentResult(
         name="Fig 2: BIT1 Original File I/O Write Throughput (GiB/s)",
         x_name="nodes",
     )
+    reports = iter(sweep(original_report,
+                         [{"machine": m, "nodes": n, "seed": seed}
+                          for m in machines for n in node_counts]))
     for machine in machines:
         series = SeriesResult(label=machine.name)
         for nodes in node_counts:
-            res = run_original_scaled(machine, nodes, seed=seed)
-            series.add(nodes, write_throughput_gib(res.log))
+            series.add(nodes, next(reports)["gib"])
         result.series.append(series)
         anchors = FIG2_ANCHORS.get(machine.name)
         if anchors:

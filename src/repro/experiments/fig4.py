@@ -12,39 +12,42 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import write_throughput_gib
 from repro.experiments.common import ExperimentResult, SeriesResult, resolve_machine
 from repro.experiments.paper_data import NODE_COUNTS, RANKS_PER_NODE
-from repro.ior.benchmark import run_ior
-from repro.ior.config import table1_file_per_proc, table1_shared
-from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
+from repro.experiments.points import ior_gib, openpmd_report, original_report
+from repro.experiments.sweep import sweep
 
 
 def run_fig4(node_counts: Sequence[int] = NODE_COUNTS,
              machine=None, seed: int = 0) -> ExperimentResult:
     """Reproduce Fig. 4: BIT1 curves plus IOR reference curves."""
     machine = resolve_machine(machine) if machine is not None else dardel()
+    node_counts = list(node_counts)
     result = ExperimentResult(
         name=f"Fig 4: BIT1 vs IOR Write Throughput on {machine.name} (GiB/s)",
         x_name="nodes",
     )
+    origs = sweep(original_report,
+                  [{"machine": machine, "nodes": n, "seed": seed}
+                   for n in node_counts])
+    bp4s = sweep(openpmd_report,
+                 [{"machine": machine, "nodes": n, "num_aggregators": n,
+                   "seed": seed} for n in node_counts])
+    iors = sweep(ior_gib,
+                 [{"machine": machine, "ntasks": n * RANKS_PER_NODE,
+                   "file_per_proc": fpp, "seed": seed}
+                  for n in node_counts for fpp in (True, False)])
     series = {
         "BIT1 Original I/O": SeriesResult(label="BIT1 Original I/O"),
         "BIT1 openPMD + BP4": SeriesResult(label="BIT1 openPMD + BP4"),
         "IOR FilePerProc": SeriesResult(label="IOR FilePerProc"),
         "IOR Shared": SeriesResult(label="IOR Shared"),
     }
-    for nodes in node_counts:
-        ntasks = nodes * RANKS_PER_NODE
-        res_o = run_original_scaled(machine, nodes, seed=seed)
-        series["BIT1 Original I/O"].add(nodes, write_throughput_gib(res_o.log))
-        res_p = run_openpmd_scaled(machine, nodes, num_aggregators=nodes,
-                                   seed=seed)
-        series["BIT1 openPMD + BP4"].add(nodes, write_throughput_gib(res_p.log))
-        fpp = run_ior(machine, table1_file_per_proc(ntasks), seed=seed)
-        series["IOR FilePerProc"].add(nodes, fpp.write_gib_s)
-        shared = run_ior(machine, table1_shared(ntasks), seed=seed)
-        series["IOR Shared"].add(nodes, shared.write_gib_s)
+    for i, nodes in enumerate(node_counts):
+        series["BIT1 Original I/O"].add(nodes, origs[i]["gib"])
+        series["BIT1 openPMD + BP4"].add(nodes, bp4s[i]["gib"])
+        series["IOR FilePerProc"].add(nodes, iors[2 * i])
+        series["IOR Shared"].add(nodes, iors[2 * i + 1])
     result.series = list(series.values())
     result.notes.append(
         "Table I commands: 'ior -N=<tasks> -a POSIX [-F] -C -e'")

@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import CostSplit, cost_split
+from repro.darshan.report import CostSplit
 from repro.experiments.common import resolve_machine
 from repro.experiments.paper_data import FIG5_BP4, FIG5_ORIGINAL
+from repro.experiments.points import openpmd_report, original_report
+from repro.experiments.sweep import sweep
 from repro.util.tables import Table
-from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
 
 
 @dataclass
@@ -70,14 +71,16 @@ class Fig5Result:
 def run_fig5(nodes: int = 200, machine=None, seed: int = 0) -> Fig5Result:
     """Reproduce Fig. 5 (per-process read/meta/write seconds)."""
     machine = resolve_machine(machine) if machine is not None else dardel()
-    res_o = run_original_scaled(machine, nodes, seed=seed)
-    res_p = run_openpmd_scaled(machine, nodes, num_aggregators=nodes,
-                               seed=seed)
+    [rep_o] = sweep(original_report,
+                    [{"machine": machine, "nodes": nodes, "seed": seed}])
+    [rep_p] = sweep(openpmd_report,
+                    [{"machine": machine, "nodes": nodes,
+                      "num_aggregators": nodes, "seed": seed}])
     return Fig5Result(
         machine=machine.name,
         nodes=nodes,
-        original=cost_split(res_o.log),
-        bp4=cost_split(res_p.log),
+        original=rep_o["split"],
+        bp4=rep_p["split"],
     )
 
 

@@ -13,25 +13,29 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import write_throughput_gib
 from repro.experiments.common import ExperimentResult, SeriesResult, resolve_machine
 from repro.experiments.paper_data import FIG6_ANCHORS, FIG6_SWEEP
-from repro.workloads.runner import run_openpmd_scaled
+from repro.experiments.points import openpmd_report
+from repro.experiments.sweep import sweep
 
 
 def run_fig6(aggregators: Sequence[int] = FIG6_SWEEP, nodes: int = 200,
              machine=None, seed: int = 0) -> ExperimentResult:
     """Reproduce the aggregator sweep."""
     machine = resolve_machine(machine) if machine is not None else dardel()
+    aggregators = list(aggregators)
     result = ExperimentResult(
         name=f"Fig 6: openPMD+BP4 Write Throughput vs Aggregators on "
              f"{machine.name} ({nodes} nodes, GiB/s)",
         x_name="aggregators",
     )
+    reports = sweep(openpmd_report,
+                    [{"machine": machine, "nodes": nodes,
+                      "num_aggregators": m, "seed": seed}
+                     for m in aggregators])
     series = SeriesResult(label="BIT1 openPMD + BP4")
-    for m in aggregators:
-        res = run_openpmd_scaled(machine, nodes, num_aggregators=m, seed=seed)
-        series.add(m, write_throughput_gib(res.log))
+    for m, rep in zip(aggregators, reports):
+        series.add(m, rep["gib"])
     result.series.append(series)
     result.notes.append(
         "paper anchors: " + ", ".join(f"{m} -> {v} GiB/s"

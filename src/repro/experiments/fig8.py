@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 
 from repro.cluster.presets import dardel
 from repro.experiments.common import resolve_machine
+from repro.experiments.points import openpmd_profile
+from repro.experiments.sweep import sweep
 from repro.util.tables import Table
-from repro.workloads.runner import run_openpmd_scaled
 
 
 @dataclass
@@ -64,39 +65,30 @@ class Fig8Result:
         return out
 
 
-def _mean_us(result, category: str) -> float:
-    """Mean per-rank microseconds of ``category``, folded from events.
-
-    The whole-run ``stream_profile`` sums the category across every
-    engine in the run (diagnostics + checkpoint series), so dividing by
-    the rank count matches the pre-spine per-profile aggregation.
-    """
-    profile = result.trace.stream_profile
-    return profile.total_us(category) / profile.nranks
-
-
 def run_fig8(nodes: int = 200, machine=None, seed: int = 0) -> Fig8Result:
-    """Reproduce Fig. 8 from the runs' trace event streams."""
+    """Reproduce Fig. 8 from the runs' trace event streams.
+
+    The per-rank microseconds come from each run's whole-run
+    ``stream_profile``, which sums the category across every engine in
+    the run (diagnostics + checkpoint series) — the folding happens in
+    :func:`repro.experiments.points.openpmd_profile`.
+    """
     machine = resolve_machine(machine) if machine is not None else dardel()
-    plain = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                               profiling=True, seed=seed,
-                               trace_mode="summary")
-    blosc = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                               compressor="blosc", profiling=True, seed=seed,
-                               trace_mode="summary")
+    plain, blosc = sweep(openpmd_profile,
+                         [{"machine": machine, "nodes": nodes,
+                           "compressor": c, "seed": seed}
+                          for c in (None, "blosc")])
     breakdowns = {
-        "openPMD+BP4 + 1 AGGR (no compression)":
-            plain.trace.render_breakdown(),
-        "openPMD+BP4 + Blosc + 1 AGGR":
-            blosc.trace.render_breakdown(),
+        "openPMD+BP4 + 1 AGGR (no compression)": plain["breakdown"],
+        "openPMD+BP4 + Blosc + 1 AGGR": blosc["breakdown"],
     }
     return Fig8Result(
         machine=machine.name,
         nodes=nodes,
-        memcpy_us_uncompressed=_mean_us(plain, "memcpy"),
-        memcpy_us_compressed=_mean_us(blosc, "memcpy"),
-        compress_us_uncompressed=_mean_us(plain, "compress"),
-        compress_us_compressed=_mean_us(blosc, "compress"),
+        memcpy_us_uncompressed=plain["memcpy_us"],
+        memcpy_us_compressed=blosc["memcpy_us"],
+        compress_us_uncompressed=plain["compress_us"],
+        compress_us_compressed=blosc["compress_us"],
         breakdowns=breakdowns,
     )
 

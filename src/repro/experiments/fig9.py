@@ -23,16 +23,16 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import avg_seconds_per_write
 from repro.experiments.common import resolve_machine
 from repro.experiments.paper_data import (
     FIG9_BEST_SECONDS,
     FIG9_STRIPE_COUNTS,
     FIG9_STRIPE_SIZES,
 )
+from repro.experiments.points import openpmd_report
+from repro.experiments.sweep import sweep
 from repro.util.tables import Table
 from repro.util.units import format_size
-from repro.workloads.runner import run_openpmd_scaled
 
 
 @dataclass
@@ -81,13 +81,14 @@ def run_fig9(stripe_sizes: Sequence[int] = FIG9_STRIPE_SIZES,
     machine = resolve_machine(machine) if machine is not None else dardel()
     stripe_sizes = tuple(stripe_sizes)
     stripe_counts = tuple(stripe_counts)
-    grid = np.zeros((len(stripe_sizes), len(stripe_counts)))
-    for i, size in enumerate(stripe_sizes):
-        for j, count in enumerate(stripe_counts):
-            res = run_openpmd_scaled(
-                machine, nodes, num_aggregators=1, compressor="blosc",
-                stripe_count=count, stripe_size=size, seed=seed)
-            grid[i, j] = avg_seconds_per_write(res.log)
+    reports = sweep(openpmd_report,
+                    [{"machine": machine, "nodes": nodes,
+                      "num_aggregators": 1, "compressor": "blosc",
+                      "stripe_count": count, "stripe_size": size,
+                      "seed": seed}
+                     for size in stripe_sizes for count in stripe_counts])
+    grid = np.array([rep["seconds_per_write"] for rep in reports]).reshape(
+        len(stripe_sizes), len(stripe_counts))
     return Fig9Result(machine=machine.name, nodes=nodes,
                       stripe_sizes=stripe_sizes,
                       stripe_counts=stripe_counts, seconds=grid)

@@ -1,0 +1,76 @@
+"""Shared sweep points — the unit of work the experiment drivers cache.
+
+Every figure boils down to evaluating the model at (machine, nodes,
+adaptor options) and reading one metric off the run.  Defining the
+evaluation as a handful of module-level *point functions* (picklable by
+reference, parameters canonicalisable) lets all drivers route through
+:func:`repro.experiments.sweep.sweep`, which parallelises cache misses
+and memoises results on disk.
+
+Each point returns the *full* report of its run (throughput, cost
+split, file census, per-write time) rather than one metric, so a point
+evaluated for Fig. 3 is a cache hit when Table II or Fig. 5 asks about
+the same configuration — the drivers just read different fields.
+"""
+
+from __future__ import annotations
+
+from repro.darshan.report import (
+    avg_seconds_per_write,
+    cost_split,
+    file_stats_from_sizes,
+    write_throughput_gib,
+)
+from repro.ior.benchmark import run_ior
+from repro.ior.config import table1_file_per_proc, table1_shared
+from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
+
+
+def _report(res) -> dict:
+    """The metrics every driver might want from one scaled run."""
+    return {
+        "gib": write_throughput_gib(res.log),
+        "split": cost_split(res.log),
+        "files": file_stats_from_sizes(res.file_sizes()),
+        "seconds_per_write": avg_seconds_per_write(res.log),
+    }
+
+
+def original_report(machine, nodes, config=None, seed=0) -> dict:
+    """One original-I/O run (Figs. 2-5, 7, Table II, weak scaling)."""
+    return _report(run_original_scaled(machine, nodes, config=config,
+                                       seed=seed))
+
+
+def openpmd_report(machine, nodes, config=None, num_aggregators=None,
+                   compressor=None, stripe_count=None, stripe_size=None,
+                   seed=0) -> dict:
+    """One openPMD+BP4 run (Figs. 3-7, 9, Table II, weak scaling)."""
+    return _report(run_openpmd_scaled(
+        machine, nodes, config=config, num_aggregators=num_aggregators,
+        compressor=compressor, stripe_count=stripe_count,
+        stripe_size=stripe_size, seed=seed))
+
+
+def openpmd_profile(machine, nodes, compressor=None, seed=0) -> dict:
+    """One profiled openPMD run, metrics folded from its event stream.
+
+    Separate from :func:`openpmd_report` because ``profiling=True`` and
+    the summary trace session change what the run records (Fig. 8).
+    """
+    res = run_openpmd_scaled(machine, nodes, num_aggregators=1,
+                             compressor=compressor, profiling=True,
+                             seed=seed, trace_mode="summary")
+    profile = res.trace.stream_profile
+    return {
+        "memcpy_us": profile.total_us("memcpy") / profile.nranks,
+        "compress_us": profile.total_us("compress") / profile.nranks,
+        "breakdown": res.trace.render_breakdown(),
+    }
+
+
+def ior_gib(machine, ntasks, file_per_proc, seed=0) -> float:
+    """One Table I IOR reference run (Fig. 4), GiB/s."""
+    config = (table1_file_per_proc(ntasks) if file_per_proc
+              else table1_shared(ntasks))
+    return run_ior(machine, config, seed=seed).write_gib_s

@@ -19,10 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import cost_split, write_throughput_gib
 from repro.experiments.common import resolve_machine
+from repro.experiments.points import openpmd_report, original_report
+from repro.experiments.sweep import sweep
 from repro.util.tables import Table
-from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
 
 #: the tuning constants worth perturbing, with the anchor each one
 #: primarily drives
@@ -85,20 +85,26 @@ class SensitivityResult:
         return self.to_table().render()
 
 
-def _measure(machine, nodes: int, seed: int) -> Anchors:
-    orig = run_original_scaled(machine, nodes, seed=seed)
-    split = cost_split(orig.log)
-    def bp4(m):
-        return write_throughput_gib(run_openpmd_scaled(
-            machine, nodes, num_aggregators=m, seed=seed).log)
-
-    return Anchors(
-        orig_tput_200=write_throughput_gib(orig.log),
-        orig_meta_200=split.meta_seconds,
-        bp4_tput_1aggr=bp4(1),
-        bp4_tput_400aggr=bp4(min(400, nodes * 128)),
-        bp4_tput_25600aggr=bp4(nodes * 128),
-    )
+def _measure_all(machines, nodes: int, seed: int) -> list[Anchors]:
+    """The anchor set of every machine, as two flattened sweeps."""
+    aggr_counts = (1, min(400, nodes * 128), nodes * 128)
+    origs = sweep(original_report,
+                  [{"machine": m, "nodes": nodes, "seed": seed}
+                   for m in machines])
+    bp4s = sweep(openpmd_report,
+                 [{"machine": m, "nodes": nodes, "num_aggregators": a,
+                   "seed": seed} for m in machines for a in aggr_counts])
+    out = []
+    for i, orig in enumerate(origs):
+        three = bp4s[3 * i:3 * i + 3]
+        out.append(Anchors(
+            orig_tput_200=orig["gib"],
+            orig_meta_200=orig["split"].meta_seconds,
+            bp4_tput_1aggr=three[0]["gib"],
+            bp4_tput_400aggr=three[1]["gib"],
+            bp4_tput_25600aggr=three[2]["gib"],
+        ))
+    return out
 
 
 def run_sensitivity(constants=DEFAULT_CONSTANTS, nodes: int = 200,
@@ -109,17 +115,19 @@ def run_sensitivity(constants=DEFAULT_CONSTANTS, nodes: int = 200,
         raise ValueError("scale must be positive and != 1")
     base_machine = resolve_machine(machine) if machine is not None else dardel()
     storage_name = base_machine.default_storage.name
-    baseline = _measure(base_machine, nodes, seed)
+    tuning = base_machine.default_storage.tuning
+    perturbed_machines = [
+        base_machine.with_storage_tuning(
+            storage_name, **{const: getattr(tuning, const) * scale})
+        for const in constants
+    ]
+    baseline, *perturbed_anchors = _measure_all(
+        [base_machine, *perturbed_machines], nodes, seed)
     base_vals = baseline.as_dict()
     result = SensitivityResult(machine=base_machine.name, nodes=nodes,
                                scale=scale, baseline=baseline)
     rel_change = scale - 1.0
-    tuning = base_machine.default_storage.tuning
-    for const in constants:
-        old = getattr(tuning, const)
-        perturbed = base_machine.with_storage_tuning(
-            storage_name, **{const: old * scale})
-        measured = _measure(perturbed, nodes, seed)
+    for const, measured in zip(constants, perturbed_anchors):
         per = {}
         for name, value in measured.as_dict().items():
             base = base_vals[name]

@@ -1,0 +1,224 @@
+"""Process-parallel sweep executor with a content-addressed result cache.
+
+The experiment drivers evaluate many independent (machine, nodes,
+option) points of the simulated I/O model.  Points are pure functions of
+their parameters and the model source, so this module gives every driver
+two things for free:
+
+* **Parallelism** — cache misses are evaluated in a process pool
+  (forked workers, one point per task), so an 8-point figure costs one
+  slowest-point wall-clock instead of the serial sum.
+* **Memoisation** — each result is stored on disk under a key derived
+  from the *point function's identity, its canonicalised parameters and
+  a fingerprint of the whole* ``repro`` *source tree*.  Re-running any
+  driver with unchanged inputs replays results without evaluating the
+  model; editing any model source invalidates every key at once, and
+  changing one parameter invalidates only the affected points.
+
+Point functions must be module-level (picklable by reference) and return
+small picklable values.  Environment knobs:
+
+* ``REPRO_SWEEP_JOBS`` — worker count (``1`` forces in-process serial);
+* ``REPRO_SWEEP_CACHE`` — cache directory (empty string disables the
+  cache entirely; default ``<repo>/results/.sweep-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+#: src/repro — the tree whose content addresses every cached result
+_SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_SRC_ROOT))
+
+_fingerprint: str | None = None
+
+log = logging.getLogger("repro.sweep")
+
+
+def source_fingerprint() -> str:
+    """sha256 over every ``repro`` source file (relative path + content).
+
+    Results are addressed by *what computed them*, not just by their
+    parameters: any edit to the model invalidates the whole cache.
+    Computed once per process.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(_SRC_ROOT):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                h.update(os.path.relpath(path, _SRC_ROOT).encode())
+                with open(path, "rb") as f:
+                    h.update(f.read())
+        _fingerprint = h.hexdigest()
+    return _fingerprint
+
+
+def _canonical(value: Any):
+    """Reduce a parameter value to a canonical JSON-able form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {f.name: _canonical(getattr(value, f.name))
+               for f in dataclasses.fields(value)}
+        out["__type__"] = type(value).__name__
+        return out
+    if isinstance(value, dict):
+        return {str(k): _canonical(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()  # numpy scalar
+    raise TypeError(
+        f"cannot canonicalise a {type(value).__name__} into a sweep cache "
+        "key; pass plain data / dataclasses or disable the cache")
+
+
+def point_key(fn: Callable, params: dict) -> str:
+    """Content-addressed cache key of one sweep point."""
+    spec = {
+        "fn": f"{fn.__module__}.{fn.__qualname__}",
+        "params": _canonical(params),
+        "src": source_fingerprint(),
+    }
+    return hashlib.sha256(
+        json.dumps(spec, sort_keys=True).encode()).hexdigest()
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env is not None:
+        return env  # empty string disables caching
+    return os.path.join(_REPO_ROOT, "results", ".sweep-cache")
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_SWEEP_JOBS")
+    if env:
+        return max(int(env), 1)
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepStats:
+    """What the most recent :func:`sweep` call actually did."""
+
+    evaluated: int = 0
+    cached: int = 0
+    jobs: int = 1
+
+
+#: stats of the most recent sweep() in this process (tests and drivers
+#: read this to verify cache hits / parallel fan-out)
+LAST_STATS = SweepStats()
+
+#: cumulative stats since :func:`reset_stats` — drivers issue several
+#: sweep() calls per figure, and "did the second invocation evaluate
+#: anything?" is a question about their sum
+SESSION_STATS = SweepStats()
+
+
+def reset_stats() -> None:
+    """Zero both stat counters (start of a measured driver invocation)."""
+    global LAST_STATS, SESSION_STATS
+    LAST_STATS = SweepStats()
+    SESSION_STATS = SweepStats()
+
+
+def _evaluate(task: tuple) -> Any:
+    fn, params = task
+    return fn(**params)
+
+
+def _load(path: str):
+    with open(path, "rb") as f:
+        return pickle.load(f)
+
+
+def _store(cache_dir: str, key: str, value: Any) -> None:
+    """Best-effort atomic cache write (concurrent sweeps may race)."""
+    shard = os.path.join(cache_dir, key[:2])
+    try:
+        os.makedirs(shard, exist_ok=True)
+        tmp = os.path.join(shard, f".{key}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as f:
+            pickle.dump(value, f)
+        os.replace(tmp, os.path.join(shard, key + ".pkl"))
+    except (OSError, pickle.PickleError):
+        pass
+
+
+def sweep(fn: Callable, points: Sequence[dict], jobs: int | None = None,
+          cache_dir: str | None = None) -> list:
+    """Evaluate ``fn(**p)`` for every point, parallel and memoised.
+
+    Returns results in point order.  Cached points are never evaluated;
+    misses run in a forked process pool when more than one is pending
+    (and ``jobs`` allows it), in the caller's process otherwise.
+    :data:`LAST_STATS` records the evaluated/cached split.
+    """
+    global LAST_STATS
+    points = list(points)
+    if jobs is None:
+        jobs = default_jobs()
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    results: list = [None] * len(points)
+    keys: list[str | None] = [None] * len(points)
+    misses: list[int] = []
+    for i, params in enumerate(points):
+        if cache_dir:
+            try:
+                keys[i] = point_key(fn, params)
+            except TypeError:
+                pass  # unkeyable parameters: evaluate, skip the cache
+        if keys[i] is not None:
+            path = os.path.join(cache_dir, keys[i][:2], keys[i] + ".pkl")
+            try:
+                results[i] = _load(path)
+                continue
+            except (OSError, pickle.PickleError, EOFError):
+                pass
+        misses.append(i)
+    stats = SweepStats(evaluated=len(misses),
+                       cached=len(points) - len(misses))
+    if stats.cached:
+        log.info("sweep %s: %d/%d points served from cache",
+                 getattr(fn, "__qualname__", fn), stats.cached, len(points))
+    if misses:
+        tasks = [(fn, points[i]) for i in misses]
+        if jobs > 1 and len(misses) > 1:
+            stats.jobs = min(jobs, len(misses))
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork: inherit default
+                ctx = None
+            with ProcessPoolExecutor(max_workers=stats.jobs,
+                                     mp_context=ctx) as pool:
+                values = list(pool.map(_evaluate, tasks))
+        else:
+            values = [_evaluate(t) for t in tasks]
+        for i, value in zip(misses, values):
+            results[i] = value
+            if keys[i] is not None:
+                _store(cache_dir, keys[i], value)
+    LAST_STATS = stats
+    SESSION_STATS.evaluated += stats.evaluated
+    SESSION_STATS.cached += stats.cached
+    SESSION_STATS.jobs = max(SESSION_STATS.jobs, stats.jobs)
+    return results

@@ -18,12 +18,21 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import FileStats, file_stats_from_sizes
+from repro.darshan.report import FileStats
 from repro.experiments.common import resolve_machine
 from repro.experiments.paper_data import NODE_COUNTS, TABLE2
+from repro.experiments.points import openpmd_report, original_report
+from repro.experiments.sweep import sweep
 from repro.util.tables import Table
 from repro.util.units import format_size
-from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
+
+#: the sweep-point options behind each Table II configuration
+CONFIG_OPTIONS = {
+    "original": {},
+    "bp4_default": {},
+    "bp4_1aggr": {"num_aggregators": 1},
+    "bp4_blosc_1aggr": {"num_aggregators": 1, "compressor": "blosc"},
+}
 
 CONFIG_LABELS = {
     "original": "BIT1 Original I/O",
@@ -78,26 +87,30 @@ def run_table2(node_counts: Sequence[int] = NODE_COUNTS,
                machine=None, seed: int = 0) -> Table2Result:
     """Reproduce the Table II census."""
     machine = resolve_machine(machine) if machine is not None else dardel()
-    stats: dict[str, dict[int, FileStats]] = {}
+    node_counts = tuple(node_counts)
     for key in configs:
         if key not in CONFIG_LABELS:
             raise KeyError(f"unknown Table II config {key!r}; "
                            f"choose from {sorted(CONFIG_LABELS)}")
-        per: dict[int, FileStats] = {}
-        for nodes in node_counts:
-            if key == "original":
-                res = run_original_scaled(machine, nodes, seed=seed)
-            elif key == "bp4_default":
-                res = run_openpmd_scaled(machine, nodes, seed=seed)
-            elif key == "bp4_1aggr":
-                res = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                                         seed=seed)
-            else:  # bp4_blosc_1aggr
-                res = run_openpmd_scaled(machine, nodes, num_aggregators=1,
-                                         compressor="blosc", seed=seed)
-            per[nodes] = file_stats_from_sizes(res.file_sizes())
-        stats[key] = per
-    return Table2Result(machine=machine.name, node_counts=tuple(node_counts),
+    stats: dict[str, dict[int, FileStats]] = {}
+    orig_keys = [k for k in configs if k == "original"]
+    bp4_keys = [k for k in configs if k != "original"]
+    if orig_keys:
+        reports = iter(sweep(original_report,
+                             [{"machine": machine, "nodes": n, "seed": seed}
+                              for k in orig_keys for n in node_counts]))
+        for key in orig_keys:
+            stats[key] = {n: next(reports)["files"] for n in node_counts}
+    if bp4_keys:
+        reports = iter(sweep(openpmd_report,
+                             [{"machine": machine, "nodes": n, "seed": seed,
+                               **CONFIG_OPTIONS[k]}
+                              for k in bp4_keys for n in node_counts]))
+        for key in bp4_keys:
+            stats[key] = {n: next(reports)["files"] for n in node_counts}
+    # present in the canonical CONFIG_LABELS order regardless of sweep order
+    stats = {k: stats[k] for k in configs if k in stats}
+    return Table2Result(machine=machine.name, node_counts=node_counts,
                         stats=stats)
 
 

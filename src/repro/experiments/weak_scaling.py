@@ -16,10 +16,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.presets import dardel
-from repro.darshan.report import write_throughput_gib
 from repro.experiments.common import ExperimentResult, SeriesResult, resolve_machine
+from repro.experiments.points import openpmd_report, original_report
+from repro.experiments.sweep import sweep
 from repro.workloads.presets import paper_use_case
-from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
 
 #: per-rank load of the paper's 200-node configuration, held constant
 PARTICLES_PER_RANK = 30_000_000 // 25_600
@@ -54,15 +54,19 @@ def run_weak_scaling(node_counts: Sequence[int] = (1, 5, 20, 50, 200),
              f"(GiB/s/node, fixed particles per rank)",
         x_name="nodes",
     )
+    node_counts = list(node_counts)
+    configs = {n: scaled_config(n) for n in node_counts}
+    origs = sweep(original_report,
+                  [{"machine": machine, "nodes": n, "config": configs[n],
+                    "seed": seed} for n in node_counts])
+    bp4s = sweep(openpmd_report,
+                 [{"machine": machine, "nodes": n, "config": configs[n],
+                   "num_aggregators": n, "seed": seed} for n in node_counts])
     original = SeriesResult(label="BIT1 Original I/O")
     bp4 = SeriesResult(label="BIT1 openPMD + BP4")
-    for nodes in node_counts:
-        config = scaled_config(nodes)
-        res_o = run_original_scaled(machine, nodes, config=config, seed=seed)
-        original.add(nodes, write_throughput_gib(res_o.log) / nodes)
-        res_p = run_openpmd_scaled(machine, nodes, config=config,
-                                   num_aggregators=nodes, seed=seed)
-        bp4.add(nodes, write_throughput_gib(res_p.log) / nodes)
+    for nodes, rep_o, rep_p in zip(node_counts, origs, bp4s):
+        original.add(nodes, rep_o["gib"] / nodes)
+        bp4.add(nodes, rep_p["gib"] / nodes)
     result.series += [original, bp4]
     result.notes.append(
         "ideal weak scaling = flat; the original path's per-node rate "

@@ -53,6 +53,27 @@ class MountedFilesystem:
             cols.ost_start[ino] = cand
         return int(cols.ost_start[ino])
 
+    def assign_ost_many(self, inos: np.ndarray) -> None:
+        """Batched :meth:`assign_ost` for a group of fresh files.
+
+        With all OSTs healthy (the overwhelmingly common case) the
+        round-robin sequence is computed in one vectorised expression,
+        identical to calling :meth:`assign_ost` per inode in order; any
+        dead OSTs fall back to the scalar skip loop.
+        """
+        cols = self.vfs.cols
+        inos = np.asarray(inos)
+        need = inos[cols.ost_start[inos] < 0]
+        if need.size == 0:
+            return
+        if self.dead_osts:
+            for ino in need.tolist():
+                self.assign_ost(ino)
+            return
+        n = self.system.num_osts
+        cols.ost_start[need] = (self._next_ost + np.arange(need.size)) % n
+        self._next_ost = (self._next_ost + int(need.size)) % n
+
     # -- OST failure / recovery ---------------------------------------------
 
     def fail_ost(self, ost: int) -> None:

@@ -31,6 +31,7 @@ from repro.fs.payload import Payload, RealPayload, SyntheticPayload, as_payload
 from repro.mpi.comm import VirtualComm
 from repro.trace.bus import TraceBus
 from repro.trace.subscribers import LegacyMonitorAdapter
+from repro.util.scatter import scatter_add
 
 #: legacy op names → spine event kinds
 _KIND_ALIAS = {"sync": "fsync"}
@@ -120,14 +121,10 @@ class PosixIO:
     def _charge(self, ranks: int | np.ndarray, seconds: float | np.ndarray) -> None:
         if self.comm is None:
             return
-        r = np.asarray(ranks)
-        if r.ndim == 0 or r.size <= 1 or bool(np.all(np.diff(r) > 0)):
-            self.comm.clocks[ranks] += seconds
-        else:
-            # a rank may appear twice (post-failover an aggregator owns
-            # several subfiles); fancy += would drop the duplicates
-            np.add.at(self.comm.clocks, r, np.broadcast_to(
-                np.asarray(seconds, dtype=np.float64), r.shape))
+        # a rank may appear twice (post-failover an aggregator owns
+        # several subfiles); scatter_add falls back to the unbuffered
+        # ufunc there so duplicates are not dropped
+        scatter_add(self.comm.clocks, ranks, seconds)
 
     def _notify(self, kind: str, ranks, nbytes, seconds, api: str,
                 inos=None, n_ops=1) -> None:
@@ -157,6 +154,27 @@ class PosixIO:
         self._fd_ino[fd] = of.ino
         self._fds[fd] = of
         return fd
+
+    def _alloc_fd_group(self, ranks: np.ndarray, inos: np.ndarray,
+                        paths: Sequence[str], api: str,
+                        positions: np.ndarray | None = None) -> np.ndarray:
+        """Allocate a consecutive run of descriptors in one shot."""
+        k = len(inos)
+        fd0 = self._next_fd
+        self._next_fd += k
+        while self._next_fd > len(self._fd_ino):
+            grown = np.full(len(self._fd_ino) * 2, -1, dtype=np.int64)
+            grown[: len(self._fd_ino)] = self._fd_ino
+            self._fd_ino = grown
+        fds = np.arange(fd0, fd0 + k, dtype=np.int64)
+        self._fd_ino[fds] = inos
+        mkfile = OpenFile
+        pos_list = ([0] * k if positions is None else positions.tolist())
+        self._fds.update(
+            (fd, mkfile(ino=ino, path=p, rank=r, pos=pos, api=api))
+            for fd, ino, p, r, pos in zip(fds.tolist(), inos.tolist(), paths,
+                                          ranks.tolist(), pos_list))
+        return fds
 
     def _inos_of(self, fds: np.ndarray) -> np.ndarray:
         inos = self._fd_ino[fds]
@@ -309,32 +327,27 @@ class PosixIO:
 
     def open_group(self, ranks: np.ndarray, paths: Sequence[str],
                    create: bool = True, truncate: bool = False,
-                   api: str = "POSIX") -> np.ndarray:
+                   append: bool = False, api: str = "POSIX") -> np.ndarray:
         """Open/create one file per rank; returns an fd array."""
         ranks = np.asarray(ranks)
         if len(paths) != len(ranks):
             raise ValueError("one path per rank required")
-        inos = np.empty(len(ranks), dtype=np.int64)
-        fds = np.empty(len(ranks), dtype=np.int64)
-        for i, (r, p) in enumerate(zip(ranks, paths)):
-            if create:
-                ino = self.fs.vfs.create(p)
-                self.fs.assign_ost(ino)
-            else:
-                ino = self.fs.vfs.lookup(p)
-            if truncate:
-                self.fs.vfs.truncate(ino, 0)
-            fd = self._alloc_fd(OpenFile(ino=ino, path=p, rank=int(r),
-                                         api=api))
-            inos[i] = ino
-            fds[i] = fd
+        if create:
+            inos = self.fs.vfs.create_many(paths)
+            self.fs.assign_ost_many(inos)
+        else:
+            inos = self.fs.vfs.lookup_many(paths)
+        if truncate:
+            self.fs.vfs.truncate_many(inos)
+        positions = self.fs.vfs.cols.size[inos].copy() if append else None
+        fds = self._alloc_fd_group(ranks, inos, paths, api, positions)
         self.trace.register_files(inos, paths)
         op = "create" if create else "open"
         weight = MD_OPS[op]
         cost = self.fs.perf.metadata_op_cost(self._md_clients, weight)
         costs = np.full(len(ranks), float(cost))
         self._charge(ranks, costs)
-        self._notify(op, ranks, 0, costs, api, n_ops=1)
+        self._notify(op, ranks, 0, costs, api, inos=inos, n_ops=1)
         return fds
 
     def write_group(self, ranks: np.ndarray, fds: np.ndarray,
@@ -357,12 +370,7 @@ class PosixIO:
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape
         ).copy()
         if truncate_first:
-            self.fs.vfs.cols.size[inos] = 0
-            if self.fs.vfs._content:  # real content (functional mode) too
-                for ino in inos:
-                    store = self.fs.vfs._content.get(int(ino))
-                    if store is not None:
-                        store.truncate(0)
+            self.fs.vfs.truncate_many(inos)
         self.fs.vfs.write_group(inos, nbytes)
         cols = self.fs.vfs.cols
         stripe_count = cols.stripe_count[inos].astype(np.float64)
@@ -377,15 +385,33 @@ class PosixIO:
             per_chunk, self._writers, stripe_count, stripe_size, n_ops=n_chunks
         ) * float(self.fs.perf.noise())
         self._charge(ranks, costs)
-        self._notify("write", ranks, nbytes, costs, api, inos=inos,
-                     n_ops=n_chunks)
-        if sync_each_chunk:
-            sync_costs = self.fs.perf.fsync_cost(
-                self._writers, stripe_count, n_ops=n_chunks
-            ) * float(self.fs.perf.noise())
-            self._charge(ranks, sync_costs)
-            self._notify("sync", ranks, 0, sync_costs, api, inos=inos,
+        if not sync_each_chunk:
+            self._notify("write", ranks, nbytes, costs, api, inos=inos,
                          n_ops=n_chunks)
+            return
+        # write + fsync leave as one SoA batch: snapshot each row's
+        # start from the clocks exactly where the scalar emits would
+        # (write's before the sync charge), so timestamps, sequence
+        # ids and noise-draw order are bit-identical to two emits
+        bus = self.trace
+        want = bus.wants("write") or bus.wants("fsync")
+        start_w = (self.comm.clocks[ranks] - costs
+                   if want and self.comm is not None else None)
+        sync_costs = self.fs.perf.fsync_cost(
+            self._writers, stripe_count, n_ops=n_chunks
+        ) * float(self.fs.perf.noise())
+        self._charge(ranks, sync_costs)
+        if not want:
+            return
+        start_s = (self.comm.clocks[ranks] - sync_costs
+                   if self.comm is not None else None)
+        bus.emit_batch(
+            ("write", "fsync"), ranks,
+            nbytes=(nbytes, 0.0),
+            duration=(costs, sync_costs),
+            start=None if start_w is None else (start_w, start_s),
+            n_ops=(n_chunks, n_chunks),
+            api=api, layer=_API_LAYER.get(api, "posix"), inos=inos)
 
     def read_group(self, ranks: np.ndarray, fds: np.ndarray,
                    nbytes_each: int | np.ndarray,
@@ -399,9 +425,8 @@ class PosixIO:
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
         cols = self.fs.vfs.cols
-        np.add.at(cols.read_ops, inos, 1)
-        np.add.at(cols.bytes_read, inos, nbytes)
-        cols = self.fs.vfs.cols
+        scatter_add(cols.read_ops, inos, 1)
+        scatter_add(cols.bytes_read, inos, nbytes)
         stripe_count = cols.stripe_count[inos].astype(np.float64)
         costs = self.fs.perf.read_op_cost(nbytes, len(ranks), stripe_count)
         self._charge(ranks, costs)
@@ -470,13 +495,14 @@ class PosixIO:
                     api: str = "POSIX") -> None:
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
+        inos = self._fd_ino[fds].copy()
         self._fd_ino[fds] = -1
         for fd in fds:
             self._fds.pop(int(fd))
         cost = float(self.fs.perf.metadata_op_cost(self._md_clients, MD_OPS["close"]))
         costs = np.full(len(ranks), cost)
         self._charge(ranks, costs)
-        self._notify("close", ranks, 0, costs, api, n_ops=1)
+        self._notify("close", ranks, 0, costs, api, inos=inos, n_ops=1)
 
     def meta_group(self, ranks: np.ndarray, op: str, n_ops: float | np.ndarray = 1,
                    api: str = "POSIX") -> None:

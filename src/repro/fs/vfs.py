@@ -20,6 +20,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.fs.payload import Payload, RealPayload, SyntheticPayload
+from repro.util.scatter import scatter_add, scatter_max
 
 
 class FSError(OSError):
@@ -61,6 +62,27 @@ def normalize(path: str) -> str:
     if norm.startswith("//"):
         norm = norm[1:]
     return norm
+
+
+def _is_normal(path: str) -> bool:
+    """Cheap test that :func:`normalize` would return ``path`` unchanged.
+
+    A handful of C-speed substring scans replace a full ``normpath``
+    parse on the bulk paths the writers generate, which are always
+    already normal.  False negatives only cost the slow path.
+    """
+    return (path.startswith("/")
+            and not path.endswith("/")
+            and "//" not in path
+            and "/./" not in path
+            and "/../" not in path
+            and not path.endswith("/.")
+            and not path.endswith("/.."))
+
+
+def normalize_many(paths) -> list[str]:
+    """Normalise a batch of paths (fast scan, slow path per offender)."""
+    return [p if _is_normal(p) else normalize(p) for p in paths]
 
 
 class _Columns:
@@ -237,9 +259,95 @@ class VirtualFS:
         """Create many files; returns their inode ids.
 
         The bulk path used when thousands of symmetric ranks create their
-        per-rank output files in one phase.
+        per-rank output files in one phase.  Equivalent to calling
+        :meth:`create` per path in order — same inode ids, same
+        ``create_seq`` numbering — but allocates all columns in one shot.
         """
-        return np.array([self.create(p) for p in paths], dtype=np.int64)
+        norm = normalize_many(paths)
+        out = np.empty(len(norm), dtype=np.int64)
+        get = self._paths.get
+        c = self.cols
+        new_pos: list[int] = []
+        new_paths: list[str] = []
+        pending: dict[str, int] = {}  # repeated new path -> first slot
+        dupes: list[tuple[int, int]] = []
+        for i, p in enumerate(norm):
+            ino = get(p)
+            if ino is not None:
+                if c.is_dir[ino]:
+                    raise IsADir(p)
+                out[i] = ino
+            elif p in pending:
+                dupes.append((i, pending[p]))
+            else:
+                pending[p] = len(new_paths)
+                new_pos.append(i)
+                new_paths.append(p)
+        if not new_paths:
+            return out
+        # resolve parents (bulk writers target one directory; dedupe)
+        split = [p.rsplit("/", 1) for p in new_paths]
+        pinos = np.empty(len(new_paths), dtype=np.int64)
+        parent_cache: dict[str, int] = {}
+        for j, (parent, name) in enumerate(split):
+            parent = parent or "/"
+            pino = parent_cache.get(parent)
+            if pino is None:
+                pino = self._paths.get(parent)
+                if pino is None:
+                    raise FileNotFound(parent)
+                if not c.is_dir[pino]:
+                    raise NotADir(parent)
+                parent_cache[parent] = pino
+            pinos[j] = pino
+        inos = c.alloc_many(len(new_paths))
+        c.stripe_count[inos] = c.stripe_count[pinos]
+        c.stripe_size[inos] = c.stripe_size[pinos]
+        c.ost_start[inos] = -1
+        first = self._create_counter + 1
+        self._create_counter += len(new_paths)
+        c.create_seq[inos] = np.arange(first, first + len(new_paths))
+        ino_list = inos.tolist()
+        self._paths.update(zip(new_paths, ino_list))
+        if len(parent_cache) == 1:
+            self._children[int(pinos[0])].update(
+                zip((name for _parent, name in split), ino_list))
+        else:
+            children = self._children
+            for (_parent, name), pino, ino in zip(split, pinos, ino_list):
+                children[int(pino)][name] = ino
+        out[new_pos] = inos
+        for i, j in dupes:
+            out[i] = inos[j]
+        return out
+
+    def lookup_many(self, paths: Iterable[str]) -> np.ndarray:
+        """Look up many paths at once; raises on the first missing one."""
+        paths = list(paths)
+        if len(paths) > 1:
+            first = paths[0]
+            if all(p is first for p in paths):
+                # every rank opening the same file (shared input deck):
+                # one dict probe instead of N string normalisations
+                return np.full(len(paths), self.lookup(first), dtype=np.int64)
+        get = self._paths.get
+        out = []
+        for p in normalize_many(paths):
+            ino = get(p)
+            if ino is None:
+                raise FileNotFound(p)
+            out.append(ino)
+        return np.asarray(out, dtype=np.int64)
+
+    def truncate_many(self, inos: np.ndarray) -> None:
+        """Truncate many files to zero length (batched open-for-write)."""
+        inos = np.asarray(inos)
+        self.cols.size[inos] = 0
+        if self._content:
+            for ino in inos.tolist():
+                store = self._content.get(ino)
+                if store is not None:
+                    store.truncate(0)
 
     def unlink(self, path: str) -> None:
         path = normalize(path)
@@ -304,9 +412,9 @@ class VirtualFS:
             offs = np.broadcast_to(np.asarray(offsets, dtype=np.int64),
                                    inos.shape)
             ends = np.where(offs < 0, c.size[inos] + nbytes, offs + nbytes)
-        np.maximum.at(c.size, inos, ends)
-        np.add.at(c.write_ops, inos, 1)
-        np.add.at(c.bytes_written, inos, nbytes)
+        scatter_max(c.size, inos, ends)
+        scatter_add(c.write_ops, inos, 1)
+        scatter_add(c.bytes_written, inos, nbytes)
 
     def write_content(self, ino: int, offset: int, data: bytes) -> None:
         """Lay raw bytes into a file *without* op accounting.

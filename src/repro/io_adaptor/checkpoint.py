@@ -53,12 +53,19 @@ def restore_from_openpmd(sim, posix: PosixIO, comm: VirtualComm,
         starts = np.array([s.x_min for s in sim.subdomains])
         dest = np.clip(np.searchsorted(starts, x, side="right") - 1,
                        0, comm.size - 1)
+        # one stable sort splits every rank's particles at once (file
+        # order within each rank is preserved, exactly like the former
+        # per-rank boolean masks — but without comm.size full scans)
+        order = np.argsort(dest, kind="stable")
+        bounds = np.searchsorted(dest[order], np.arange(comm.size + 1))
+        xs, vxs, vys, vzs, ws = (a[order] for a in (x, vx, vy, vz, w))
         for rank in range(comm.size):
-            sel = dest == rank
+            lo, hi = int(bounds[rank]), int(bounds[rank + 1])
             arrays = sim.particles[rank][name]
             arrays.remove(np.ones(len(arrays), dtype=bool))
-            if sel.any():
-                arrays.add(x[sel], vx[sel], vy[sel], vz[sel], w[sel])
+            if hi > lo:
+                arrays.add(xs[lo:hi], vxs[lo:hi], vys[lo:hi], vzs[lo:hi],
+                           ws[lo:hi])
     step = int(getattr(series.engine, "attributes", {}).get(
         "/data/0/checkpointStep", 0))
     series.close()

@@ -112,13 +112,15 @@ class Bit1OpenPMDWriter:
         comp.reset_dataset(Dataset(np.float64, (nranks * row_len,)))
         local_lens = [row_len] * nranks
         offsets = self.comm.exscan_sum(local_lens)
-        for rank in range(nranks):
-            row = []
-            for name in names:
-                parts = sim.particles[rank][name]
-                row += [float(len(parts)), parts.kinetic_energy()]
-            comp.store_chunk(np.asarray(row, dtype=np.float64),
-                             (int(offsets[rank]),), rank=rank)
+        # build all rows as one (nranks, row_len) matrix and stage each
+        # row in a single batched call — the columns come from per-rank
+        # Python objects, but only one pass over them per species
+        rows = np.empty((nranks, row_len), dtype=np.float64)
+        for j, name in enumerate(names):
+            parts = [sim.particles[r][name] for r in range(nranks)]
+            rows[:, 2 * j] = [float(len(p)) for p in parts]
+            rows[:, 2 * j + 1] = [p.kinetic_energy() for p in parts]
+        comp.store_chunks(list(rows), offsets, np.arange(nranks))
         it.close()
 
     # -- checkpoints -------------------------------------------------------------------
@@ -135,9 +137,15 @@ class Bit1OpenPMDWriter:
         nranks = self.comm.size
         for name in sim.species_names():
             sp = species_path(name)
-            counts = [len(sim.particles[r][name]) for r in range(nranks)]
-            total = int(sum(counts))
+            # one pass over the per-rank particle stores: counts, array
+            # views and offsets are gathered once and reused by all five
+            # records instead of re-walking the rank dict per record
+            arrays_by_rank = [sim.particles[r][name] for r in range(nranks)]
+            counts = np.fromiter((len(a) for a in arrays_by_rank),
+                                 dtype=np.int64, count=nranks)
+            total = int(counts.sum())
             offsets = self.comm.exscan_sum(counts)
+            active = np.nonzero(counts)[0]
             species = it.particles[sp]
             records = {
                 ("position", "x"): "x",
@@ -150,13 +158,12 @@ class Bit1OpenPMDWriter:
                 rec = species[rec_name]
                 comp = rec.scalar if comp_name is None else rec[comp_name]
                 comp.reset_dataset(Dataset(np.float64, (max(total, 0),)))
-                for rank in range(nranks):
-                    n = counts[rank]
-                    if n == 0:
-                        continue
-                    arrays = sim.particles[rank][name]
-                    data = getattr(arrays, field)[:n].astype(np.float64)
-                    comp.store_chunk(data, (int(offsets[rank]),), rank=rank)
+                datas = [
+                    getattr(arrays_by_rank[r], field)[:counts[r]]
+                    .astype(np.float64)
+                    for r in active.tolist()
+                ]
+                comp.store_chunks(datas, offsets[active], active)
         # grid-state moments (the solver/smoother restart state)
         dens = it.meshes["charge_density"]
         comp = dens.scalar

@@ -90,22 +90,30 @@ class OriginalIOWriter:
         """Append formatted diagnostic tables, one file per rank."""
         profiles = sim.diagnostics.profiles()
         dists = sim.diagnostics.snapshot(reset=True)
-        with self.posix.phase(writers=self.comm.size,
-                              md_clients=self.comm.size):
-            for rank in range(self.comm.size):
-                f = StdioFile(self.posix, rank, self.dat_path(rank), "a",
-                              bufsize=self.bufsize)
+        nranks = self.comm.size
+        with self.posix.phase(writers=nranks, md_clients=nranks):
+            # batched fan-out: one group create for all per-rank .dat
+            # files, per-rank formatted content, one group close — the
+            # text each rank writes is identical to the scalar loop's
+            files = StdioFile.open_group(
+                self.posix, np.arange(nranks),
+                [self.dat_path(r) for r in range(nranks)], "a",
+                bufsize=self.bufsize)
+            dist_lines = [
+                (" ".join(f"{v:.6e}" for v in dist.velocity).encode() + b"\n")
+                for dist in dists.values()
+            ]
+            for rank, f in enumerate(files):
                 f.fprintf("# step %d\n", step)
                 for name, per_rank in sim.particles[rank].items():
                     f.fprintf("%s count %d weight %.6e\n", name,
                               len(per_rank), per_rank.total_weight())
-                for name, dist in dists.items():
+                for (name, dist), line in zip(dists.items(), dist_lines):
                     # averaged distribution functions, fixed-width text
                     f.fprintf("# %s velocity df (%d samples)\n",
                               name, dist.samples)
-                    f.fwrite(" ".join(f"{v:.6e}" for v in dist.velocity)
-                             .encode() + b"\n")
-                f.fclose()
+                    f.fwrite(line)
+            StdioFile.fclose_group(files)
         self._write_global_logs(sim, step)
         self._events += 1
 
@@ -134,11 +142,16 @@ class OriginalIOWriter:
         when the simulated system's current state is saved" and only the
         latest state is kept.
         """
-        with self.posix.phase(writers=self.comm.size,
-                              md_clients=self.comm.size):
-            for rank in range(self.comm.size):
-                fd = self.posix.open(rank, self.dmp_path(rank),
-                                     create=True, truncate=True, api="STDIO")
+        nranks = self.comm.size
+        with self.posix.phase(writers=nranks, md_clients=nranks):
+            # group create/truncate of every .dmp, then per-rank content
+            # (headers and CRC blocks are rank-specific), group close
+            ranks = np.arange(nranks)
+            fds = self.posix.open_group(
+                ranks, [self.dmp_path(r) for r in range(nranks)],
+                create=True, truncate=True, api="STDIO")
+            for rank in range(nranks):
+                fd = int(fds[rank])
                 header = (f"BIT1 dmp step={step} rank={rank} "
                           f"nspecies={len(sim.config.species)}\n").encode()
                 self.posix.write(rank, fd, RealPayload(header, "ascii_table"))
@@ -162,7 +175,7 @@ class OriginalIOWriter:
                         chunk_size=self.bufsize,
                         sync_each_chunk=self.fsync_checkpoints,
                     )
-                self.posix.close(rank, fd)
+            self.posix.close_group(ranks, fds, api="STDIO")
         info = self._global("restart.info")
         info.fprintf("last_dmp_step = %d\n", step)
         info.fflush()

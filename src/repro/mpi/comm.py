@@ -16,6 +16,7 @@ to place one (or more) aggregators per node — the paper's
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -148,9 +149,15 @@ class VirtualComm:
             )
 
     def bcast(self, value: Any, root: int = 0) -> list[Any]:
-        """Broadcast ``value`` from ``root``; returns the per-rank copies."""
+        """Broadcast ``value`` from ``root``; returns the per-rank copies.
+
+        Non-root ranks receive their own deep copies — as in real MPI,
+        where every rank deserialises into private memory, so mutating
+        one rank's copy cannot alias another rank's.
+        """
         self.barrier()
-        return [value for _ in range(self.size)]
+        return [value if r == root else copy.deepcopy(value)
+                for r in range(self.size)]
 
     def gather(self, values: Sequence[Any], root: int = 0) -> list[Any] | None:
         """Gather per-rank values to ``root``.
@@ -168,36 +175,56 @@ class VirtualComm:
         self.barrier()
         return list(values)
 
-    def allreduce_sum(self, values: Sequence[float]) -> float:
-        self._check_per_rank(values)
-        self.barrier()
-        return float(np.sum(np.asarray(values, dtype=np.float64)))
+    def allreduce_sum(self, values: Sequence[float] | np.ndarray
+                      ) -> float | np.ndarray:
+        """Sum-reduce per-rank contributions.
 
-    def allreduce_max(self, values: Sequence[float]) -> float:
-        self._check_per_rank(values)
+        Array-native: a 2-D rank-major ``(size, k)`` array reduces over
+        the rank axis to the ``(k,)`` result every rank receives — one
+        call for k element-wise allreduces.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        self._check_per_rank(arr)
         self.barrier()
-        return float(np.max(np.asarray(values, dtype=np.float64)))
+        if arr.ndim > 1:
+            # sum each column over a contiguous axis so the result is
+            # bit-identical to k separate 1-D allreduces (numpy's
+            # pairwise summation differs between axis-0 reduction and
+            # 1-D reduction above ~8 rows)
+            return np.ascontiguousarray(arr.T).sum(axis=1)
+        return float(np.sum(arr))
+
+    def allreduce_max(self, values: Sequence[float] | np.ndarray
+                      ) -> float | np.ndarray:
+        """Max-reduce per-rank contributions (2-D reduces the rank axis)."""
+        arr = np.asarray(values, dtype=np.float64)
+        self._check_per_rank(arr)
+        self.barrier()
+        if arr.ndim > 1:
+            return arr.max(axis=0)
+        return float(np.max(arr))
 
     def exscan_sum(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
         """Exclusive prefix sum — the openPMD offset computation.
 
         ``offset[r] = sum(values[:r])``; rank 0 gets 0.  This is exactly
         what the paper's adaptor obtains "by calling MPI functions" to
-        place each rank's local extent in the global extent.
+        place each rank's local extent in the global extent.  A 2-D
+        rank-major array scans each column independently.
         """
         arr = np.asarray(values)
         self._check_per_rank(arr)
         self.barrier()
-        out = np.zeros(self.size, dtype=np.int64)
-        np.cumsum(arr[:-1], out=out[1:])
+        out = np.zeros(arr.shape, dtype=np.int64)
+        np.cumsum(arr[:-1], axis=0, out=out[1:])
         return out
 
     def scan_sum(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
-        """Inclusive prefix sum."""
+        """Inclusive prefix sum (2-D scans each column independently)."""
         arr = np.asarray(values)
         self._check_per_rank(arr)
         self.barrier()
-        return np.cumsum(arr).astype(np.int64)
+        return np.cumsum(arr, axis=0).astype(np.int64)
 
     def alltoall_volume(self, send_matrix: np.ndarray) -> float:
         """Charge the clock cost of an all-to-all with a bytes matrix.

@@ -35,6 +35,7 @@ from repro.fs.posix import PosixIO
 from repro.ior.benchmark import SHARED_FILE_LOCK_EFFICIENCY
 from repro.mpi.comm import VirtualComm
 from repro.trace.subscribers import ProfileFold
+from repro.util.scatter import scatter_add
 
 #: HDF5's metadata is heavier per object than BP's index entries
 H5_SUPERBLOCK = 2048
@@ -137,7 +138,7 @@ class HDF5Engine:
         for var in self._cur_vars.values():
             staged += var.per_rank_bytes(n)
         for _name, ranks, nbytes, _e in self._cur_bulk:
-            np.add.at(staged, ranks, nbytes.astype(np.float64))
+            scatter_add(staged, ranks, nbytes.astype(np.float64))
         total = int(staged.sum())
         per_var_meta = (len(self._cur_vars) + len(self._cur_bulk)) \
             * H5_OBJECT_HEADER

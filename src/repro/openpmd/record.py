@@ -116,6 +116,45 @@ class RecordComponent:
         payload = as_payload(data, entropy=self.entropy)
         self.staged.append(StagedChunk(rank, offset, extent, payload))
 
+    def store_chunks(self, datas, offsets, ranks) -> None:
+        """Stage one 1-D chunk per rank in a single batched call.
+
+        Equivalent to calling :meth:`store_chunk` once per entry in
+        order, with the dataset checks hoisted out of the loop and the
+        bounds check vectorised — the fast path for SPMD writers that
+        already hold every rank's array.
+        """
+        if self.dataset is None:
+            raise RuntimeError(
+                f"resetDataset() must be called on {self.name!r} before "
+                "storeChunks()"
+            )
+        if len(self.dataset.extent) != 1:
+            raise ValueError("store_chunks supports 1-D datasets only")
+        dtype = self.dataset.dtype
+        for data in datas:
+            if data.dtype != dtype:
+                raise TypeError(
+                    f"chunk dtype {data.dtype} does not match dataset "
+                    f"dtype {dtype} for {self.name!r}"
+                )
+        offs = np.asarray(offsets, dtype=np.int64)
+        lens = np.fromiter((len(d) for d in datas), dtype=np.int64,
+                           count=len(datas))
+        bad = (offs < 0) | (offs + lens > self.dataset.extent[0])
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise ValueError(
+                f"chunk [({int(offs[i])},)+({int(lens[i])},)] outside "
+                f"dataset extent {self.dataset.extent} of {self.name!r}"
+            )
+        entropy = self.entropy
+        self.staged.extend(
+            StagedChunk(rank, (off,), (n,), as_payload(data, entropy=entropy))
+            for data, off, n, rank in zip(
+                datas, offs.tolist(), lens.tolist(),
+                np.asarray(ranks).tolist()))
+
     def store_chunk_group(self, ranks: np.ndarray,
                           nelems_each: int | np.ndarray) -> None:
         """Modeled-mode extension: symmetric synthetic chunks for many ranks.

@@ -2,7 +2,10 @@
 
 Phase 1 of the PIC cycle (§II): "plasma density calculation using
 particle-to-grid interpolation".  First-order cloud-in-cell weighting
-onto grid nodes, fully vectorised with ``np.add.at``.
+onto grid nodes, fully vectorised with one ``np.bincount`` over the
+concatenated left/right node contributions — bincount accumulates its
+input sequentially, so the result is bit-identical to the classic
+``np.add.at`` pair while avoiding its unbuffered-ufunc overhead.
 """
 
 from __future__ import annotations
@@ -21,17 +24,21 @@ def deposit_density(grid: Grid1D, particles: ParticleArrays) -> np.ndarray:
     Node volumes are dx (half at the domain ends), so total weight is
     conserved: ``sum(density * volume) == sum(weights)``.
     """
-    density = np.zeros(grid.nnodes)
     x = particles.positions()
     if len(x) == 0:
-        return density
+        return np.zeros(grid.nnodes)
     w = particles.weights()
     xi = x / grid.dx
     left = np.floor(xi).astype(np.int64)
     left = np.clip(left, 0, grid.ncells - 1)
     frac = xi - left
-    np.add.at(density, left, w * (1.0 - frac))
-    np.add.at(density, left + 1, w * frac)
+    # one concatenated bincount: all left-node contributions land
+    # before any right-node ones, matching the accumulation order of
+    # np.add.at(density, left, ...) followed by np.add.at(..., left+1)
+    density = np.bincount(
+        np.concatenate([left, left + 1]),
+        weights=np.concatenate([w * (1.0 - frac), w * frac]),
+        minlength=grid.nnodes)
     volume = np.full(grid.nnodes, grid.dx)
     volume[0] = volume[-1] = grid.dx / 2.0
     return density / volume

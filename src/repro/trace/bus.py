@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.trace.events import EVENT_KINDS, IOEvent, make_event
+from repro.trace.events import (
+    EVENT_KINDS,
+    EventBatch,
+    IOEvent,
+    make_batch,
+    make_event,
+)
 
 
 class TraceBus:
@@ -95,13 +101,15 @@ class TraceBus:
     def _refresh_wanted(self) -> None:
         """Precompute dispatch pairs and the union of interests."""
         self._dispatch = [
-            (sub.on_event, getattr(sub, "kinds", None)) for sub in self._subs
+            (sub.on_event, getattr(sub, "kinds", None),
+             getattr(sub, "on_batch", None))
+            for sub in self._subs
         ]
-        if any(kinds is None for _, kinds in self._dispatch):
+        if any(kinds is None for _, kinds, _ in self._dispatch):
             self._wanted = None  # someone wants everything
         else:
             union: set[str] = set()
-            for _, kinds in self._dispatch:
+            for _, kinds, _ in self._dispatch:
                 union |= set(kinds)
             self._wanted = frozenset(union)
 
@@ -205,7 +213,57 @@ class TraceBus:
             n_ops=n_ops, api=api, layer=layer, inos=inos,
             scope=self.current_scope, step=self._step, seq=self._seq)
         self._seq += 1
-        for on_event, kinds in self._dispatch:
+        for on_event, kinds, _ in self._dispatch:
             if kinds is None or kind in kinds:
                 on_event(event)
         return event
+
+    def emit_batch(self, kinds, ranks, *, nbytes, duration, start=None,
+                   n_ops=None, api: str = "POSIX", layer: str = "posix",
+                   inos=None) -> EventBatch | None:
+        """Build and dispatch a struct-of-arrays event batch.
+
+        Semantically identical to calling :meth:`emit` once per row, in
+        order — rows no subscriber wants are dropped (and consume no
+        sequence ids, exactly as their scalar emits would not), and the
+        surviving rows take consecutive sequence ids.  Subscribers with
+        an ``on_batch(batch)`` hook that want every surviving row get
+        the whole batch in one call; everyone else receives the rows as
+        individual events.
+        """
+        wanted = self._wanted
+        rows = None
+        if wanted is not None:
+            rows = [i for i, k in enumerate(kinds) if k in wanted]
+            if len(rows) == len(kinds):
+                rows = None
+            elif not rows:
+                for kind in kinds:  # keep typo detection on the
+                    if kind not in EVENT_KINDS:  # disabled path too
+                        raise ValueError(
+                            f"unknown trace event kind {kind!r}")
+                return None
+        batch = make_batch(
+            kinds, ranks, nbytes=nbytes, duration=duration, start=start,
+            n_ops=n_ops, api=api, layer=layer, inos=inos,
+            scope=self.current_scope, step=self._step, seq0=self._seq,
+            rows=rows)
+        self._seq += len(batch)
+        events: list[IOEvent] | None = None
+        for on_event, sub_kinds, on_batch in self._dispatch:
+            if sub_kinds is None:
+                keep = None
+            else:
+                keep = [i for i, k in enumerate(batch.kinds)
+                        if k in sub_kinds]
+                if not keep:
+                    continue
+            if on_batch is not None and (
+                    keep is None or len(keep) == len(batch)):
+                on_batch(batch)
+                continue
+            if events is None:
+                events = batch.events()
+            for i in (range(len(batch)) if keep is None else keep):
+                on_event(events[i])
+        return batch

@@ -88,6 +88,118 @@ class IOEvent:
                 + ")")
 
 
+@dataclass(frozen=True, slots=True)
+class EventBatch:
+    """A struct-of-arrays bundle of events sharing one rank vector.
+
+    Row ``i`` describes one event of kind ``kinds[i]`` whose per-rank
+    columns are ``nbytes[i]``, ``duration[i]``, ``start[i]``,
+    ``n_ops[i]`` — each a ``(rows, ranks)`` float64 matrix.  A batch is
+    exactly equivalent to emitting its rows as individual events in
+    order (row ``i`` carries sequence id ``seq0 + i``); subscribers
+    without an ``on_batch`` hook receive precisely that expansion.
+    Producers use batches to hand the bus several tightly-coupled
+    events (a group write and its fsync) in one call, so subscribers
+    can fold whole columns without building per-event objects.
+    """
+
+    kinds: tuple[str, ...]
+    layer: str
+    api: str
+    ranks: np.ndarray
+    nbytes: np.ndarray
+    duration: np.ndarray
+    start: np.ndarray
+    n_ops: np.ndarray
+    inos: np.ndarray | None = None
+    scope: str | None = None
+    step: int | None = None
+    seq0: int = field(default=-1)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def size(self) -> int:
+        """Number of participating ranks."""
+        return int(self.ranks.shape[0])
+
+    def event(self, i: int) -> IOEvent:
+        """Materialise row ``i`` as a standalone :class:`IOEvent`."""
+        return IOEvent(
+            kind=self.kinds[i],
+            layer=self.layer,
+            api=self.api,
+            ranks=self.ranks,
+            nbytes=self.nbytes[i],
+            duration=self.duration[i],
+            start=self.start[i],
+            n_ops=self.n_ops[i],
+            inos=self.inos,
+            scope=self.scope,
+            step=self.step,
+            seq=self.seq0 + i,
+        )
+
+    def events(self) -> list[IOEvent]:
+        return [self.event(i) for i in range(len(self.kinds))]
+
+
+def _rows(values, nrows: int, shape) -> np.ndarray:
+    """Stack per-row column specs into a dense ``(nrows, ranks)`` matrix."""
+    out = np.empty((nrows,) + shape, dtype=np.float64)
+    for i in range(nrows):
+        out[i] = values[i]
+    return out
+
+
+def make_batch(kinds, ranks, *, nbytes, duration, start=None, n_ops=None,
+               api: str = "POSIX", layer: str = "posix", inos=None,
+               scope: str | None = None, step: int | None = None,
+               seq0: int = -1, rows=None) -> EventBatch:
+    """Normalise per-row column specs into an :class:`EventBatch`.
+
+    ``nbytes``/``duration``/``start``/``n_ops`` are sequences with one
+    entry per row; each entry may be a scalar or a per-rank array.
+    ``rows`` optionally selects a subset of rows (in order) — used by
+    the bus to drop rows no subscriber wants.
+    """
+    kinds = tuple(kinds)
+    for kind in kinds:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}; "
+                             f"valid kinds: {sorted(EVENT_KINDS)}")
+    if rows is not None:
+        sel = list(rows)
+        kinds = tuple(kinds[i] for i in sel)
+        nbytes = [nbytes[i] for i in sel]
+        duration = [duration[i] for i in sel]
+        if start is not None:
+            start = [start[i] for i in sel]
+        if n_ops is not None:
+            n_ops = [n_ops[i] for i in sel]
+    n = len(kinds)
+    ranks_arr = np.atleast_1d(np.asarray(ranks, dtype=np.int64))
+    shape = ranks_arr.shape
+    inos_arr = None if inos is None else np.atleast_1d(np.asarray(inos))
+    return EventBatch(
+        kinds=kinds,
+        layer=layer,
+        api=api,
+        ranks=ranks_arr,
+        nbytes=_rows(nbytes, n, shape),
+        duration=_rows(duration, n, shape),
+        start=(np.zeros((n,) + shape) if start is None
+               else _rows(start, n, shape)),
+        n_ops=(np.ones((n,) + shape) if n_ops is None
+               else _rows(n_ops, n, shape)),
+        inos=inos_arr,
+        scope=scope,
+        step=step,
+        seq0=seq0,
+    )
+
+
 def _per_rank(value, shape) -> np.ndarray:
     """Broadcast a scalar or array to the per-rank shape (view, no copy)."""
     arr = np.asarray(value, dtype=np.float64)

@@ -1,0 +1,90 @@
+"""Bit-identical fast scatter reductions for the batched data plane.
+
+``np.add.at``/``np.maximum.at`` are unbuffered ufunc loops — correct
+with duplicate indices but an order of magnitude slower than fancy
+indexing.  The data plane's group operations almost always scatter onto
+*distinct* target slots (one file per rank, one clock per rank, one
+counter cell per rank), where ``out[idx] += values`` is both legal and
+float-identical: each slot receives exactly one accumulation, so no
+associativity question arises.
+
+These helpers take the fast path when the index vector is provably
+duplicate-free (strictly increasing — the natural order produced by
+``np.arange`` ranks and consecutive inode allocation) and fall back to
+the unbuffered ufunc otherwise (e.g. post-failover aggregators owning
+several subfiles, or a shared inode broadcast over many ranks).  The
+fallback keeps results bit-identical in every case: the fast path is
+only taken when it computes the exact same floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _unique_increasing(idx: np.ndarray) -> bool:
+    """True when ``idx`` is strictly increasing (hence duplicate-free)."""
+    return bool((idx[1:] > idx[:-1]).all())
+
+
+def scatter_add(out: np.ndarray, idx, values) -> None:
+    """``np.add.at(out, idx, values)``, fast for duplicate-free indices."""
+    idx = np.asarray(idx)
+    if idx.ndim == 0:
+        if np.ndim(values) == 0:
+            out[idx] += values
+        else:  # scalar target, many addends: keep sequential order
+            np.add.at(out, idx, values)
+        return
+    n = idx.size
+    if n <= 1:
+        out[idx] += values
+    elif _unique_increasing(idx):
+        lo = int(idx[0])
+        if int(idx[-1]) - lo + 1 == n:
+            # consecutive run (arange ranks, bulk-allocated inodes):
+            # a slice add is one pass, no gather/scatter copies
+            if n == out.shape[0] and lo == 0 and out.ndim == 1:
+                out += values
+            else:
+                out[lo:lo + n] += values
+        else:
+            out[idx] += values
+    else:
+        np.add.at(out, idx, np.broadcast_to(
+            np.asarray(values), idx.shape))
+
+
+def scatter_max(out: np.ndarray, idx, values) -> None:
+    """``np.maximum.at(out, idx, values)``, fast for unique indices."""
+    idx = np.asarray(idx)
+    if idx.ndim == 0:
+        out[idx] = max(out[idx], np.max(values))
+        return
+    n = idx.size
+    if n <= 1:
+        out[idx] = np.maximum(out[idx], values)
+    elif _unique_increasing(idx):
+        lo = int(idx[0])
+        if int(idx[-1]) - lo + 1 == n:
+            sl = out[lo:lo + n]
+            np.maximum(sl, values, out=sl)
+        else:
+            out[idx] = np.maximum(out[idx], values)
+    else:
+        np.maximum.at(out, idx, np.broadcast_to(
+            np.asarray(values), idx.shape))
+
+
+def scatter_add2(out: np.ndarray, rows, cols, values) -> None:
+    """2-D scatter-add ``np.add.at(out, (rows, cols), values)``.
+
+    Fast when the row index alone is duplicate-free (each row/col pair
+    is then unique regardless of the column values) — the Darshan size
+    histogram's (rank, bucket) case.
+    """
+    rows = np.asarray(rows)
+    if rows.ndim == 0 or rows.size <= 1 or _unique_increasing(rows):
+        out[rows, cols] += values
+    else:
+        np.add.at(out, (rows, cols), values)

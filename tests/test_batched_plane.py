@@ -1,0 +1,328 @@
+"""Bit-identity of the batched data plane against its scalar reference.
+
+The vectorised fast paths (scatter helpers, array-native collectives,
+POSIX group ops, struct-of-arrays trace folds, the bincount deposition)
+all promise the *same bits* as the element-at-a-time code they replace.
+These properties pin that promise down, including under an active
+:class:`~repro.faults.FaultPlan`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.presets import dardel
+from repro.darshan.runtime import DarshanMonitor
+from repro.faults import (
+    FaultPlan,
+    InjectedIOError,
+    MDSSlowdown,
+    OSTFault,
+    TransientError,
+    install_faults,
+)
+from repro.fs import PosixIO, SyntheticPayload, mount
+from repro.mpi import VirtualComm
+from repro.pic.deposit import deposit_density
+from repro.pic.grid import Grid1D
+from repro.pic.species import ParticleArrays
+from repro.trace.events import make_batch
+from repro.util.scatter import scatter_add, scatter_add2, scatter_max
+
+finite = st.floats(-1e9, 1e9, allow_nan=False, width=64)
+
+
+@st.composite
+def scatter_case(draw):
+    """(out, idx, values) covering every scatter fast path by shape."""
+    n_out = draw(st.integers(1, 24))
+    pattern = draw(st.sampled_from(
+        ["random", "sorted_unique", "run", "full", "single"]))
+    if pattern == "random":
+        idx = np.asarray(draw(st.lists(st.integers(0, n_out - 1),
+                                       min_size=0, max_size=40)),
+                         dtype=np.int64)
+    elif pattern == "sorted_unique":
+        idx = np.asarray(sorted(draw(st.sets(st.integers(0, n_out - 1),
+                                             min_size=1))), dtype=np.int64)
+    elif pattern == "run":
+        lo = draw(st.integers(0, n_out - 1))
+        idx = lo + np.arange(draw(st.integers(1, n_out - lo)))
+    elif pattern == "full":
+        idx = np.arange(n_out)
+    else:
+        idx = np.asarray([draw(st.integers(0, n_out - 1))], dtype=np.int64)
+    out = np.asarray(draw(st.lists(finite, min_size=n_out, max_size=n_out)))
+    values = np.asarray(draw(st.lists(finite, min_size=len(idx),
+                                      max_size=len(idx))))
+    return out, idx, values
+
+
+class TestScatterProperties:
+    @given(scatter_case())
+    @settings(max_examples=200, deadline=None)
+    def test_scatter_add_matches_add_at(self, case):
+        out, idx, values = case
+        ref = out.copy()
+        np.add.at(ref, idx, values)
+        scatter_add(out, idx, values)
+        assert np.array_equal(out, ref)
+
+    @given(scatter_case())
+    @settings(max_examples=200, deadline=None)
+    def test_scatter_max_matches_maximum_at(self, case):
+        out, idx, values = case
+        ref = out.copy()
+        np.maximum.at(ref, idx, values)
+        scatter_max(out, idx, values)
+        assert np.array_equal(out, ref)
+
+    @given(scatter_case(), st.integers(1, 6))
+    @settings(max_examples=200, deadline=None)
+    def test_scatter_add2_matches_add_at(self, case, width):
+        rows1d, rows, values = case
+        out = np.outer(rows1d, np.ones(width))
+        cols = np.abs(values).astype(np.int64) % width
+        ref = out.copy()
+        np.add.at(ref, (rows, cols), values)
+        scatter_add2(out, rows, cols, values)
+        assert np.array_equal(out, ref)
+
+
+class TestCollectiveProperties:
+    """Array-native collectives == per-column scalar collectives."""
+
+    @given(st.integers(1, 40), st.integers(1, 5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_sum_matrix(self, size, k, data):
+        rows = data.draw(st.lists(
+            st.lists(finite, min_size=k, max_size=k),
+            min_size=size, max_size=size))
+        arr = np.asarray(rows)
+        vec = VirtualComm(size, 2).allreduce_sum(arr)
+        comm = VirtualComm(size, 2)
+        cols = np.asarray([comm.allreduce_sum(arr[:, j]) for j in range(k)])
+        assert np.array_equal(vec, cols)
+
+    @given(st.integers(1, 40), st.integers(1, 5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_max_matrix(self, size, k, data):
+        rows = data.draw(st.lists(
+            st.lists(finite, min_size=k, max_size=k),
+            min_size=size, max_size=size))
+        arr = np.asarray(rows)
+        vec = VirtualComm(size, 2).allreduce_max(arr)
+        comm = VirtualComm(size, 2)
+        cols = np.asarray([comm.allreduce_max(arr[:, j]) for j in range(k)])
+        assert np.array_equal(vec, cols)
+
+    @given(st.integers(1, 40), st.integers(1, 4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_scans_match_columns(self, size, k, data):
+        rows = data.draw(st.lists(
+            st.lists(st.integers(0, 1 << 40), min_size=k, max_size=k),
+            min_size=size, max_size=size))
+        arr = np.asarray(rows, dtype=np.int64)
+        comm = VirtualComm(size, 2)
+        ex = comm.exscan_sum(arr)
+        inc = comm.scan_sum(arr)
+        for j in range(k):
+            assert np.array_equal(ex[:, j], comm.exscan_sum(arr[:, j]))
+            assert np.array_equal(inc[:, j], comm.scan_sum(arr[:, j]))
+
+
+class TestBcastAliasing:
+    def test_nonroot_copies_do_not_alias(self):
+        comm = VirtualComm(4, 2)
+        value = {"deck": [1, 2, 3]}
+        got = comm.bcast(value, root=1)
+        assert got[1] is value  # the root keeps its own object
+        got[0]["deck"].append(99)  # a rank mutating its private copy...
+        assert got[2]["deck"] == [1, 2, 3]  # ...cannot leak to another
+        assert value["deck"] == [1, 2, 3]  # ...nor back to the root
+        assert all(g == {"deck": [1, 2, 3]} for g in got[1:])
+
+    def test_array_payloads_are_private(self):
+        comm = VirtualComm(3, 3)
+        arr = np.arange(5)
+        got = comm.bcast(arr)
+        got[1][0] = -1
+        assert got[0][0] == 0 and got[2][0] == 0
+
+
+class TestDepositBincount:
+    @given(st.integers(0, 400), st.integers(4, 64), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_add_at_reference(self, nparts, ncells, data):
+        grid = Grid1D(ncells, 2.0)
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, grid.length, nparts)
+        w = rng.uniform(0.1, 5.0, nparts)
+        parts = ParticleArrays("e", 1.0, -1.0)
+        parts.add(x, np.zeros(nparts), np.zeros(nparts), np.zeros(nparts), w)
+        # the classic two-call CIC deposition the bincount replaced
+        xi = parts.positions() / grid.dx
+        left = np.clip(np.floor(xi).astype(np.int64), 0, grid.ncells - 1)
+        frac = xi - left
+        ref = np.zeros(grid.nnodes)
+        np.add.at(ref, left, parts.weights() * (1.0 - frac))
+        np.add.at(ref, left + 1, parts.weights() * frac)
+        volume = np.full(grid.nnodes, grid.dx)
+        volume[0] = volume[-1] = grid.dx / 2.0
+        ref /= volume
+        assert np.array_equal(deposit_density(grid, parts), ref)
+
+
+def _stack(nranks):
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(nranks, max(nranks // 2, 1))
+    mon = DarshanMonitor(nranks)
+    posix = PosixIO(fs, comm, mon)
+    return fs, comm, mon, posix
+
+
+def _scalar_reference(posix, nranks, sizes, sync):
+    for r in range(nranks):
+        fd = posix.open(r, f"/f{r}", create=True)
+        posix.write(r, fd, SyntheticPayload(int(sizes[r])),
+                    sync_each_chunk=sync, chunk_size=int(sizes[r]) or None)
+        posix.close(r, fd)
+
+
+def _grouped(posix, nranks, sizes, sync):
+    ranks = np.arange(nranks)
+    fds = posix.open_group(ranks, [f"/f{r}" for r in range(nranks)])
+    posix.write_group(ranks, fds, sizes, sync_each_chunk=sync)
+    posix.close_group(ranks, fds)
+
+
+def _assert_same_accounting(mon_a, mon_b, fs_a, fs_b, nranks):
+    """Counters, bytes and namespace state element-for-element equal.
+
+    Virtual *times* are allowed to differ between the two shapes (the
+    group op draws one noise sample for the symmetric phase where the
+    scalar loop draws one per rank); everything deterministic must
+    match exactly.
+    """
+    log_a, log_b = mon_a.finalize(), mon_b.finalize()
+    for counter in ("POSIX_OPENS", "POSIX_WRITES", "POSIX_FSYNCS",
+                    "POSIX_CLOSES", "POSIX_BYTES_WRITTEN"):
+        assert np.array_equal(log_a.counter_per_rank(counter),
+                              log_b.counter_per_rank(counter)), counter
+    rec_a = {f.path: f for f in log_a.files}
+    rec_b = {f.path: f for f in log_b.files}
+    assert rec_a.keys() == rec_b.keys()
+    for path, fa in rec_a.items():
+        fb = rec_b[path]
+        assert (fa.opens, fa.writes, fa.fsyncs, fa.bytes_written) == \
+               (fb.opens, fb.writes, fb.fsyncs, fb.bytes_written), path
+    inos_a = fs_a.vfs.lookup_many([f"/f{r}" for r in range(nranks)])
+    inos_b = fs_b.vfs.lookup_many([f"/f{r}" for r in range(nranks)])
+    for col in ("size", "write_ops", "bytes_written", "stripe_count"):
+        assert np.array_equal(getattr(fs_a.vfs.cols, col)[inos_a],
+                              getattr(fs_b.vfs.cols, col)[inos_b]), col
+
+
+class TestGroupOpsMatchScalar:
+    @given(st.integers(1, 12), st.booleans(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_accounting_identical(self, nranks, sync, data):
+        sizes = np.asarray(data.draw(st.lists(st.integers(1, 1 << 20),
+                                              min_size=nranks,
+                                              max_size=nranks)))
+        fs_a, _, mon_a, posix_a = _stack(nranks)
+        fs_b, _, mon_b, posix_b = _stack(nranks)
+        _scalar_reference(posix_a, nranks, sizes, sync)
+        _grouped(posix_b, nranks, sizes, sync)
+        _assert_same_accounting(mon_a, mon_b, fs_a, fs_b, nranks)
+
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_accounting_identical_under_faults(self, nranks, data):
+        """A degrading (non-raising) fault leaves both shapes in lockstep."""
+        sizes = np.asarray(data.draw(st.lists(st.integers(1, 1 << 16),
+                                              min_size=nranks,
+                                              max_size=nranks)))
+        plan = FaultPlan((MDSSlowdown(start_step=1, end_step=9, factor=7.0),
+                          OSTFault(3, start_step=1, end_step=9)))
+        stacks = []
+        for _ in range(2):
+            fs, _, mon, posix = _stack(nranks)
+            install_faults(posix, plan).begin_step(1)
+            stacks.append((fs, mon, posix))
+        _scalar_reference(stacks[0][2], nranks, sizes, sync=True)
+        _grouped(stacks[1][2], nranks, sizes, sync=True)
+        _assert_same_accounting(stacks[0][1], stacks[1][1],
+                                stacks[0][0], stacks[1][0], nranks)
+
+    def test_raising_fault_fires_on_both_paths(self):
+        plan = FaultPlan((TransientError("write", step=1),))
+        for shape in (_scalar_reference, _grouped):
+            fs, _, _, posix = _stack(4)
+            install_faults(posix, plan).begin_step(1)
+            with pytest.raises(InjectedIOError):
+                shape(posix, 4, np.full(4, 1024), False)
+
+
+@st.composite
+def event_batch(draw):
+    """A random multi-kind SoA batch over a few files."""
+    nranks = draw(st.integers(1, 10))
+    nrows = draw(st.integers(1, 6))
+    kinds = tuple(draw(st.sampled_from(
+        ["write", "read", "fsync", "open", "create", "close"]))
+        for _ in range(nrows))
+    ranks = np.arange(nranks)
+    ints = st.lists(st.integers(0, 1 << 24), min_size=nranks,
+                    max_size=nranks)
+    durs = st.lists(st.floats(1e-9, 10.0, allow_nan=False),
+                    min_size=nranks, max_size=nranks)
+    nbytes = [np.asarray(draw(ints), dtype=np.float64) for _ in range(nrows)]
+    duration = [np.asarray(draw(durs)) for _ in range(nrows)]
+    n_ops = [np.asarray(draw(st.lists(st.integers(1, 9), min_size=nranks,
+                                      max_size=nranks)), dtype=np.float64)
+             for _ in range(nrows)]
+    # duplicate inos across ranks exercise in-order accumulation onto
+    # shared per-file records — where out-of-order folds would show up
+    inos = np.asarray(draw(st.lists(st.integers(0, 2), min_size=nranks,
+                                    max_size=nranks)), dtype=np.int64)
+    api = draw(st.sampled_from(["POSIX", "STDIO"]))
+    return make_batch(kinds, ranks, nbytes=nbytes, duration=duration,
+                      n_ops=n_ops, api=api,
+                      layer="stdio" if api == "STDIO" else "posix",
+                      inos=inos, seq0=0)
+
+
+class TestBatchedTraceFold:
+    @given(event_batch())
+    @settings(max_examples=60, deadline=None)
+    def test_on_batch_matches_per_event_fold(self, batch):
+        nranks = len(batch.ranks)
+        mon_scalar = DarshanMonitor(nranks)
+        mon_batch = DarshanMonitor(nranks)
+        for ino in range(3):
+            mon_scalar.register_file(ino, f"/file{ino}")
+            mon_batch.register_file(ino, f"/file{ino}")
+        for event in batch.events():  # the scalar reference: row by row
+            mon_scalar.on_event(event)
+        mon_batch.on_batch(batch)
+        log_s, log_b = mon_scalar.finalize(), mon_batch.finalize()
+        for name, mod_s in log_s.modules.items():
+            mod_b = log_b.modules[name]
+            for counter, values in mod_s.counters.items():
+                assert np.array_equal(values, mod_b.counters[counter]), \
+                    (name, counter)
+        assert log_s.files == log_b.files
+
+    @given(event_batch())
+    @settings(max_examples=30, deadline=None)
+    def test_batch_rows_equal_their_events(self, batch):
+        events = batch.events()
+        assert len(events) == len(batch)
+        for i, event in enumerate(events):
+            assert event.kind == batch.kinds[i]
+            assert event.seq == batch.seq0 + i
+            assert np.array_equal(event.nbytes, batch.nbytes[i])
+            assert np.array_equal(event.duration, batch.duration[i])

@@ -1,0 +1,174 @@
+"""Sweep executor: keying, memoisation, invalidation, driver wiring.
+
+The acceptance bar for the sweep cache is behavioural: a second
+invocation of any figure driver with an unchanged configuration must
+perform *zero* model evaluations, and changing one parameter must
+invalidate only the affected points.  These tests pin that down at the
+unit level (point_key / sweep) and at the driver level (run_fig5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster.presets import dardel
+from repro.experiments import sweep as sw
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.sweep import point_key, reset_stats, sweep
+
+
+def _cube(x):
+    return x ** 3
+
+
+def _touch(x, log=None):
+    """A point function with an observable side effect (call counting)."""
+    path = os.environ["TEST_SWEEP_TOUCH_LOG"]
+    with open(path, "a") as f:
+        f.write(f"{x}\n")
+    return x + 1
+
+
+def _calls(path) -> int:
+    try:
+        with open(path) as f:
+            return len(f.readlines())
+    except OSError:
+        return 0
+
+
+@pytest.fixture()
+def touch_log(tmp_path, monkeypatch):
+    path = tmp_path / "calls.log"
+    monkeypatch.setenv("TEST_SWEEP_TOUCH_LOG", str(path))
+    return path
+
+
+class TestPointKey:
+    def test_stable_across_calls(self):
+        assert point_key(_cube, {"x": 3}) == point_key(_cube, {"x": 3})
+
+    def test_differs_by_param(self):
+        assert point_key(_cube, {"x": 3}) != point_key(_cube, {"x": 4})
+
+    def test_differs_by_function(self):
+        assert point_key(_cube, {"x": 3}) != point_key(_touch, {"x": 3})
+
+    def test_dict_order_canonicalised(self):
+        assert (point_key(_cube, {"a": 1, "b": 2})
+                == point_key(_cube, {"b": 2, "a": 1}))
+
+    def test_dataclass_params_keyable(self):
+        m = dardel()
+        k1 = point_key(_cube, {"machine": m})
+        k2 = point_key(_cube, {"machine": dardel()})
+        assert k1 == k2
+
+    def test_unkeyable_param_raises(self):
+        with pytest.raises(TypeError):
+            point_key(_cube, {"x": object()})
+
+
+class TestSweepCache:
+    def test_first_run_evaluates_second_hits(self, tmp_path, touch_log):
+        points = [{"x": i} for i in range(4)]
+        out1 = sweep(_touch, points, jobs=1, cache_dir=str(tmp_path))
+        assert out1 == [1, 2, 3, 4]
+        assert sw.LAST_STATS.evaluated == 4
+        assert sw.LAST_STATS.cached == 0
+        assert _calls(touch_log) == 4
+
+        out2 = sweep(_touch, points, jobs=1, cache_dir=str(tmp_path))
+        assert out2 == out1
+        assert sw.LAST_STATS.evaluated == 0
+        assert sw.LAST_STATS.cached == 4
+        assert _calls(touch_log) == 4  # no new evaluations
+
+    def test_changed_param_invalidates_only_that_point(self, tmp_path,
+                                                       touch_log):
+        sweep(_touch, [{"x": 1}, {"x": 2}], jobs=1, cache_dir=str(tmp_path))
+        sweep(_touch, [{"x": 1}, {"x": 5}], jobs=1, cache_dir=str(tmp_path))
+        assert sw.LAST_STATS.evaluated == 1
+        assert sw.LAST_STATS.cached == 1
+        assert _calls(touch_log) == 3
+
+    def test_empty_cache_dir_disables_cache(self, touch_log):
+        points = [{"x": 7}]
+        sweep(_touch, points, jobs=1, cache_dir="")
+        sweep(_touch, points, jobs=1, cache_dir="")
+        assert sw.LAST_STATS.evaluated == 1
+        assert sw.LAST_STATS.cached == 0
+        assert _calls(touch_log) == 2
+
+    def test_unkeyable_point_still_evaluated(self, tmp_path, touch_log):
+        out = sweep(_touch, [{"x": 1, "log": object()}], jobs=1,
+                    cache_dir=str(tmp_path))
+        assert out == [2]
+        assert sw.LAST_STATS.evaluated == 1
+
+    def test_results_in_point_order_with_mixed_hits(self, tmp_path,
+                                                    touch_log):
+        sweep(_touch, [{"x": 2}], jobs=1, cache_dir=str(tmp_path))
+        out = sweep(_touch, [{"x": 1}, {"x": 2}, {"x": 3}], jobs=1,
+                    cache_dir=str(tmp_path))
+        assert out == [2, 3, 4]
+
+    def test_parallel_pool_matches_serial(self, tmp_path):
+        points = [{"x": i} for i in range(6)]
+        serial = sweep(_cube, points, jobs=1, cache_dir="")
+        parallel = sweep(_cube, points, jobs=4, cache_dir="")
+        assert parallel == serial
+        assert sw.LAST_STATS.jobs == 4
+
+    def test_session_stats_accumulate(self, tmp_path, touch_log):
+        reset_stats()
+        sweep(_touch, [{"x": 1}], jobs=1, cache_dir=str(tmp_path))
+        sweep(_touch, [{"x": 1}, {"x": 2}], jobs=1, cache_dir=str(tmp_path))
+        assert sw.SESSION_STATS.evaluated == 2
+        assert sw.SESSION_STATS.cached == 1
+        reset_stats()
+        assert sw.SESSION_STATS.evaluated == 0
+
+
+class TestEnvKnobs:
+    def test_cache_env_empty_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "")
+        assert sw.default_cache_dir() == ""
+
+    def test_cache_env_overrides_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        assert sw.default_cache_dir() == str(tmp_path)
+
+    def test_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+        assert sw.default_jobs() == 3
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+        assert sw.default_jobs() == 1
+
+
+class TestDriverCaching:
+    """Acceptance: rerunning a figure driver does zero evaluations."""
+
+    def test_fig5_second_invocation_all_cached(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "1")
+        reset_stats()
+        first = run_fig5(nodes=1)
+        assert sw.SESSION_STATS.evaluated > 0
+
+        reset_stats()
+        second = run_fig5(nodes=1)
+        assert sw.SESSION_STATS.evaluated == 0
+        assert sw.SESSION_STATS.cached > 0
+        assert second.original == first.original
+        assert second.bp4 == first.bp4
+
+    def test_fig5_changed_config_reevaluates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "1")
+        run_fig5(nodes=1)
+        reset_stats()
+        run_fig5(nodes=1, seed=1)
+        assert sw.SESSION_STATS.evaluated > 0
