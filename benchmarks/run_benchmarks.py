@@ -33,8 +33,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.cluster.presets import dardel                   # noqa: E402
 from repro.experiments.fig8 import run_fig8                # noqa: E402
-from repro.experiments.points import original_report       # noqa: E402
+from repro.experiments.points import (                     # noqa: E402
+    original_report,
+    streaming_report,
+)
 from repro.experiments.weak_scaling import run_weak_scaling  # noqa: E402
+from repro.workloads.presets import paper_use_case         # noqa: E402
 
 
 def _git_rev() -> str:
@@ -67,6 +71,9 @@ def build_suite(quick: bool) -> dict:
     fig8_nodes = 5 if quick else 200
     weak_nodes = (1, 5) if quick else (1, 5, 20, 50, 200)
     point_nodes = 5 if quick else 200
+    stream_cfg = paper_use_case().with_(
+        last_step=4_000 if quick else 20_000,
+        dmpstep=2_000 if quick else 10_000)
     return {
         f"fig8_profile_{fig8_nodes}nodes":
             lambda: run_fig8(nodes=fig8_nodes),
@@ -74,6 +81,10 @@ def build_suite(quick: bool) -> dict:
             lambda: run_weak_scaling(node_counts=weak_nodes),
         f"original_point_{point_nodes}nodes":
             lambda: original_report(machine=dardel(), nodes=point_nodes),
+        f"streaming_point_{point_nodes}nodes":
+            lambda: streaming_report(machine=dardel(), nodes=point_nodes,
+                                     config=stream_cfg, queue_depth=2,
+                                     policy="block"),
     }
 
 

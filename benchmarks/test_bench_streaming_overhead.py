@@ -1,0 +1,42 @@
+"""Micro-benchmark: the streaming plane is zero-cost when unused.
+
+``repro.streaming`` added stream trace kinds to the event taxonomy and
+an SST path next to the BP engines; the contract is that a file-based
+run in a process where the streaming package is *imported but unused*
+pays < 5 % wall time over the pre-streaming baseline.  The baseline
+constant is shared with the trace-spine guard — the same Fig. 2
+two-node scaled run on the same reference machine — so the two guards
+bound the same hot path from both refactors.
+"""
+
+import time
+
+import repro.streaming  # noqa: F401  (the point: imported, never used)
+from repro.cluster.presets import dardel
+from repro.workloads.runner import run_original_scaled
+
+from test_bench_trace_overhead import NO_SPINE_BASELINE_SECONDS
+
+REPEATS = 7
+MAX_OVERHEAD = 0.05
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestStreamingOverhead:
+    def test_file_path_unaffected_by_streaming_import(self):
+        best = _best_of(
+            REPEATS,
+            lambda: run_original_scaled(dardel(), 2, seed=0))
+        assert best <= NO_SPINE_BASELINE_SECONDS * (1 + MAX_OVERHEAD), (
+            f"file-based run took {best:.4f}s (best of {REPEATS}) with "
+            f"repro.streaming imported; baseline "
+            f"{NO_SPINE_BASELINE_SECONDS:.4f}s allows at most "
+            f"{MAX_OVERHEAD:.0%} overhead")

@@ -5,7 +5,17 @@ from repro.adios2.bp4 import BP3Engine, BP4Engine
 from repro.adios2.bp5 import BP5Engine
 from repro.adios2.engine import BPEngineBase, EngineConfig, IntegrityError
 from repro.adios2.profiling import PROFILE_CATEGORIES, EngineProfile
-from repro.adios2.sst import SSTEngine, SSTReader, StepData, open_streams, reset_streams
+from repro.adios2.sst import (
+    SSTEngine,
+    SSTReader,
+    StagingBackpressure,
+    StepData,
+    StepStatus,
+    StreamRegistry,
+    assemble_variable,
+    open_streams,
+    reset_streams,
+)
 from repro.adios2.variables import Attribute, Chunk, Variable, dtype_name, element_size
 
 #: file extension → engine class ("The file's extension dictates the
@@ -41,7 +51,11 @@ __all__ = [
     "Chunk",
     "SSTEngine",
     "SSTReader",
+    "StagingBackpressure",
     "StepData",
+    "StepStatus",
+    "StreamRegistry",
+    "assemble_variable",
     "EngineConfig",
     "EngineProfile",
     "IntegrityError",

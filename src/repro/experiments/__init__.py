@@ -12,6 +12,7 @@ from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.postproc import PostprocResult, run_postproc
 from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.streaming import StreamingResult, run_streaming
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.weak_scaling import run_weak_scaling
 
@@ -24,6 +25,7 @@ __all__ = [
     "Fig8Result",
     "Fig9Result",
     "SeriesResult",
+    "StreamingResult",
     "Table2Result",
     "run_fig2",
     "run_fig3",
@@ -36,6 +38,7 @@ __all__ = [
     "run_postproc",
     "run_resilience",
     "run_sensitivity",
+    "run_streaming",
     "run_table2",
     "run_weak_scaling",
 ]

@@ -25,6 +25,7 @@ from repro.experiments import (
     run_postproc,
     run_resilience,
     run_sensitivity,
+    run_streaming,
     run_table2,
     run_weak_scaling,
 )
@@ -32,7 +33,8 @@ from repro.experiments.common import subset
 from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-       "table2", "postproc", "weak_scaling", "sensitivity", "resilience")
+       "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
+       "streaming")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": lambda: run_sensitivity(
             nodes=50 if args.quick else 200).render(),
         "resilience": lambda: run_resilience(quick=args.quick).render(),
+        "streaming": lambda: run_streaming(quick=args.quick).render(),
     }
     for name in args.experiments:
         fn = table.get(name)

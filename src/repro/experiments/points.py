@@ -23,6 +23,7 @@ from repro.darshan.report import (
 )
 from repro.ior.benchmark import run_ior
 from repro.ior.config import table1_file_per_proc, table1_shared
+from repro.workloads.datamodel import Bit1DataModel
 from repro.workloads.runner import run_openpmd_scaled, run_original_scaled
 
 
@@ -66,6 +67,70 @@ def openpmd_profile(machine, nodes, compressor=None, seed=0) -> dict:
         "memcpy_us": profile.total_us("memcpy") / profile.nranks,
         "compress_us": profile.total_us("compress") / profile.nranks,
         "breakdown": res.trace.render_breakdown(),
+    }
+
+
+def streaming_report(machine, nodes, config=None, queue_depth=4,
+                     policy="block", compute_seconds_per_step=0.0,
+                     seed=0) -> dict:
+    """One in-situ streaming run (the repro.streaming experiment)."""
+    from repro.streaming import run_streaming_scaled
+
+    res = run_streaming_scaled(
+        machine, nodes, config=config, queue_depth=queue_depth,
+        policy=policy, compute_seconds_per_step=compute_seconds_per_step,
+        seed=seed)
+    return {
+        "makespan": res.makespan,
+        "producer_seconds": res.producer_seconds,
+        "ttfi": res.time_to_first_insight,
+        "peak_staging_bytes": res.peak_staging_bytes,
+        "stalls": res.stalls,
+        "stall_seconds": res.stall_seconds,
+        "dropped": res.dropped,
+        "published": res.published,
+        "stored_bytes": res.stored_bytes,
+        "storage_bytes_avoided": res.storage_bytes_avoided,
+    }
+
+
+def posthoc_report(machine, nodes, config=None,
+                   compute_seconds_per_step=0.0, analysis_rate=None,
+                   seed=0) -> dict:
+    """One file-based run + modelled post-hoc read/analyse pass.
+
+    The streaming experiment's baseline: the same job writes its output
+    through openPMD+BP4, then a post-processing pass re-reads the series
+    (read parallelism bounded by the subfile count, as in
+    :mod:`repro.experiments.postproc`) and runs the same reductions at
+    the same analysis rate.  First insight only exists once the run has
+    finished *and* the first snapshot has been read back.
+    """
+    from repro.streaming.consumers import ANALYSIS_RATE
+
+    if analysis_rate is None:
+        analysis_rate = ANALYSIS_RATE
+    res = run_openpmd_scaled(machine, nodes, config=config, seed=seed)
+    cfg = config
+    model = Bit1DataModel(cfg, res.nranks)
+    compute_total = compute_seconds_per_step * cfg.last_step
+    job_makespan = res.comm.max_time() + compute_total
+    # restart-read mechanics: streams bounded by the written subfiles
+    # (diag: one per node, ckpt: one) and the reader count
+    read_rate = float(res.fs.perf.aggregate_write_rate(
+        min(nodes + 1, 128), 1))
+    total_bytes = model.openpmd_ondisk_bytes()
+    first_bytes = res.nranks * model.diag_bytes_per_rank_per_event()
+    read_all = total_bytes / read_rate
+    analyze_all = total_bytes / analysis_rate
+    return {
+        "write_wall": res.comm.max_time(),
+        "job_makespan": job_makespan,
+        "ttfi": job_makespan + first_bytes / read_rate
+        + first_bytes / analysis_rate,
+        "makespan": job_makespan + read_all + analyze_all,
+        "storage_bytes": total_bytes,
+        "gib": write_throughput_gib(res.log),
     }
 
 

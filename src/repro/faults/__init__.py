@@ -21,6 +21,7 @@ from repro.faults.plan import (
     RECOVERABLE_TYPES,
     SPEC_TYPES,
     AggregatorFailure,
+    ConsumerCrash,
     FaultPlan,
     MDSSlowdown,
     NICFlap,
@@ -33,6 +34,7 @@ from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "AggregatorFailure",
+    "ConsumerCrash",
     "FaultInjector",
     "FaultPlan",
     "FaultState",

@@ -129,6 +129,28 @@ class AggregatorFailure:
 
 
 @dataclass(frozen=True)
+class ConsumerCrash:
+    """An in-situ streaming consumer dies at the start of ``step``.
+
+    Interpreted by the streaming pipeline (:mod:`repro.streaming`), not
+    by the I/O-side injector: the named consumer detaches from its
+    stream — entries it was gating retire, and under the discard policy
+    steps published while it is gone may be dropped before it returns.
+    With ``rejoin_step`` set, the consumer reattaches at the start of
+    that step, resuming at the oldest step still buffered (everything
+    retired or dropped in between is lost to it).
+    """
+
+    consumer: str
+    step: int
+    rejoin_step: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rejoin_step is not None and self.rejoin_step <= self.step:
+            raise ValueError("rejoin_step must come after the crash step")
+
+
+@dataclass(frozen=True)
 class SilentCorruption:
     """Bit-flip ``nbytes`` of ``path`` at the start of ``step`` — no
     error is raised; only checksums at restart can catch it."""
@@ -141,12 +163,12 @@ class SilentCorruption:
 
 #: every spec type a plan may carry
 SPEC_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError, NodeCrash,
-              AggregatorFailure, SilentCorruption)
+              AggregatorFailure, SilentCorruption, ConsumerCrash)
 
 #: spec types whose faults are recoverable in place (no restart needed),
 #: provided a RetryPolicy with enough retries is installed
 RECOVERABLE_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError,
-                     AggregatorFailure)
+                     AggregatorFailure, ConsumerCrash)
 
 
 @dataclass(frozen=True)

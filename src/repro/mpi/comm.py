@@ -114,6 +114,18 @@ class VirtualComm:
             bw *= max(self.fault_state.nic_factor, 1e-6)
         return bw
 
+    def transfer_seconds(self, nbytes) -> float | np.ndarray:
+        """Point-to-point NIC transfer time: latency + payload.
+
+        Scalar in, scalar out; per-rank array in, per-rank array out.
+        Derated live by any active NIC-flap fault (the streaming plane
+        charges stream egress/ingress through this, never through the
+        storage model).
+        """
+        arr = np.asarray(nbytes, dtype=np.float64)
+        cost = self.config.latency + arr / self.effective_bandwidth()
+        return float(cost) if arr.ndim == 0 else cost
+
     def _collective_cost(self, nbytes: int = 0) -> float:
         """Cost of one collective: log2(P) latency steps + payload."""
         cfg = self.config

@@ -1,0 +1,46 @@
+"""In-situ streaming analysis (paper §VI: the ADIOS2 SST direction).
+
+``repro.streaming`` couples the PIC producer to in-situ analysis
+consumers through a staged transport with bounded buffers and explicit
+backpressure — no simulation output touches the virtual filesystem.
+Transfer costs are charged through the ``repro.cluster`` network model
+(NIC latency/bandwidth, derated live by NIC-flap faults), never the
+storage model; the only storage traffic is the optional checkpoint tee.
+
+Layers: :mod:`repro.adios2.sst` (stream mechanics: cursors, policies),
+:mod:`repro.streaming.staging` (the virtual-time scheduler),
+:mod:`repro.streaming.consumers` (analysis reductions + tee),
+:mod:`repro.streaming.pipeline` (the coupled functional/scaled drivers).
+"""
+
+from repro.streaming.consumers import (
+    ANALYSIS_RATE,
+    CheckpointTee,
+    InSituConsumer,
+    MomentsConsumer,
+    TimeseriesConsumer,
+)
+from repro.streaming.pipeline import (
+    InSituRunReport,
+    StreamingBit1Writer,
+    StreamingRunResult,
+    run_insitu,
+    run_streaming_scaled,
+)
+from repro.streaming.staging import ConsumerStats, NetworkPath, StagedTransport
+
+__all__ = [
+    "ANALYSIS_RATE",
+    "CheckpointTee",
+    "ConsumerStats",
+    "InSituConsumer",
+    "InSituRunReport",
+    "MomentsConsumer",
+    "NetworkPath",
+    "StagedTransport",
+    "StreamingBit1Writer",
+    "StreamingRunResult",
+    "TimeseriesConsumer",
+    "run_insitu",
+    "run_streaming_scaled",
+]

@@ -1,0 +1,185 @@
+"""In-situ consumers: analysis reductions that run as steps arrive.
+
+Each consumer is a virtual-time entity the staging transport schedules:
+``process(step_data, when)`` receives one staged step at virtual time
+``when`` (ingress transfer already paid) and returns the virtual
+seconds the per-step work costs.  Functional runs carry real payloads
+and the consumers execute the actual :mod:`repro.analysis` reductions —
+bit-identical to running the same analysis post-hoc over the file-based
+series.  Modeled runs carry synthetic payloads; the reductions are
+skipped but the cost model (bytes / analysis rate + fixed overhead)
+still advances the consumer clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adios2.sst import StepData, assemble_variable
+from repro.analysis.moments import MomentProfiles, compute_moments
+from repro.fs.payload import SyntheticPayload
+from repro.io_adaptor.naming import SPECIES_NAMES
+
+#: bytes/s a consumer reduces staged data at (numpy streaming reductions)
+ANALYSIS_RATE = 2.0 * 1024**3
+#: fixed per-step consumer overhead, seconds (deserialise + bookkeeping)
+STEP_OVERHEAD_SECONDS = 1.0e-4
+
+
+class InSituConsumer:
+    """Base consumer: cost model + payload-kind dispatch.
+
+    Subclasses override :meth:`on_step`; ``insight=True`` marks
+    consumers whose first completed delivery counts as the pipeline's
+    time-to-first-insight.
+    """
+
+    insight = True
+
+    def __init__(self, name: str,
+                 analysis_rate: float = ANALYSIS_RATE,
+                 overhead_seconds: float = STEP_OVERHEAD_SECONDS):
+        self.name = name
+        self.analysis_rate = analysis_rate
+        self.overhead_seconds = overhead_seconds
+        self.steps_seen: list[int] = []
+
+    def cost_seconds(self, data: StepData) -> float:
+        return self.overhead_seconds + data.total_bytes / self.analysis_rate
+
+    def process(self, data: StepData, when: float) -> float:
+        """Handle one staged step; returns the analysis cost (seconds)."""
+        self.steps_seen.append(int(data.attributes.get("time_step",
+                                                       data.step)))
+        self.on_step(data, when)
+        return self.cost_seconds(data)
+
+    def on_step(self, data: StepData, when: float) -> None:  # pragma: no cover
+        pass
+
+
+def _assembled(data: StepData, name: str) -> np.ndarray | None:
+    """Assemble a variable, or None for synthetic/absent data."""
+    if name not in data.variables:
+        return None
+    try:
+        return assemble_variable(data, name)
+    except NotImplementedError:
+        return None  # modeled run: sizes only
+
+
+class MomentsConsumer(InSituConsumer):
+    """Velocity-moment profiles from streamed checkpoint phase space.
+
+    For every checkpoint-tagged step carrying real payloads, assembles
+    each species' phase-space arrays (chunks land at their exscan
+    offsets, exactly as the file-based series stores them) and computes
+    :func:`repro.analysis.moments.compute_moments` — the same reduction
+    the post-hoc path runs on :meth:`Bit1SeriesReader.phase_space`.
+    ``moments[species]`` always holds the latest checkpoint's profiles.
+    """
+
+    def __init__(self, grid, masses: dict[str, float],
+                 name: str = "moments", **kw):
+        super().__init__(name, **kw)
+        self.grid = grid
+        self.masses = dict(masses)
+        #: BIT1 species name → latest MomentProfiles
+        self.moments: dict[str, MomentProfiles] = {}
+
+    def on_step(self, data: StepData, when: float) -> None:
+        if data.attributes.get("kind") != "checkpoint":
+            return
+        for bit1_name in self.masses:
+            sp = SPECIES_NAMES.get(bit1_name, bit1_name)
+            arrays = {}
+            for comp, var in (("x", f"{sp}/position/x"),
+                              ("vx", f"{sp}/momentum/x"),
+                              ("vy", f"{sp}/momentum/y"),
+                              ("vz", f"{sp}/momentum/z"),
+                              ("weight", f"{sp}/weighting")):
+                arrays[comp] = _assembled(data, var)
+            if any(v is None for v in arrays.values()):
+                continue
+            self.moments[bit1_name] = compute_moments(
+                self.grid, arrays["x"], arrays["vx"], arrays["vy"],
+                arrays["vz"], arrays["weight"], self.masses[bit1_name])
+
+
+class TimeseriesConsumer(InSituConsumer):
+    """Species inventory history folded from streamed density profiles.
+
+    Mirrors :meth:`Bit1SeriesReader.density_history` exactly: each
+    diagnostics step's density profile is integrated with trapezoid
+    node weights (interior 1, ends ½) and appended to the series, so
+    the in-situ history is bit-identical to the post-hoc one.
+    """
+
+    def __init__(self, name: str = "timeseries", **kw):
+        super().__init__(name, **kw)
+        self._steps: dict[str, list[int]] = {}
+        self._totals: dict[str, list[float]] = {}
+
+    def on_step(self, data: StepData, when: float) -> None:
+        if data.attributes.get("kind") != "diagnostics":
+            return
+        step = int(data.attributes.get("time_step", data.step))
+        for bit1_name, sp in SPECIES_NAMES.items():
+            profile = _assembled(data, f"{sp}_density")
+            if profile is None:
+                continue
+            w = np.ones(len(profile))
+            w[0] = w[-1] = 0.5
+            self._steps.setdefault(bit1_name, []).append(step)
+            self._totals.setdefault(bit1_name, []).append(
+                float((profile * w).sum()))
+
+    def history(self, bit1_species: str) -> tuple[np.ndarray, np.ndarray]:
+        """(iterations, total inventory) — the post-hoc reader's shape."""
+        return (np.asarray(self._steps.get(bit1_species, [])),
+                np.asarray(self._totals.get(bit1_species, [])))
+
+
+class CheckpointTee(InSituConsumer):
+    """Persists streamed checkpoint steps through the storage model.
+
+    The one consumer that *does* touch storage: a staging-node writer
+    with its own (typically 1-rank) communicator lands each streamed
+    checkpoint in ``outdir``, fsynced — the run stays restartable even
+    though the producer never writes files.  The per-step cost is the
+    measured storage time of that write, not the analysis-rate model.
+    Not an insight consumer.
+    """
+
+    insight = False
+
+    def __init__(self, posix, comm, outdir: str, name: str = "ckpt-tee",
+                 **kw):
+        super().__init__(name, **kw)
+        self.posix = posix
+        self.comm = comm
+        self.outdir = outdir.rstrip("/")
+        if not posix.exists(self.outdir):
+            posix.mkdir(0, self.outdir, parents=True)
+        self.stored_bytes = 0
+        self.checkpoints: list[int] = []
+
+    def process(self, data: StepData, when: float) -> float:
+        self.steps_seen.append(int(data.attributes.get("time_step",
+                                                       data.step)))
+        if data.attributes.get("kind") != "checkpoint":
+            return 0.0
+        step = int(data.attributes.get("time_step", data.step))
+        # align the tee's clock with the delivery time, then measure the
+        # storage cost as the clock delta the write run incurs
+        np.maximum(self.comm.clocks, when, out=self.comm.clocks)
+        t0 = self.comm.max_time()
+        path = f"{self.outdir}/stream_ckpt.bp"
+        fd = self.posix.open(0, path, create=True, truncate=True)
+        self.posix.write(0, fd, SyntheticPayload(
+            max(int(data.total_bytes), 1), "particle_float32"))
+        self.posix.fsync(0, fd)
+        self.posix.close(0, fd)
+        self.stored_bytes += int(data.total_bytes)
+        self.checkpoints.append(step)
+        return self.comm.max_time() - t0

@@ -19,7 +19,8 @@ import numpy as np
 from repro.trace.events import DATA_KINDS, IOEvent
 
 #: Order layers appear in breakdown reports (engine work on top of fs).
-_LAYER_ORDER = ("engine", "mpiio", "stdio", "posix", "mpi", "faults")
+_LAYER_ORDER = ("engine", "stream", "mpiio", "stdio", "posix", "mpi",
+                "faults")
 
 
 def _node_lookup(node_of_rank):

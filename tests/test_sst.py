@@ -2,8 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.adios2 import SSTEngine, SSTReader, open_streams, reset_streams
+from repro.adios2 import (
+    SSTEngine,
+    SSTReader,
+    StagingBackpressure,
+    StreamRegistry,
+    open_streams,
+    reset_streams,
+)
 from repro.cluster.presets import dardel
 from repro.fs import PosixIO, mount
 from repro.mpi import VirtualComm
@@ -133,3 +142,122 @@ class TestStreaming:
         step = reader.begin_step()
         with pytest.raises(NotImplementedError):
             reader.get(step, "/bulk")  # synthetic chunks carry no data
+
+
+@pytest.mark.streaming
+class TestRegistryScoping:
+    """Streams are scoped to a registry, not the process (regression:
+    the registry used to be a process-global dict, so concurrent runs
+    producing the same stream name collided)."""
+
+    def test_scoped_registries_do_not_collide(self, env):
+        _fs, comm, posix = env
+        r1, r2 = StreamRegistry(), StreamRegistry()
+        e1 = SSTEngine(posix, comm, "/run/same.sst", registry=r1)
+        e2 = SSTEngine(posix, comm, "/run/same.sst", registry=r2)
+        assert r1.open_streams() == ["same"]
+        assert r2.open_streams() == ["same"]
+        assert open_streams() == []  # default registry untouched
+        e1.close()
+        e2.close()
+
+    def test_reader_resolves_in_its_registry_only(self, env):
+        _fs, comm, posix = env
+        registry = StreamRegistry()
+        SSTEngine(posix, comm, "/run/scoped.sst", registry=registry)
+        assert SSTReader("scoped", registry=registry) is not None
+        with pytest.raises(ConnectionError):
+            SSTReader("scoped")  # not advertised process-wide
+
+    def test_duplicate_producer_still_rejected_within_registry(self, env):
+        _fs, comm, posix = env
+        registry = StreamRegistry()
+        SSTEngine(posix, comm, "/run/dup.sst", registry=registry)
+        with pytest.raises(RuntimeError):
+            SSTEngine(posix, comm, "/run/dup.sst", registry=registry)
+
+    def test_closed_stream_name_reusable(self, env):
+        _fs, comm, posix = env
+        registry = StreamRegistry()
+        SSTEngine(posix, comm, "/run/re.sst", registry=registry).close()
+        again = SSTEngine(posix, comm, "/run/re.sst", registry=registry)
+        assert registry.open_streams() == ["re"]
+        again.close()
+
+
+@pytest.mark.streaming
+class TestMultiConsumerProperty:
+    """Property test for the SST fan-out semantics: under any
+    interleaving of publishes and per-consumer drains, every consumer
+    observes every *surviving* step exactly once, in publish order."""
+
+    @given(
+        n_consumers=st.integers(min_value=1, max_value=3),
+        queue_depth=st.integers(min_value=1, max_value=3),
+        policy=st.sampled_from(["discard", "block"]),
+        actions=st.lists(
+            st.one_of(st.just("publish"),
+                      st.tuples(st.just("drain"),
+                                st.integers(min_value=0, max_value=2))),
+            max_size=40),
+    )
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_exactly_once_in_publish_order(self, n_consumers, queue_depth,
+                                           policy, actions):
+        comm = VirtualComm(1, 1)
+        registry = StreamRegistry()
+        eng = SSTEngine(None, comm, "prop.sst", queue_depth=queue_depth,
+                        policy=policy, registry=registry)
+        readers = [SSTReader("prop", registry=registry)
+                   for _ in range(n_consumers)]
+        seen: list[list[int]] = [[] for _ in range(n_consumers)]
+        published = 0
+
+        def drain(i: int) -> bool:
+            try:
+                data = readers[i].begin_step()
+            except BlockingIOError:
+                return False
+            if data is None:
+                return False
+            seen[i].append(data.step)
+            return True
+
+        for action in actions:
+            if action == "publish":
+                eng.begin_step()
+                eng.put("/v", "double", (1,), 0, (0,), (1,),
+                        np.array([float(published)]))
+                while True:
+                    try:
+                        eng.end_step()
+                        published += 1
+                        break
+                    except StagingBackpressure:
+                        # block policy: drain the laggard consumer, as
+                        # the staging transport does to free a slot
+                        laggard = min(
+                            range(n_consumers),
+                            key=lambda j: readers[j].stream.cursors[
+                                readers[j]._cid])
+                        assert drain(laggard)
+            else:
+                drain(action[1] % n_consumers)
+        eng.close()
+        for i in range(n_consumers):
+            while drain(i):
+                pass
+
+        for s in seen:
+            assert s == sorted(s), "steps observed out of publish order"
+            assert len(s) == len(set(s)), "a step was delivered twice"
+            assert all(0 <= step < published for step in s)
+            if published:
+                # the final step survives every policy (nothing was
+                # published after it to force it out)
+                assert s[-1] == published - 1
+        if policy == "block":
+            assert eng.stream.dropped == 0
+            for s in seen:
+                assert s == list(range(published))

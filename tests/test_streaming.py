@@ -1,0 +1,282 @@
+"""Tests for the in-situ streaming plane (``repro.streaming``).
+
+Covers the PR's acceptance criteria: in-situ reductions bit-identical
+to post-hoc analysis of the file-based series, exact backpressure
+accounting (stall/drop counts and trace events), deterministic behaviour
+under an active fault plan, and the post-hoc vs in-situ experiment
+showing time-to-first-insight wins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adios2 import SSTEngine, SSTReader, StreamRegistry, open_streams
+from repro.analysis.moments import compute_moments
+from repro.analysis.reader import Bit1SeriesReader
+from repro.cluster.presets import dardel
+from repro.experiments.streaming import run_streaming
+from repro.faults import ConsumerCrash, FaultPlan, NICFlap
+from repro.fs import PosixIO, mount
+from repro.io_adaptor.openpmd_adaptor import Bit1OpenPMDWriter
+from repro.mpi import VirtualComm
+from repro.pic.simulation import Bit1Simulation
+from repro.streaming import (
+    InSituConsumer,
+    NetworkPath,
+    StagedTransport,
+    run_insitu,
+    run_streaming_scaled,
+)
+from repro.trace.bus import TraceBus
+from repro.workloads.presets import paper_use_case, small_use_case
+
+pytestmark = pytest.mark.streaming
+
+#: the golden config: 4 diagnostics events (steps 20..80) and two
+#: checkpoint writes at step 80 (cadence + final state), matching the
+#: reader-side tests in test_analysis.py
+GOLDEN = dict(ncells=32, particles_per_cell=20, last_step=80,
+              datfile=20, dmpstep=80)
+
+
+class _Capture:
+    """Minimal trace subscriber: records stream-layer events."""
+
+    kinds = {"publish", "deliver", "stall", "drop"}
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+# -- golden bit-identity ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Same seeded config through both paths: files then post-hoc
+    analysis, and the staged stream with in-situ consumers."""
+    cfg = small_use_case(**GOLDEN)
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(4, 2)
+    posix = PosixIO(fs, comm)
+    writer = Bit1OpenPMDWriter(posix, comm, "/run/golden")
+    sim = Bit1Simulation(cfg, comm, writers=[writer])
+    sim.run()
+    reader = Bit1SeriesReader(posix, comm, "/run/golden")
+    report = run_insitu(cfg, VirtualComm(4, 2), queue_depth=2,
+                        policy="block")
+    return cfg, sim, reader, report
+
+
+class TestBitIdentity:
+    def test_density_history_bit_identical(self, golden):
+        cfg, _sim, reader, report = golden
+        timeseries = report.consumers["timeseries"]
+        for sp in cfg.species:
+            steps_f, totals_f = reader.density_history(sp.name)
+            steps_s, totals_s = timeseries.history(sp.name)
+            assert np.array_equal(steps_f, steps_s)
+            assert np.array_equal(totals_f, totals_s), (
+                f"in-situ inventory history diverges for {sp.name!r}")
+
+    def test_moments_bit_identical(self, golden):
+        cfg, sim, reader, report = golden
+        moments = report.consumers["moments"]
+        for sp in cfg.species:
+            ps = reader.phase_space(sp.name)
+            posthoc = compute_moments(sim.grid, ps.x, ps.vx, ps.vy,
+                                      ps.vz, ps.weight, sp.mass)
+            insitu = moments.moments[sp.name]
+            assert np.array_equal(posthoc.density, insitu.density)
+            assert np.array_equal(posthoc.mean_velocity,
+                                  insitu.mean_velocity)
+            assert np.array_equal(posthoc.temperature_ev,
+                                  insitu.temperature_ev)
+
+    def test_stream_carried_every_output_event(self, golden):
+        _cfg, _sim, _reader, report = golden
+        # 4 diagnostics + checkpoint at step 80 + the final-state write
+        assert report.transport.published == 6
+        assert report.transport.dropped == 0
+        stats = report.transport.stats()
+        assert all(s.delivered == 6 for s in stats.values())
+
+    def test_first_insight_before_makespan(self, golden):
+        _cfg, _sim, _reader, report = golden
+        assert report.time_to_first_insight is not None
+        assert report.time_to_first_insight < report.makespan
+
+
+# -- backpressure exactness -------------------------------------------------
+
+
+class TestBackpressure:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_block_stalls_exactly_past_queue_depth(self, depth):
+        """With k buffered steps undrained, publish k+1 stalls — and
+        only then; counts and trace events agree exactly."""
+        comm = VirtualComm(1, 1)
+        eng = SSTEngine(None, comm, "bp.sst", queue_depth=depth,
+                        policy="block", registry=StreamRegistry())
+        bus = TraceBus()
+        cap = bus.subscribe(_Capture())
+        # slow pickup path: the slot release (copy-out) dominates, so
+        # every publish past the depth must wait for the laggard
+        transport = StagedTransport(
+            eng, path=NetworkPath(latency=0.0, bandwidth=1.0), bus=bus)
+        transport.attach(InSituConsumer("slow", analysis_rate=1e30,
+                                        overhead_seconds=0.0))
+        n = 6
+        for _ in range(n):
+            transport.begin_step()
+            transport.put_group("g", np.array([0]), 1000)
+            transport.end_step()
+        assert transport.stalls == n - depth
+        assert cap.count("stall") == n - depth
+        assert transport.dropped == 0
+        assert transport.stall_seconds > 0
+        transport.close()
+        assert transport.stats()["slow"].delivered == n
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_discard_drops_exactly_past_queue_depth(self, depth):
+        """Undrained discard stream: depth k keeps the newest k steps,
+        drops the rest, and emits one drop event per casualty."""
+        fs = mount(dardel().storage_named("lfs"))
+        comm = VirtualComm(1, 1)
+        posix = PosixIO(fs, comm)
+        cap = posix.trace.subscribe(_Capture())
+        registry = StreamRegistry()
+        eng = SSTEngine(posix, comm, "dp.sst", queue_depth=depth,
+                        policy="discard", registry=registry)
+        transport = StagedTransport(eng, path=NetworkPath())
+        n = 6
+        for i in range(n):
+            transport.begin_step()
+            transport.put_attribute("time_step", i)
+            transport.put_group("g", np.array([0]), 1000)
+            transport.end_step()
+        assert transport.dropped == n - depth
+        assert cap.count("drop") == n - depth
+        assert transport.stalls == 0
+        # a late consumer sees exactly the newest k steps, in order
+        late = SSTReader("dp", registry=registry)
+        eng.close()
+        survivors = []
+        while (data := late.begin_step()) is not None:
+            survivors.append(data.attributes["time_step"])
+        assert survivors == list(range(n - depth, n))
+
+
+# -- fault-plane coverage ---------------------------------------------------
+
+
+def _scaled(fault_plan=None, **kw):
+    cfg = paper_use_case().with_(last_step=20_000)
+    kw.setdefault("queue_depth", 2)
+    kw.setdefault("policy", "block")
+    return run_streaming_scaled(dardel(), 2, config=cfg,
+                                fault_plan=fault_plan, **kw)
+
+
+class TestStreamingFaults:
+    def test_consumer_crash_reduces_deliveries(self):
+        base = _scaled()
+        crash = _scaled(fault_plan=FaultPlan(
+            specs=(ConsumerCrash(consumer="analysis", step=1_500),),
+            seed=1))
+        assert (crash.consumer_stats["analysis"].delivered
+                < base.consumer_stats["analysis"].delivered)
+        assert crash.consumer_stats["analysis"].missed > 0
+
+    def test_crash_with_rejoin_resumes(self):
+        crash = _scaled(fault_plan=FaultPlan(
+            specs=(ConsumerCrash(consumer="analysis", step=1_500,
+                                 rejoin_step=9_500),), seed=1))
+        seen = crash.consumer_stats["analysis"]
+        assert 0 < seen.delivered < crash.published
+        only_crash = _scaled(fault_plan=FaultPlan(
+            specs=(ConsumerCrash(consumer="analysis", step=1_500),),
+            seed=1))
+        assert seen.delivered > \
+            only_crash.consumer_stats["analysis"].delivered
+
+    def test_nic_flap_derates_stream_bandwidth(self):
+        base = _scaled()
+        flapped = _scaled(fault_plan=FaultPlan(
+            specs=(NICFlap(node=0, start_step=2_000, end_step=18_000,
+                           factor=0.1),), seed=2))
+        assert flapped.makespan > base.makespan
+
+    def test_faulted_run_is_deterministic(self):
+        plan = FaultPlan(specs=(
+            ConsumerCrash(consumer="analysis", step=5_000,
+                          rejoin_step=15_000),
+            NICFlap(node=0, start_step=2_000, end_step=8_000, factor=0.25),
+        ), seed=7)
+        a = _scaled(fault_plan=plan, trace_mode="full")
+        b = _scaled(fault_plan=plan, trace_mode="full")
+        assert a.makespan == b.makespan
+        assert a.time_to_first_insight == b.time_to_first_insight
+        assert (a.stalls, a.stall_seconds, a.dropped, a.published) == \
+            (b.stalls, b.stall_seconds, b.dropped, b.published)
+        assert a.peak_staging_bytes == b.peak_staging_bytes
+        assert {n: s.delivered for n, s in a.consumer_stats.items()} == \
+            {n: s.delivered for n, s in b.consumer_stats.items()}
+        assert [(e.kind, e.step) for e in a.trace.events] == \
+            [(e.kind, e.step) for e in b.trace.events]
+
+
+# -- scaled pipeline & storage ---------------------------------------------
+
+
+class TestScaledStreaming:
+    def test_checkpoint_tee_is_the_only_storage(self):
+        res = _scaled()
+        assert res.stored_bytes > 0
+        assert res.stored_bytes < res.file_bytes_equivalent
+        assert res.storage_bytes_avoided > 0
+        tee = res.consumer_stats["ckpt-tee"]
+        assert tee.delivered == res.published
+
+    def test_without_tee_nothing_is_stored(self):
+        res = _scaled(checkpoint_tee=False)
+        assert res.stored_bytes == 0
+        assert res.storage_bytes_avoided == res.file_bytes_equivalent
+
+    def test_runs_do_not_leak_into_default_registry(self):
+        cfg = small_use_case(ncells=16, particles_per_cell=5,
+                             last_step=20, datfile=10, dmpstep=20)
+        run_insitu(cfg, VirtualComm(2, 1))
+        assert "bit1_insitu" not in open_streams()
+        # second run reuses the stream name: scoped registries cannot
+        # collide across runs (the old process-global bug)
+        run_insitu(cfg, VirtualComm(2, 1))
+        res = _scaled()
+        assert "bit1_stream" not in open_streams()
+        assert res.published > 0
+
+
+# -- the experiment ---------------------------------------------------------
+
+
+class TestStreamingExperiment:
+    def test_insitu_first_insight_wins_at_multiple_scales(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "")
+        cfg = paper_use_case().with_(last_step=4_000, dmpstep=2_000)
+        res = run_streaming(node_counts=(2, 10), queue_depths=(1, 2),
+                            config=cfg)
+        assert len(res.rows) == 4
+        assert len(res.insitu_wins()) >= 2, res.render()
+        assert all(r.peak_staging_gib > 0 for r in res.rows)
+        assert all(r.storage_avoided_gib > 0 for r in res.rows)
+        # depth 1 cannot absorb the back-to-back checkpoint events:
+        # backpressure must be visible in the block-policy sweep
+        assert any(r.stalls > 0 for r in res.rows if r.queue_depth == 1)
+        assert "scales" in res.render()
