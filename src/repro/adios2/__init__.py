@@ -1,6 +1,11 @@
 """ADIOS2-like I/O framework: BP engines, aggregation, operators, profiling."""
 
-from repro.adios2.aggregation import AggregationPlan, gather_cost_seconds, plan_aggregation
+from repro.adios2.aggregation import (
+    AggregationPlan,
+    gather_cost_seconds,
+    plan_aggregation,
+    two_level_gather_cost,
+)
 from repro.adios2.bp4 import BP3Engine, BP4Engine
 from repro.adios2.bp5 import BP5Engine
 from repro.adios2.engine import BPEngineBase, EngineConfig, IntegrityError
@@ -67,4 +72,5 @@ __all__ = [
     "open_streams",
     "plan_aggregation",
     "reset_streams",
+    "two_level_gather_cost",
 ]

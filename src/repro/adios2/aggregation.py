@@ -6,6 +6,19 @@ aggregator per node (a single shared file among the MPI processes of each
 node); the ``OPENPMD_ADIOS2_BP5_NumAgg`` parameter overrides the desired
 number of output files.  This module computes the rank→aggregator map and
 the per-aggregator byte loads; the engines use it every flush.
+
+Two cost models are provided:
+
+* :func:`gather_cost_seconds` — the one-level (BP4-style) shuffle where
+  every rank ships its chunk straight to its subfile owner.  Intra-node
+  legs run over shared memory; cross-node legs serialise on the sending
+  node's NIC.
+* :func:`two_level_gather_cost` — the BP5 shuffle: ranks first funnel to
+  a node-local staging leader at memory bandwidth (level 1), then node
+  leaders ship the per-subfile volumes to the subfile owners (level 2) —
+  again shm within a node, NIC across nodes.  With one rank per node the
+  funnel is empty and the model degenerates *bit-exactly* to the
+  one-level cost (property-tested).
 """
 
 from __future__ import annotations
@@ -25,6 +38,9 @@ class AggregationPlan:
     num_ranks: int
     aggregator_ranks: np.ndarray   # (M,) global ranks that own subfiles
     agg_index_of_rank: np.ndarray  # (N,) subfile index each rank sends to
+    #: node index of each rank; ``None`` degrades locality checks to rank
+    #: equality (every rank its own node — the pre-topology behaviour)
+    node_of_rank: np.ndarray | None = None
 
     @property
     def num_aggregators(self) -> int:
@@ -41,11 +57,22 @@ class AggregationPlan:
         return np.bincount(self.agg_index_of_rank, weights=per_rank_bytes,
                            minlength=self.num_aggregators).astype(np.int64)
 
+    def _node_ids(self) -> np.ndarray:
+        if self.node_of_rank is not None:
+            return self.node_of_rank
+        return np.arange(self.num_ranks)
+
     def remote_bytes(self, per_rank_bytes: np.ndarray) -> np.ndarray:
-        """Bytes each rank ships to a *different* rank (network traffic)."""
+        """Bytes each rank ships to a different *node* (NIC traffic).
+
+        Same-node transfers — including to a different rank on the same
+        node — go over shared memory, not the interconnect, so they do
+        not count as remote.
+        """
         per_rank_bytes = np.asarray(per_rank_bytes)
         own_agg_rank = self.aggregator_ranks[self.agg_index_of_rank]
-        is_local = own_agg_rank == np.arange(self.num_ranks)
+        node = self._node_ids()
+        is_local = node[own_agg_rank] == node
         return np.where(is_local, 0, per_rank_bytes)
 
     def failover(self, dead_ranks) -> "AggregationPlan":
@@ -75,6 +102,7 @@ class AggregationPlan:
             num_ranks=self.num_ranks,
             aggregator_ranks=new_owners,
             agg_index_of_rank=self.agg_index_of_rank,
+            node_of_rank=self.node_of_rank,
         )
 
 
@@ -110,26 +138,121 @@ def plan_aggregation(comm: VirtualComm,
         num_ranks=n,
         aggregator_ranks=agg_ranks,
         agg_index_of_rank=agg_index,
+        node_of_rank=comm.node_of_rank,
     )
 
 
 def gather_cost_seconds(plan: AggregationPlan, per_rank_bytes: np.ndarray,
                         comm: VirtualComm) -> np.ndarray:
-    """Per-rank virtual seconds for shuffling chunks to the aggregators.
+    """Per-rank virtual seconds for the one-level shuffle to aggregators.
 
-    Senders pay their outgoing volume at NIC bandwidth; aggregators pay
-    their incoming volume.  Node-local transfers are modelled at memory
-    speed (effectively free at these sizes) — shared-memory transport.
+    Sender legs: shipping to yourself is free; shipping to another rank
+    on the same node runs at shared-memory bandwidth; shipping across
+    nodes pays one message latency plus the sending node's total NIC
+    egress (the NIC is time-shared among that node's senders, so every
+    cross-node sender on a node observes the node's serialised egress).
+    Receiver legs: each aggregator pays its incoming volume at the
+    transport that leg arrived on (shm for same-node, NIC for
+    cross-node).
     """
+    n = comm.size
+    b = np.asarray(per_rank_bytes, dtype=np.float64)
     nic = comm.effective_bandwidth()
-    out = np.zeros(comm.size, dtype=np.float64)
-    remote = plan.remote_bytes(per_rank_bytes).astype(np.float64)
-    out += remote / nic
-    incoming = plan.per_aggregator_bytes(per_rank_bytes).astype(np.float64)
-    own = np.zeros(comm.size, dtype=np.float64)
-    scatter_add(own, plan.aggregator_ranks, incoming)
-    local_own = np.zeros(comm.size, dtype=np.float64)
-    scatter_add(local_own, plan.aggregator_ranks[plan.agg_index_of_rank],
-                np.where(remote > 0, 0.0, per_rank_bytes))
-    out += np.maximum(own - local_own, 0.0) / nic
+    shm = comm.shm_bandwidth()
+    lat = comm.config.latency
+    node = plan.node_of_rank if plan.node_of_rank is not None \
+        else comm.node_of_rank
+    owner = plan.aggregator_ranks[plan.agg_index_of_rank]
+    self_mask = owner == np.arange(n)
+    same_node = node[owner] == node
+    local = same_node & ~self_mask & (b > 0)
+    cross = ~same_node & (b > 0)
+    out = np.zeros(n, dtype=np.float64)
+    out[local] = b[local] / shm
+    if cross.any():
+        nnodes = int(node.max()) + 1
+        egress = np.bincount(node[cross], weights=b[cross],
+                             minlength=nnodes)
+        out[cross] = lat + egress[node[cross]] / nic
+    # receiver legs: per-entry division before the scatter so the
+    # two-level degenerate case (one rank per node) is bit-identical
+    scatter_add(out, owner[cross], b[cross] / nic)
+    scatter_add(out, owner[local], b[local] / shm)
+    return out
+
+
+def two_level_gather_cost(plan: AggregationPlan, per_rank_bytes: np.ndarray,
+                          comm: VirtualComm) -> np.ndarray:
+    """Per-rank seconds for the BP5 two-level (shm + inter-node) shuffle.
+
+    Level 1 — node funnel: every rank that is not its node's staging
+    leader copies its chunk into the leader's shared-memory segment; the
+    leader pays the matching ingress.  The leader is the node's first
+    subfile-owner rank when one exists (it already holds a staging
+    buffer), else the node's first rank.
+
+    Level 2 — subfile shuffle: each node leader ships one consolidated
+    message per destination subfile.  A leader that owns the subfile
+    itself moves nothing; a same-node destination runs both legs over
+    shm; cross-node destinations serialise on the leader's NIC (one
+    latency per message plus the node's total cross-node egress) and the
+    owner pays NIC ingress.
+
+    With one rank per node, level 1 is empty and level 2 reduces term by
+    term to :func:`gather_cost_seconds` — bit-identical, property-tested.
+    """
+    n = comm.size
+    b = np.asarray(per_rank_bytes, dtype=np.float64)
+    nic = comm.effective_bandwidth()
+    shm = comm.shm_bandwidth()
+    lat = comm.config.latency
+    node = plan.node_of_rank if plan.node_of_rank is not None \
+        else comm.node_of_rank
+    nnodes = int(node.max()) + 1
+    m = plan.num_aggregators
+    owners = plan.aggregator_ranks
+
+    # staging leader per node: first subfile owner on the node, if any
+    leader = np.full(nnodes, n, dtype=np.int64)
+    np.minimum.at(leader, node[owners], owners)
+    missing = leader == n
+    if missing.any():
+        first = np.full(nnodes, n, dtype=np.int64)
+        np.minimum.at(first, node, np.arange(n))
+        leader[missing] = first[missing]
+
+    out = np.zeros(n, dtype=np.float64)
+
+    # level 1: non-leader ranks funnel into the leader's shm segment
+    is_leader = np.zeros(n, dtype=bool)
+    is_leader[leader] = True
+    l1 = ~is_leader & (b > 0)
+    out[l1] = b[l1] / shm
+    scatter_add(out, leader[node[l1]], b[l1] / shm)
+
+    # level 2: sparse (node, subfile) volumes
+    keys = node * m + plan.agg_index_of_rank
+    vol = np.bincount(keys, weights=b, minlength=nnodes * m)
+    vol = vol.reshape(nnodes, m)
+    src, agg = np.nonzero(vol)
+    if src.size == 0:
+        return out
+    v = vol[src, agg]
+    dst_rank = owners[agg]
+    dst_node = node[dst_rank]
+    src_leader = leader[src]
+    self_leg = src_leader == dst_rank
+    samenode = (dst_node == src) & ~self_leg
+    crossnode = dst_node != src
+
+    scatter_add(out, src_leader[samenode], v[samenode] / shm)
+    scatter_add(out, dst_rank[samenode], v[samenode] / shm)
+
+    if crossnode.any():
+        nmsg = np.bincount(src[crossnode], minlength=nnodes)
+        egress = np.bincount(src[crossnode], weights=v[crossnode],
+                             minlength=nnodes)
+        busy = np.nonzero(nmsg)[0]
+        scatter_add(out, leader[busy], nmsg[busy] * lat + egress[busy] / nic)
+        scatter_add(out, dst_rank[crossnode], v[crossnode] / nic)
     return out

@@ -24,6 +24,10 @@ class NodeSpec:
     sockets: int = 2
     cores_per_socket: int = 64
     memory_bytes: float = 256 * GiB
+    #: sustained node-local shared-memory copy bandwidth, bytes/s — the
+    #: rate intra-node transfers (e.g. ADIOS2's shm aggregation funnel)
+    #: run at, as opposed to the NIC rate of inter-node traffic
+    memory_bandwidth: float = 200 * GiB
     cpu_model: str = "AMD EPYC 7H12"
 
     @property

@@ -35,6 +35,11 @@ class CommConfig:
     latency: float = 2.0e-6
     #: per-NIC bandwidth available to MPI traffic, bytes/s
     bandwidth: float = 25.0e9
+    #: node-local shared-memory transport bandwidth, bytes/s — what
+    #: intra-node transfers (same node, different rank) run at instead
+    #: of the NIC rate (see :class:`repro.cluster.machine.NodeSpec.
+    #: memory_bandwidth`, which the runners feed through here)
+    shm_bandwidth: float = 200.0 * 2**30
 
     def __post_init__(self) -> None:
         require_positive("size", self.size)
@@ -55,9 +60,11 @@ class VirtualComm:
     """
 
     def __init__(self, size: int, ranks_per_node: int = 128, *,
-                 latency: float = 2.0e-6, bandwidth: float = 25.0e9):
+                 latency: float = 2.0e-6, bandwidth: float = 25.0e9,
+                 shm_bandwidth: float = 200.0 * 2**30):
         self.config = CommConfig(size=size, ranks_per_node=ranks_per_node,
-                                 latency=latency, bandwidth=bandwidth)
+                                 latency=latency, bandwidth=bandwidth,
+                                 shm_bandwidth=shm_bandwidth)
         self.size = size
         #: virtual clock per rank, seconds
         self.clocks = np.zeros(size, dtype=np.float64)
@@ -113,6 +120,14 @@ class VirtualComm:
         if self.fault_state is not None:
             bw *= max(self.fault_state.nic_factor, 1e-6)
         return bw
+
+    def shm_bandwidth(self) -> float:
+        """Node-local shared-memory transport bandwidth (bytes/s).
+
+        Intra-node transfers never touch the NIC, so NIC-flap faults do
+        not derate this rate.
+        """
+        return self.config.shm_bandwidth
 
     def transfer_seconds(self, nbytes) -> float | np.ndarray:
         """Point-to-point NIC transfer time: latency + payload.

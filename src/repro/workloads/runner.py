@@ -116,7 +116,8 @@ def _setup(machine: Machine, nodes: int, ranks_per_node: int,
     fs = mount(storage, rng)
     comm = comm_for_nodes(nodes, ranks_per_node,
                           latency=machine.network.latency,
-                          bandwidth=machine.network.nic_bandwidth)
+                          bandwidth=machine.network.nic_bandwidth,
+                          shm_bandwidth=machine.node.memory_bandwidth)
     # one TraceSession per run is the instrumentation spine: the Darshan
     # monitor subscribes to its bus, and PosixIO emits onto the same bus
     # (passing the monitor to PosixIO as well would double-subscribe it)

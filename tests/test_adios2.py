@@ -15,6 +15,7 @@ from repro.adios2 import (
     engine_for_path,
     gather_cost_seconds,
     plan_aggregation,
+    two_level_gather_cost,
 )
 from repro.cluster.presets import dardel
 from repro.fs import PosixIO, SyntheticPayload, mount
@@ -121,6 +122,103 @@ class TestAggregation:
         # aggregators receive more than they send
         assert costs[plan.aggregator_ranks].max() >= costs.max() * 0.99
         assert np.all(costs >= 0)
+
+    def test_remote_bytes_same_node_is_local(self):
+        # regression: the old model compared *ranks*, so shipping to a
+        # different rank on the same node was billed as network traffic
+        comm = VirtualComm(8, 8)  # one node
+        plan = plan_aggregation(comm, 2)
+        remote = plan.remote_bytes(np.full(8, 100))
+        assert np.all(remote == 0)
+
+    def test_single_node_shuffle_at_memory_speed(self):
+        # acceptance: a single-node run's shuffle carries no NIC term —
+        # the cost is invariant under NIC bandwidth and matches the pure
+        # shared-memory formula
+        b = np.full(8, 32 * 2**20)
+        shm = 200 * 2**30
+        costs = {}
+        for nic in (1e9, 25e9):
+            comm = VirtualComm(8, 8, bandwidth=nic, shm_bandwidth=shm)
+            plan = plan_aggregation(comm, 2)
+            costs[nic] = gather_cost_seconds(plan, b, comm)
+        assert np.array_equal(costs[1e9], costs[25e9])
+        # owners are ranks 0 and 4; the other six ranks pay one shm leg
+        senders = np.setdiff1d(np.arange(8), plan.aggregator_ranks)
+        assert np.allclose(costs[25e9][senders], 32 * 2**20 / shm)
+        # each owner pays ingress from its three same-node senders
+        assert np.allclose(costs[25e9][plan.aggregator_ranks],
+                           3 * 32 * 2**20 / shm)
+
+    def test_cross_node_shuffle_serialises_node_egress(self):
+        comm = VirtualComm(8, 4)  # 2 nodes
+        plan = plan_aggregation(comm, 1)  # lone aggregator on rank 0
+        b = np.full(8, 10 * 2**20)
+        costs = gather_cost_seconds(plan, b, comm)
+        nic = comm.effective_bandwidth()
+        shm = comm.shm_bandwidth()
+        lat = comm.config.latency
+        egress = 4 * 10 * 2**20  # node 1's total cross-node bytes
+        assert np.allclose(costs[4:], lat + egress / nic)
+        # the aggregator pays shm ingress from its node and NIC ingress
+        # from the remote node
+        assert costs[0] == pytest.approx(3 * 10 * 2**20 / shm + egress / nic)
+
+    def test_two_level_degenerate_equals_one_level(self):
+        # property: with one rank per node the BP5 funnel is empty and
+        # the two-level cost is BIT-identical to the one-level cost
+        rng = np.random.default_rng(7)
+        for n, m in [(1, 1), (5, 2), (12, 5), (16, 16)]:
+            comm = VirtualComm(n, 1)
+            plan = plan_aggregation(comm, m)
+            b = rng.integers(0, 1 << 20, n).astype(np.float64)
+            b[::3] = 0.0  # zero-byte senders must cost nothing in both
+            one = gather_cost_seconds(plan, b, comm)
+            two = two_level_gather_cost(plan, b, comm)
+            assert np.array_equal(one, two), (n, m)
+
+    def test_two_level_single_node_no_nic_term(self):
+        b = np.full(8, 2**20)
+        costs = {}
+        for nic in (1e9, 25e9):
+            comm = VirtualComm(8, 8, bandwidth=nic)
+            plan = plan_aggregation(comm, 1)
+            costs[nic] = two_level_gather_cost(plan, b, comm)
+        assert np.array_equal(costs[1e9], costs[25e9])
+
+    def test_two_level_consolidates_cross_node_messages(self):
+        # two nodes, one subfile owned by rank 0: node 1's non-leader
+        # ranks only touch shm; its leader ships ONE consolidated
+        # message over the NIC
+        comm = VirtualComm(8, 4)
+        plan = plan_aggregation(comm, 1)
+        b = np.full(8, 2**20)
+        costs = two_level_gather_cost(plan, b, comm)
+        shm = comm.shm_bandwidth()
+        nic = comm.effective_bandwidth()
+        lat = comm.config.latency
+        assert np.allclose(costs[5:], 2**20 / shm)
+        assert costs[4] == pytest.approx(
+            3 * 2**20 / shm + lat + 4 * 2**20 / nic)
+        # the owner pays its node's shm funnel plus remote NIC ingress
+        assert costs[0] == pytest.approx(3 * 2**20 / shm + 4 * 2**20 / nic)
+
+    def test_failover_survivor_pays_skew_two_level(self):
+        comm = VirtualComm(16, 4)  # 4 nodes, owners 0/4/8/12
+        plan = plan_aggregation(comm, 4)
+        b = np.full(16, 2**20).astype(np.float64)
+        base = two_level_gather_cost(plan, b, comm)
+        failed = plan.failover([4])
+        assert list(failed.aggregator_ranks) == [0, 0, 8, 12]
+        skew = two_level_gather_cost(failed, b, comm)
+        # rank 0 now drives two subfiles: it pays strictly more than
+        # before, and strictly more than a single-subfile survivor
+        assert skew[0] > base[0]
+        assert skew[0] > skew[8]
+        # the subfile byte loads themselves are unchanged, bit for bit
+        assert np.array_equal(failed.per_aggregator_bytes(b),
+                              plan.per_aggregator_bytes(b))
+        assert failed.node_of_rank is plan.node_of_rank
 
 
 class TestEngineLayout:

@@ -49,21 +49,26 @@ FIG2_GOLDEN = {
 }
 FIG2_GOLDEN_MAX_TIME = 58.65766512624538
 
+# re-pinned after the aggregation node-locality fix: intra-node shuffle
+# legs now run at shared-memory bandwidth and cross-node senders observe
+# their node's serialised NIC egress, which moves the aggregation
+# profile category, the makespan, and (via profiling.json's timing
+# strings, 3 bytes shorter) the POSIX byte/write-time totals
 FIG8_GOLDEN_POSIX = {
     "POSIX_OPENS": 265.0,
     "POSIX_WRITES": 10409.0,
-    "POSIX_BYTES_WRITTEN": 10177954596.0,
-    "POSIX_F_WRITE_TIME": 17.401502864803028,
+    "POSIX_BYTES_WRITTEN": 10177954593.0,
+    "POSIX_F_WRITE_TIME": 17.40150284578758,
     "POSIX_F_META_TIME": 0.2851917575019039,
 }
 FIG8_GOLDEN_DIAG = {"memcpy": 1182.7199999999962, "compress": 0.0,
-                    "aggregation": 702.202320098877,
+                    "aggregation": 73466.5483002663,
                     "write": 87145.03388531267, "meta": 0.0}
 FIG8_GOLDEN_CKPT = {"memcpy": 1271039.3599999999, "compress": 0.0,
-                    "aggregation": 754639.1129493713,
+                    "aggregation": 24484028.955479138,
                     "write": 17148468.525611132, "meta": 0.0}
 FIG8_GOLDEN_BYTES_PUT = {"diag": 9461760.0, "ckpt": 10168314880.0}
-FIG8_GOLDEN_MAX_TIME = 17.820024773924985
+FIG8_GOLDEN_MAX_TIME = 17.655441058484556
 
 RTOL = 1e-12
 
