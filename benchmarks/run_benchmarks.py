@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro.cluster.presets import dardel                   # noqa: E402
 from repro.experiments.fig8 import run_fig8                # noqa: E402
 from repro.experiments.points import (                     # noqa: E402
+    engine_report,
     original_report,
     streaming_report,
 )
@@ -85,6 +86,11 @@ def build_suite(quick: bool) -> dict:
             lambda: streaming_report(machine=dardel(), nodes=point_nodes,
                                      config=stream_cfg, queue_depth=2,
                                      policy="block"),
+        f"bp5_async_point_{point_nodes}nodes":
+            lambda: engine_report(machine=dardel(), nodes=point_nodes,
+                                  engine_ext=".bp5", async_drain=True,
+                                  num_aggregators=2 * point_nodes,
+                                  compute_seconds_per_step=0.02),
     }
 
 

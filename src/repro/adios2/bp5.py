@@ -21,3 +21,7 @@ class BP5Engine(BPEngineBase):
     #: draining ("certain compromises to exert tighter control over the
     #: host memory usage", §II-A)
     default_buffer_chunk: int | None = 16 * 1024 * 1024
+    #: BP5 aggregates in two levels: ranks funnel through a node-local
+    #: shared-memory segment, then node leaders ship one consolidated
+    #: message per destination subfile over the NIC
+    two_level_shuffle: bool = True

@@ -33,7 +33,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.adios2.aggregation import AggregationPlan, gather_cost_seconds, plan_aggregation
+from repro.adios2.aggregation import (
+    AggregationPlan,
+    gather_cost_seconds,
+    plan_aggregation,
+    two_level_gather_cost,
+)
 from repro.adios2.profiling import EngineProfile
 from repro.adios2.variables import Attribute, Chunk, Variable
 from repro.compression.api import Compressor, get_compressor
@@ -69,6 +74,15 @@ class EngineConfig:
     #: "aggressive optimization"), a value = BP5's "tighter control over
     #: the host memory usage": flushes happen in bounded batches
     buffer_chunk_size: int | None = None
+    #: BP5 ``AsyncWrite``: drain subfiles asynchronously behind the next
+    #: step's compute instead of blocking ``end_step`` (double-buffered:
+    #: a new flush waits for the previous drain of its subfile)
+    async_drain: bool = False
+    #: cap on resident staging bytes per aggregator when async draining;
+    #: ``Put()`` blocks until the old buffer drains below it (BP5's
+    #: MaxShmSize-style control), so peak host memory never exceeds
+    #: ``max(bound, step_bytes)`` while total wait time is unchanged
+    host_memory_bound: int | None = None
 
 
 @dataclass
@@ -124,6 +138,9 @@ class BPEngineBase:
     #: engine-default staging bound (overridden per subclass); None =
     #: buffer the whole step (BP4)
     default_buffer_chunk: int | None = None
+    #: BP5 ships chunks through a node-local shm funnel before the
+    #: inter-node subfile shuffle; BP4/BP3 shuffle rank→owner directly
+    two_level_shuffle: bool = False
 
     def __init__(self, posix: PosixIO, comm: VirtualComm, path: str,
                  mode: str = "w", config: EngineConfig | None = None):
@@ -150,6 +167,19 @@ class BPEngineBase:
         self._index: list[_IndexEntry] = []
         self._slots: dict[str, list[_Slot]] = {}
         self._subfile_tails = np.zeros(self.plan.num_aggregators, dtype=np.int64)
+        m = self.plan.num_aggregators
+        #: async-drain bookkeeping (virtual time the in-flight drain of
+        #: each subfile completes, plus its batch schedule for residual
+        #: host-memory accounting) — inert in sync mode
+        self._drain_until = np.zeros(m, dtype=np.float64)
+        self._drain_ends: list[np.ndarray] = [np.zeros(0)] * m
+        self._drain_bytes: list[np.ndarray] = [np.zeros(0)] * m
+        #: high-water resident staging bytes per subfile buffer
+        self.peak_host_bytes = np.zeros(m, dtype=np.float64)
+        #: per-rank seconds stalled waiting on an unfinished drain
+        self.drain_wait_seconds = np.zeros(comm.size, dtype=np.float64)
+        #: per-subfile seconds the background drain was busy
+        self.drain_seconds = np.zeros(m, dtype=np.float64)
         self._step = -1
         self._in_step = False
         self._closed = False
@@ -306,7 +336,9 @@ class BPEngineBase:
             scatter_add(staged, ranks, nbytes.astype(np.float64))
 
         stored = self._apply_operator(staged)
-        gather = gather_cost_seconds(self.plan, stored, self.comm)
+        gather_fn = (two_level_gather_cost if self.two_level_shuffle
+                     else gather_cost_seconds)
+        gather = gather_fn(self.plan, stored, self.comm)
         self.comm.clocks += gather
         self._emit("shuffle", np.arange(n), stored, gather)
 
@@ -315,30 +347,147 @@ class BPEngineBase:
         active = per_agg > 0
         agg_ranks = self.plan.aggregator_ranks
         if active.any():
-            bound = self.config.buffer_chunk_size or self.default_buffer_chunk
-            if bound is not None and int(per_agg[active].max()) > bound:
-                # memory-bounded staging (BP5): drain the buffer in
-                # bounded batches -- more, smaller collective writes
-                remaining = per_agg[active].astype(np.int64).copy()
-                offs = offsets[active].astype(np.int64).copy()
-                while (remaining > 0).any():
-                    batch = np.minimum(remaining, bound)
-                    live = batch > 0
-                    self.posix.write_aggregate(
-                        agg_ranks[active][live],
-                        self._data_fds[active][live],
-                        batch[live], overwrite_offset=offs[live],
-                    )
-                    offs += batch
-                    remaining -= batch
+            if self.config.async_drain:
+                self._drain_async(per_agg, offsets, active)
             else:
-                self.posix.write_aggregate(
-                    agg_ranks[active], self._data_fds[active],
-                    per_agg[active], overwrite_offset=offsets[active],
-                )
+                self.peak_host_bytes = np.maximum(
+                    self.peak_host_bytes, per_agg)
+                bound = (self.config.buffer_chunk_size
+                         or self.default_buffer_chunk)
+                if bound is not None and int(per_agg[active].max()) > bound:
+                    # memory-bounded staging (BP5): drain the buffer in
+                    # bounded batches -- more, smaller collective writes
+                    remaining = per_agg[active].astype(np.int64).copy()
+                    offs = offsets[active].astype(np.int64).copy()
+                    while (remaining > 0).any():
+                        batch = np.minimum(remaining, bound)
+                        live = batch > 0
+                        self.posix.write_aggregate(
+                            agg_ranks[active][live],
+                            self._data_fds[active][live],
+                            batch[live], overwrite_offset=offs[live],
+                        )
+                        offs += batch
+                        remaining -= batch
+                else:
+                    self.posix.write_aggregate(
+                        agg_ranks[active], self._data_fds[active],
+                        per_agg[active], overwrite_offset=offsets[active],
+                    )
         self._materialize_chunks(offsets)
         self._write_step_metadata(overwrite_key)
         self.profile.steps += 1
+
+    def _drain_async(self, per_agg: np.ndarray, offsets: np.ndarray,
+                     active: np.ndarray) -> None:
+        """Schedule this step's subfile writes as a background drain.
+
+        BP5 ``AsyncWrite`` semantics in virtual time: ``end_step``
+        returns once the shuffle lands the buffers on the aggregators;
+        the collective writes are costed *now* (identical batches, RNG
+        draws and Darshan durations as the sync path) but stamped at
+        their scheduled future start times, and only ``_drain_until``
+        remembers when each subfile's drain completes.  Double-buffered:
+        a flush that arrives before the previous drain of its subfile
+        finished stalls the owner (``drain_wait``) until it has.
+        """
+        act = np.nonzero(active)[0]
+        own = self.plan.aggregator_ranks[act]
+        clocks = self.comm.clocks
+        entry = clocks[own].copy()
+
+        # residual bytes of the previous drain still resident at entry:
+        # the old and new buffer coexist until the old one finishes
+        residual = np.zeros(len(act), dtype=np.float64)
+        for j, i in enumerate(act):
+            ends = self._drain_ends[i]
+            if len(ends):
+                residual[j] = self._drain_bytes[i][ends > entry[j]].sum()
+        peak = per_agg[act] + residual
+        bound_bytes = self.config.host_memory_bound
+        if bound_bytes is not None:
+            # Put() blocks until the old buffer drains below the bound,
+            # so residency is capped while total wait time is unchanged
+            peak = np.minimum(peak, np.maximum(bound_bytes, per_agg[act]))
+        self.peak_host_bytes[act] = np.maximum(self.peak_host_bytes[act],
+                                               peak)
+
+        wait = np.maximum(self._drain_until[act] - entry, 0.0)
+        stalled = wait > 0
+        if stalled.any():
+            scatter_add(clocks, own[stalled], wait[stalled])
+            scatter_add(self.drain_wait_seconds, own[stalled], wait[stalled])
+            self._emit("drain_wait", own[stalled],
+                       np.zeros(int(stalled.sum())), wait[stalled])
+
+        begin = clocks[own].copy()
+        starts = begin.copy()
+        bound = self.config.buffer_chunk_size or self.default_buffer_chunk
+        sched_ends: list[list[float]] = [[] for _ in act]
+        sched_bytes: list[list[float]] = [[] for _ in act]
+        fds = self._data_fds[act]
+        if bound is not None and int(per_agg[act].max()) > bound:
+            remaining = per_agg[act].astype(np.int64).copy()
+            offs = offsets[act].astype(np.int64).copy()
+            while (remaining > 0).any():
+                batch = np.minimum(remaining, bound)
+                live = batch > 0
+                costs = self.posix.write_aggregate(
+                    own[live], fds[live], batch[live],
+                    overwrite_offset=offs[live],
+                    charge_clocks=False, start_at=starts[live],
+                )
+                starts[live] += costs
+                for j in np.nonzero(live)[0]:
+                    sched_ends[j].append(float(starts[j]))
+                    sched_bytes[j].append(float(batch[j]))
+                offs += batch
+                remaining -= batch
+        else:
+            costs = self.posix.write_aggregate(
+                own, fds, per_agg[act], overwrite_offset=offsets[act],
+                charge_clocks=False, start_at=starts,
+            )
+            starts = starts + costs
+            for j in range(len(act)):
+                sched_ends[j].append(float(starts[j]))
+                sched_bytes[j].append(float(per_agg[act][j]))
+
+        self._drain_until[act] = starts
+        self.drain_seconds[act] += starts - begin
+        for j, i in enumerate(act):
+            self._drain_ends[i] = np.asarray(sched_ends[j])
+            self._drain_bytes[i] = np.asarray(sched_bytes[j])
+        bus = self.posix.trace
+        if bus.wants("drain"):
+            # explicit future start: _emit would back-date from the
+            # owner clocks, which the drain deliberately did not advance
+            bus.emit("drain", own, nbytes=per_agg[act].astype(np.float64),
+                     duration=starts - begin, start=begin,
+                     api="ENGINE", layer="engine")
+
+    def _settle_drains(self) -> None:
+        """Block until every in-flight drain completes (close barrier).
+
+        An owner adopting several subfiles waits for the *latest* of its
+        drains; the stall is charged and emitted like any other
+        ``drain_wait``.
+        """
+        if not self.config.async_drain:
+            return
+        owners = self.plan.aggregator_ranks
+        clocks = self.comm.clocks
+        target = np.zeros(self.comm.size, dtype=np.float64)
+        np.maximum.at(target, owners, self._drain_until)
+        ranks = np.unique(owners)
+        wait = np.maximum(target[ranks] - clocks[ranks], 0.0)
+        stalled = wait > 0
+        if stalled.any():
+            clocks[ranks[stalled]] += wait[stalled]
+            self.drain_wait_seconds[ranks[stalled]] += wait[stalled]
+            self._emit("drain_wait", ranks[stalled],
+                       np.zeros(int(stalled.sum())), wait[stalled])
+        self._drain_until[:] = 0.0
 
     def _emit(self, kind: str, ranks: np.ndarray, nbytes, seconds) -> None:
         """Emit one engine-plane event (clocks already charged)."""
@@ -567,6 +716,9 @@ class BPEngineBase:
         """
         if self._closed:
             return
+        # a crashed process's drain thread dies with it: pending drains
+        # are dropped, nobody waits on them
+        self._drain_until[:] = 0.0
         if len(self._data_fds):
             self.posix.release_fds(self._data_fds)
         for attr in ("_md_fd", "_idx_fd"):
@@ -587,6 +739,8 @@ class BPEngineBase:
         if self._in_step:
             raise RuntimeError("cannot close an engine mid-step")
         if self.mode in ("w", "a"):
+            with self.posix.trace.scope(self._trace_scope):
+                self._settle_drains()
             if self._attributes:
                 self._append_md(0, real=self._attributes_json())
             if self.config.profiling:

@@ -62,22 +62,33 @@ class Bit1SeriesReader:
 
     # -- checkpoints -----------------------------------------------------------
 
+    def _latest_checkpoint(self) -> int:
+        """Newest iteration present in the checkpoint (``_dmp``) series.
+
+        BIT1 usually rewrites iteration 0 in place, but restart-file
+        (file-based) layouts and future multi-slot checkpoints carry
+        several iterations — always read the newest one instead of
+        hardcoding 0.
+        """
+        return max(self.ckpt.read_iterations(), default=0)
+
     def phase_space(self, bit1_species: str) -> PhaseSpace:
         """The latest checkpointed phase space of one species."""
         sp = SPECIES_NAMES.get(bit1_species, bit1_species)
+        it = self._latest_checkpoint()
         return PhaseSpace(
             species=bit1_species,
-            x=self.ckpt.load_particles(0, sp, "position", "x"),
-            vx=self.ckpt.load_particles(0, sp, "momentum", "x"),
-            vy=self.ckpt.load_particles(0, sp, "momentum", "y"),
-            vz=self.ckpt.load_particles(0, sp, "momentum", "z"),
-            weight=self.ckpt.load_particles(0, sp, "weighting"),
+            x=self.ckpt.load_particles(it, sp, "position", "x"),
+            vx=self.ckpt.load_particles(it, sp, "momentum", "x"),
+            vy=self.ckpt.load_particles(it, sp, "momentum", "y"),
+            vz=self.ckpt.load_particles(it, sp, "momentum", "z"),
+            weight=self.ckpt.load_particles(it, sp, "weighting"),
         )
 
     def checkpoint_step(self) -> int:
         """The step the latest checkpoint was taken at (if recorded)."""
-        attrs = self.ckpt._read_engine.attributes
-        value = attrs.get("/data/0/checkpointStep")
+        it = self._latest_checkpoint()
+        value = self.ckpt.attribute(f"/data/{it}/checkpointStep")
         return int(value) if value is not None else 0
 
     # -- diagnostics --------------------------------------------------------------
@@ -111,8 +122,14 @@ class Bit1SeriesReader:
             except KeyError:
                 continue
             kept.append(it)
+            if len(profile) < 2:
+                # degenerate grid: no interior/end distinction, the
+                # trapezoid end-weights would halve a single node
+                totals.append(float(profile.sum()))
+                continue
             # trapezoid over nodes: interior nodes weight dx, ends dx/2
             w = np.ones(len(profile))
             w[0] = w[-1] = 0.5
             totals.append(float((profile * w).sum()))
-        return np.asarray(kept), np.asarray(totals)
+        return (np.asarray(kept, dtype=np.int64),
+                np.asarray(totals, dtype=np.float64))

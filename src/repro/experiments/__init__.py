@@ -1,5 +1,6 @@
 """Per-figure/table experiment drivers reproducing the paper's evaluation."""
 
+from repro.experiments.agg_sweep import AggSweepResult, run_agg_sweep
 from repro.experiments.common import ExperimentResult, SeriesResult
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -17,6 +18,7 @@ from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.weak_scaling import run_weak_scaling
 
 __all__ = [
+    "AggSweepResult",
     "ExperimentResult",
     "Fig5Result",
     "PostprocResult",
@@ -27,6 +29,7 @@ __all__ = [
     "SeriesResult",
     "StreamingResult",
     "Table2Result",
+    "run_agg_sweep",
     "run_fig2",
     "run_fig3",
     "run_fig4",

@@ -14,6 +14,7 @@ import sys
 import time
 
 from repro.experiments import (
+    run_agg_sweep,
     run_fig2,
     run_fig3,
     run_fig4,
@@ -34,7 +35,7 @@ from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
        "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
-       "streaming")
+       "streaming", "agg")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
             nodes=50 if args.quick else 200).render(),
         "resilience": lambda: run_resilience(quick=args.quick).render(),
         "streaming": lambda: run_streaming(quick=args.quick).render(),
+        "agg": lambda: run_agg_sweep(quick=args.quick).render(),
     }
     for name in args.experiments:
         fn = table.get(name)

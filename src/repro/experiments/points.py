@@ -53,6 +53,33 @@ def openpmd_report(machine, nodes, config=None, num_aggregators=None,
         stripe_size=stripe_size, seed=seed))
 
 
+def engine_report(machine, nodes, config=None, num_aggregators=None,
+                  engine_ext=".bp4", async_drain=False,
+                  host_memory_bound=None, compute_seconds_per_step=0.0,
+                  seed=0) -> dict:
+    """One engine-comparison run (the BP4-vs-BP5 aggregator sweep).
+
+    On top of :func:`_report`'s metrics this exposes the makespan, the
+    folded aggregation-phase cost (where one-level and two-level shuffles
+    diverge) and the async-drain accounting.
+    """
+    res = run_openpmd_scaled(
+        machine, nodes, config=config, num_aggregators=num_aggregators,
+        engine_ext=engine_ext, async_drain=async_drain,
+        host_memory_bound=host_memory_bound,
+        compute_seconds_per_step=compute_seconds_per_step, seed=seed)
+    out = _report(res)
+    out.update(
+        makespan=res.comm.max_time(),
+        aggregation_s=sum(p.total_us("aggregation") for p in res.profiles)
+        / 1e6,
+        peak_host_bytes=res.peak_host_bytes,
+        drain_wait_s=res.drain_wait_seconds,
+        drain_s=res.drain_seconds,
+    )
+    return out
+
+
 def openpmd_profile(machine, nodes, compressor=None, seed=0) -> dict:
     """One profiled openPMD run, metrics folded from its event stream.
 

@@ -225,6 +225,31 @@ class StoragePerfModel:
                     * self.interleave_factor(np.maximum(streams_per_ost, 1.0)))
         return np.minimum(stream_term, ost_term) * self._bw_derate()
 
+    def aggregate_stream_seconds(self, nbytes: ArrayLike, n_files: int,
+                                 stripe_count: ArrayLike = 1,
+                                 stripe_size: ArrayLike | None = None,
+                                 ) -> np.ndarray:
+        """Per-stream seconds of one aggregator in an M-stream phase.
+
+        Each of the M concurrent streams gets ``rate(M)/M`` and pays its
+        queue-scaled per-RPC latencies (RPC size bounded by the file's
+        stripe size).  This is the cost :meth:`~repro.fs.posix.PosixIO.
+        write_aggregate` charges per aggregator — noise excluded, so the
+        async drain scheduler can reuse it batch by batch.
+        """
+        t = self.tuning
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        stripe_count = np.asarray(stripe_count, dtype=np.float64)
+        rate = self.aggregate_write_rate(n_files, float(stripe_count.mean()))
+        per_stream = rate / n_files
+        rpc_size = float(t.rpc_max_size) if stripe_size is None else np.minimum(
+            np.asarray(stripe_size, dtype=np.float64), float(t.rpc_max_size)
+        )
+        n_rpcs = np.maximum(np.ceil(nbytes / rpc_size), 1.0)
+        k = self.writers_per_ost(n_files, stripe_count)
+        latency = n_rpcs * t.write_rpc_latency * self.write_queue_factor(k)
+        return nbytes / per_stream + latency
+
     def aggregate_phase_wall(self, total_bytes: ArrayLike, n_files: ArrayLike,
                              stripe_count: ArrayLike = 1) -> np.ndarray:
         """Wall seconds for a collective write of total_bytes into M files.

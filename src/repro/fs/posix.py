@@ -127,15 +127,16 @@ class PosixIO:
         scatter_add(self.comm.clocks, ranks, seconds)
 
     def _notify(self, kind: str, ranks, nbytes, seconds, api: str,
-                inos=None, n_ops=1) -> None:
+                inos=None, n_ops=1, start=None) -> None:
         """Emit one typed event for an operation already charged to the
-        clocks (so ``clock - duration`` is the op's start time)."""
+        clocks (so ``clock - duration`` is the op's start time).  An
+        explicit ``start`` overrides that inference — used for writes
+        scheduled in the future (the async subfile drain)."""
         kind = _KIND_ALIAS.get(kind, kind)
         bus = self.trace
         if not bus.wants(kind):
             return
-        start = None
-        if self.comm is not None:
+        if start is None and self.comm is not None:
             ranks = np.atleast_1d(np.asarray(ranks))
             secs = np.broadcast_to(
                 np.asarray(seconds, dtype=np.float64), ranks.shape)
@@ -435,18 +436,22 @@ class PosixIO:
     def write_aggregate(self, ranks: np.ndarray, fds: np.ndarray,
                         nbytes_each: int | np.ndarray,
                         overwrite_offset: int | np.ndarray | None = None,
-                        api: str = "POSIX") -> np.ndarray:
+                        api: str = "POSIX", charge_clocks: bool = True,
+                        start_at: np.ndarray | None = None) -> np.ndarray:
         """Collective write phase of M aggregator streams (ADIOS2 BP path).
 
         Unlike :meth:`write_group` (independent small ops costed
         per-operation), an aggregate phase is costed with the collective
         rate model :meth:`~repro.fs.perfmodel.StoragePerfModel.
-        aggregate_write_rate`: M concurrent streams share
+        aggregate_stream_seconds`: M concurrent streams share
         ``rate(M)``, so each aggregator's write time is
         ``its_bytes / (rate/M)`` plus its per-RPC latencies.  The RPC size
         is bounded by the file's stripe size (the Fig. 9 mechanism).
 
-        Returns per-rank elapsed seconds (also charged to the clocks).
+        Returns per-rank elapsed seconds (charged to the clocks unless
+        ``charge_clocks=False`` — the async drain path schedules the
+        phase in the future and passes its planned ``start_at`` times so
+        the emitted event is stamped when the drain actually runs).
         """
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
@@ -464,20 +469,16 @@ class PosixIO:
         stripe_count = cols.stripe_count[inos].astype(np.float64)
         stripe_size = cols.stripe_size[inos].astype(np.float64)
         perf = self.fs.perf
-        m = len(ranks)
-        rate = perf.aggregate_write_rate(m, float(stripe_count.mean()))
-        per_stream = rate / m
-        rpc_size = np.minimum(stripe_size, float(perf.tuning.rpc_max_size))
-        n_rpcs = np.maximum(np.ceil(nbytes / rpc_size), 1.0)
-        k = perf.writers_per_ost(m, stripe_count)
-        latency = n_rpcs * perf.tuning.write_rpc_latency * perf.write_queue_factor(k)
-        costs = (nbytes / per_stream + latency) * perf.noise(ranks.shape)
-        self._charge(ranks, costs)
+        costs = perf.aggregate_stream_seconds(
+            nbytes, len(ranks), stripe_count, stripe_size
+        ) * perf.noise(ranks.shape)
+        if charge_clocks:
+            self._charge(ranks, costs)
         # the write() system calls the engine issues are stripe-sized
         # buffer flushes; the per-RPC fan-out below them is the cost model
         n_writes = np.maximum(np.ceil(nbytes / stripe_size), 1.0)
         self._notify("collective_write", ranks, nbytes, costs, api,
-                     inos=inos, n_ops=n_writes)
+                     inos=inos, n_ops=n_writes, start=start_at)
         return costs
 
     def release_fds(self, fds: int | np.ndarray) -> None:

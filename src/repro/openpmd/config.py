@@ -39,6 +39,12 @@ class SeriesOptions:
     compressor: str | None = None
     profiling: bool = False
     iteration_encoding: str = "group_based_with_steps"
+    #: BP5 ``AsyncWrite``: overlap subfile drains with the next step
+    async_write: bool = False
+    #: staging-batch bound per aggregator (``BufferChunkSize``), bytes
+    buffer_chunk_size: int | None = None
+    #: resident staging cap per aggregator (``MaxShmSize``-style), bytes
+    max_shm: int | None = None
     raw: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -81,6 +87,11 @@ def parse_options(options: str | Mapping[str, Any] | None = None,
             break
 
     profiling = _as_bool(params.get("Profile", False))
+    async_write = _as_bool(params.get("AsyncWrite", False))
+    buffer_chunk = params.get("BufferChunkSize")
+    buffer_chunk_size = None if buffer_chunk is None else int(buffer_chunk)
+    max_shm_param = params.get("MaxShmSize")
+    max_shm = None if max_shm_param is None else int(max_shm_param)
 
     compressor: str | None = None
     dataset = adios2.get("dataset", {})
@@ -104,6 +115,9 @@ def parse_options(options: str | Mapping[str, Any] | None = None,
         compressor=compressor,
         profiling=profiling,
         iteration_encoding=encoding,
+        async_write=async_write,
+        buffer_chunk_size=buffer_chunk_size,
+        max_shm=max_shm,
         raw=data,
     )
 

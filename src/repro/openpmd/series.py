@@ -158,6 +158,9 @@ class Series:
             num_aggregators=self.options.num_aggregators,
             compressor=self.options.compressor,
             profiling=self.options.profiling,
+            async_drain=self.options.async_write,
+            buffer_chunk_size=self.options.buffer_chunk_size,
+            host_memory_bound=self.options.max_shm,
         )
 
     def _engine_path(self, iteration: int | None) -> str:
@@ -266,6 +269,21 @@ class Series:
             for name, value in stored.items():
                 if not name.startswith("/data/"):
                     self.attributes[name] = value
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """One stored attribute by name (read side: as written to disk).
+
+        Unlike the ``attributes`` dict — which holds only series-level
+        attributes — this accessor also reaches the per-iteration
+        attributes the writer defined (``/data/<i>/<key>``), so readers
+        need not dig into the private read engine.
+        """
+        engine = getattr(self, "_read_engine", None)
+        if engine is not None:
+            stored = getattr(engine, "attributes", {})
+            if name in stored:
+                return stored[name]
+        return self.attributes.get(name, default)
 
     def read_iterations(self) -> list[int]:
         """Iteration indices present in a read-only series."""

@@ -20,8 +20,11 @@ EVENT_KINDS = frozenset({
     # filesystem plane (POSIX / STDIO surfaces)
     "open", "create", "close", "stat", "mkdir", "unlink", "seek",
     "write", "read", "fsync",
-    # engine plane (ADIOS2 / HDF5 staging pipeline)
+    # engine plane (ADIOS2 / HDF5 staging pipeline); ``drain`` is an
+    # async subfile drain running behind compute (BP5 AsyncWrite) and
+    # ``drain_wait`` the stall when a new flush catches an unfinished one
     "memcpy", "compress", "shuffle", "collective_write", "meta_append",
+    "drain", "drain_wait",
     # communicator plane
     "barrier",
     # fault plane (repro.faults): injected failures and recovery actions

@@ -86,6 +86,12 @@ class ScaledRunResult:
     #: folded into ``log`` and ``profiles`` (None only if tracing was
     #: explicitly torn down)
     trace: TraceSession | None = None
+    #: async-drain accounting (openPMD runs): worst resident staging
+    #: bytes on any aggregator, total stall waiting on in-flight drains,
+    #: and total scheduled drain time (all zero for synchronous runs)
+    peak_host_bytes: float = 0.0
+    drain_wait_seconds: float = 0.0
+    drain_seconds: float = 0.0
 
     def file_sizes(self) -> np.ndarray:
         return self.fs.vfs.subtree_file_sizes(self.outdir)
@@ -231,8 +237,17 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                        trace_mode: str | None = None,
                        fault_plan: FaultPlan | None = None,
                        retry_policy: RetryPolicy | None = None,
+                       async_drain: bool = False,
+                       host_memory_bound: int | None = None,
+                       compute_seconds_per_step: float = 0.0,
                        ) -> ScaledRunResult:
-    """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II)."""
+    """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II).
+
+    ``async_drain`` turns on BP5-style ``AsyncWrite``: subfile drains are
+    scheduled in the background and overlap the next step's compute
+    (``compute_seconds_per_step`` of virtual time per simulation step),
+    bounded by ``host_memory_bound`` bytes of staging per aggregator.
+    """
     config = config or paper_use_case()
     comm, fs, posix, monitor, session = _setup(
         machine, nodes, ranks_per_node, storage_name, seed,
@@ -255,6 +270,11 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
             options["adios2"]["engine"]["parameters"]["NumAggregators"] = num_agg
         if profiling:
             options["adios2"]["engine"]["parameters"]["Profile"] = "On"
+        if async_drain:
+            options["adios2"]["engine"]["parameters"]["AsyncWrite"] = "On"
+        if host_memory_bound is not None:
+            options["adios2"]["engine"]["parameters"]["MaxShmSize"] = \
+                int(host_memory_bound)
         if compressor:
             options["adios2"]["dataset"]["operators"] = [{"type": compressor}]
         return Series(posix, comm, path, Access.CREATE, options=options)
@@ -275,8 +295,14 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     meta_elems = model.ckpt_meta_bytes_per_rank() // 8
     diag_elems = model.diag_bytes_per_rank_per_event() // 8
 
+    last_step = 0
     with posix.phase(writers=comm.size, md_clients=comm.size):
         for step, is_ckpt in _event_steps(config):
+            if compute_seconds_per_step > 0.0 and step != last_step:
+                # advance every rank through the PIC compute between I/O
+                # milestones — the window asynchronous drains overlap
+                comm.clocks += (step - last_step) * compute_seconds_per_step
+            last_step = step
             with posix.trace.step(step):
                 if injector is not None:
                     for directive in injector.begin_step(step):
@@ -327,16 +353,25 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     if stripe_count is not None:
         label_parts.append(f"sc{stripe_count}")
     profiles = []
+    peak_host = wait_s = drain_s = 0.0
     for s in (diag_series, ckpt_series):
         eng = s.engine
         if eng is not None and hasattr(eng, "profile"):
             profiles.append(eng.profile)
+        if eng is not None and hasattr(eng, "peak_host_bytes"):
+            peak_host = max(peak_host,
+                            float(np.max(eng.peak_host_bytes, initial=0.0)))
+            wait_s += float(eng.drain_wait_seconds.sum())
+            drain_s += float(eng.drain_seconds.sum())
     log = monitor.finalize(runtime_seconds=comm.max_time(),
                            machine=machine.name,
                            config="+".join(label_parts))
     return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
                            comm.size, log, fs, comm, outdir,
-                           profiles=profiles, trace=session)
+                           profiles=profiles, trace=session,
+                           peak_host_bytes=peak_host,
+                           drain_wait_seconds=wait_s,
+                           drain_seconds=drain_s)
 
 
 # -- checkpoint-restart orchestration (functional, fault-injected) ------------

@@ -213,3 +213,99 @@ class TestSeriesReader:
         its, totals = reader.density_history("D")
         assert len(its) == 4
         assert totals[-1] <= totals[0]  # ionization eats neutrals
+
+
+class TestReaderMultiIteration:
+    """Readers must resolve the *newest* checkpoint, not iteration 0."""
+
+    @staticmethod
+    def _env():
+        fs = mount(dardel().storage_named("lfs"))
+        comm = VirtualComm(2, 2)
+        return PosixIO(fs, comm), comm
+
+    @staticmethod
+    def _write_ckpt(posix, comm, outdir, iterations):
+        """(iteration, step, count) tuples → a bit1_dmp series."""
+        from repro.openpmd.record import Dataset
+        from repro.openpmd.series import Access, Series
+
+        s = Series(posix, comm, f"{outdir}/bit1_dmp.bp4", Access.CREATE)
+        for index, step, count in iterations:
+            it = s.iterations[index]
+            it.attributes["checkpointStep"] = step
+            sp = it.particles["e"]
+            for rec_name, comp_name in (("position", "x"), ("momentum", "x"),
+                                        ("momentum", "y"), ("momentum", "z")):
+                comp = sp[rec_name][comp_name]
+                comp.reset_dataset(Dataset(np.float64, (count,)))
+                comp.store_chunk(np.full(count, float(step)), (0,), rank=0)
+            w = sp["weighting"].scalar
+            w.reset_dataset(Dataset(np.float64, (count,)))
+            w.store_chunk(np.ones(count), (0,), rank=0)
+            it.close()
+        s.close()
+
+    @staticmethod
+    def _write_diag(posix, comm, outdir, profiles, mesh="D_density"):
+        """{iteration: density profile} → a bit1_dat series."""
+        from repro.openpmd.record import Dataset
+        from repro.openpmd.series import Access, Series
+
+        s = Series(posix, comm, f"{outdir}/bit1_dat.bp4", Access.CREATE)
+        for index, profile in profiles.items():
+            it = s.iterations[index]
+            comp = it.meshes[mesh].scalar
+            profile = np.asarray(profile, dtype=np.float64)
+            comp.reset_dataset(Dataset(np.float64, (len(profile),)))
+            comp.store_chunk(profile, (0,), rank=0)
+            it.close()
+        s.close()
+
+    def test_phase_space_reads_latest_iteration(self):
+        posix, comm = self._env()
+        posix.mkdir(0, "/run/multi", parents=True)
+        # restart-style layout: an old full checkpoint at iteration 0 and
+        # a newer, smaller one at iteration 7
+        self._write_ckpt(posix, comm, "/run/multi",
+                         [(0, 100, 8), (7, 700, 5)])
+        self._write_diag(posix, comm, "/run/multi", {20: np.ones(4)})
+        reader = Bit1SeriesReader(posix, comm, "/run/multi")
+        ps = reader.phase_space("e")
+        assert len(ps) == 5
+        assert np.all(ps.x == 700.0)
+        assert reader.checkpoint_step() == 700
+
+    def test_series_attribute_accessor_is_public(self):
+        posix, comm = self._env()
+        posix.mkdir(0, "/run/attr", parents=True)
+        self._write_ckpt(posix, comm, "/run/attr", [(3, 42, 2)])
+        self._write_diag(posix, comm, "/run/attr", {1: np.ones(3)})
+        reader = Bit1SeriesReader(posix, comm, "/run/attr")
+        assert reader.ckpt.attribute("/data/3/checkpointStep") == 42
+        assert reader.ckpt.attribute("no-such-attr", "fallback") == "fallback"
+        # series-level attributes resolve through the same accessor
+        assert reader.ckpt.attribute("openPMD") == "1.1.0"
+
+    def test_density_history_single_node_profile(self):
+        posix, comm = self._env()
+        posix.mkdir(0, "/run/deg", parents=True)
+        self._write_ckpt(posix, comm, "/run/deg", [(0, 0, 1)])
+        self._write_diag(posix, comm, "/run/deg", {10: np.array([7.0])})
+        reader = Bit1SeriesReader(posix, comm, "/run/deg")
+        its, totals = reader.density_history("D")
+        # a length-1 profile must not be halved by trapezoid end-weights
+        assert its.tolist() == [10]
+        assert totals.tolist() == [7.0]
+
+    def test_density_history_empty_is_typed(self):
+        posix, comm = self._env()
+        posix.mkdir(0, "/run/empty", parents=True)
+        self._write_ckpt(posix, comm, "/run/empty", [(0, 0, 1)])
+        # iterations exist, but none carries a D density profile
+        self._write_diag(posix, comm, "/run/empty", {5: np.ones(2)},
+                         mesh="phi")
+        reader = Bit1SeriesReader(posix, comm, "/run/empty")
+        its, totals = reader.density_history("D")
+        assert its.dtype == np.int64 and totals.dtype == np.float64
+        assert len(its) == 0 and len(totals) == 0

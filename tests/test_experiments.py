@@ -6,6 +6,7 @@ import pytest
 
 from repro.cluster.presets import dardel
 from repro.experiments import (
+    run_agg_sweep,
     run_fig2,
     run_fig3,
     run_fig4,
@@ -173,3 +174,43 @@ class TestTable2:
     def test_unknown_config_rejected(self):
         with pytest.raises(KeyError):
             run_table2(node_counts=(1,), configs=("mystery",))
+
+
+class TestAggSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_agg_sweep(quick=True, seed=0)
+
+    def test_all_cells_present(self, result):
+        # engines × aggregator counts × drain modes
+        assert len(result.rows) == 2 * 3 * 2
+
+    def test_bp5_aggregation_optimum_distinct_from_bp4(self, result):
+        # one-level BP4 keeps getting cheaper with more funnels; the
+        # two-level BP5 shuffle pays per extra aggregator per node and
+        # turns back up — the optima differ
+        bp4 = sorted((r for r in result.rows
+                      if r.engine == ".bp4" and not r.async_drain),
+                     key=lambda r: r.aggs_per_node)
+        assert bp4[-1].aggregation_s <= bp4[0].aggregation_s
+        assert (result.aggregation_optimum(".bp5")
+                != result.aggregation_optimum(".bp4"))
+        assert (result.aggregation_optimum(".bp5")
+                < max(r.aggs_per_node for r in result.rows))
+
+    def test_throughput_optimum_engine_independent(self, result):
+        # where the filesystem saturates does not depend on how the
+        # bytes were funnelled to the subfiles
+        assert (result.throughput_optimum(".bp4")
+                == result.throughput_optimum(".bp5"))
+
+    def test_async_drain_never_slower(self, result):
+        sync = {(r.engine, r.num_aggregators): r.makespan_s
+                for r in result.rows if not r.async_drain}
+        for r in result.rows:
+            if r.async_drain:
+                assert r.makespan_s <= sync[(r.engine, r.num_aggregators)]
+
+    def test_render_names_both_engines(self, result):
+        out = result.render()
+        assert "bp4:" in out and "bp5:" in out

@@ -71,6 +71,31 @@ Profile = "On"
             "operators": [{"type": "bzip2"}]}}})
         assert opts.compressor == "bzip2"
 
+    def test_async_write_defaults_off(self):
+        opts = parse_options(None)
+        assert opts.async_write is False
+        assert opts.buffer_chunk_size is None
+        assert opts.max_shm is None
+
+    def test_bp5_drain_parameters(self):
+        # BP5's AsyncWrite / BufferChunkSize / MaxShmSize knobs
+        opts = parse_options("""
+[adios2.engine]
+type = "bp5"
+[adios2.engine.parameters]
+AsyncWrite = "On"
+BufferChunkSize = 16777216
+MaxShmSize = 536870912
+""")
+        assert opts.async_write is True
+        assert opts.buffer_chunk_size == 16 * 1024 * 1024
+        assert opts.max_shm == 512 * 1024 * 1024
+
+    def test_async_write_accepts_booleans(self):
+        opts = parse_options({"adios2": {"engine": {
+            "parameters": {"AsyncWrite": True}}}})
+        assert opts.async_write is True
+
     def test_invalid_encoding(self):
         with pytest.raises(ValueError):
             parse_options({"iteration": {"encoding": "stream_of_vibes"}})
