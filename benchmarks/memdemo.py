@@ -1,0 +1,66 @@
+"""Flat-residency measurement for the ISSUE-6 acceptance demo.
+
+Forks one child per scale point (so each measurement gets a clean
+``ru_maxrss``), runs ``run_openpmd_scaled`` at 100k and 1M simulated
+ranks with the memory plane engaged, and reports the peak-RSS ratio.
+"""
+import dataclasses
+import json
+import os
+import resource
+import sys
+
+
+def measure(nranks: int) -> dict:
+    """Run in a fresh child; return peak RSS + run facts."""
+    r, w = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(r)
+        try:
+            from repro.cluster.presets import dardel
+            from repro.workloads.runner import run_openpmd_scaled
+            # fixed 1000-node machine; the rank count scales via ranks
+            # per node, so O(nodes) resident state stays constant and
+            # flat RSS demonstrates the per-rank state really is gone
+            nodes = 1000
+            machine = dataclasses.replace(dardel(), num_nodes=nodes)
+            res = run_openpmd_scaled(
+                machine, nodes, ranks_per_node=nranks // nodes,
+                mem_budget=32 << 20, rank_block_size=8192,
+                counter_granularity="node")
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+            out = {
+                "ranks": nranks,
+                "peak_rss": peak,
+                "bytes_per_rank": peak / nranks,
+                "mem_report": res.mem_report,
+            }
+        except Exception as e:  # surface child tracebacks
+            import traceback
+            out = {"error": f"{e}\n{traceback.format_exc()}"}
+        os.write(w, json.dumps(out).encode())
+        os._exit(0)
+    os.close(w)
+    buf = b""
+    while chunk := os.read(r, 1 << 16):
+        buf += chunk
+    os.waitpid(pid, 0)
+    return json.loads(buf)
+
+
+if __name__ == "__main__":
+    scales = [100_000, 1_000_000]
+    if len(sys.argv) > 1:
+        scales = [int(a) for a in sys.argv[1:]]
+    results = [measure(n) for n in scales]
+    for r in results:
+        if "error" in r:
+            print(r["error"])
+            sys.exit(1)
+        print(f"{r['ranks']:>9,} ranks  peak RSS {r['peak_rss']/2**20:7.1f} MB"
+              f"  ({r['bytes_per_rank']:.1f} B/rank)")
+    if len(results) == 2:
+        ratio = results[1]["peak_rss"] / results[0]["peak_rss"]
+        print(f"ratio {ratio:.3f}  (acceptance: <= 1.25)")
+        sys.exit(0 if ratio <= 1.25 else 2)

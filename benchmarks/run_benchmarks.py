@@ -30,6 +30,9 @@ import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from memdemo import measure as _measure_memory             # noqa: E402
 
 from repro.cluster.presets import dardel                   # noqa: E402
 from repro.experiments.fig8 import run_fig8                # noqa: E402
@@ -94,6 +97,37 @@ def build_suite(quick: bool) -> dict:
     }
 
 
+def memory_snapshot(quick: bool) -> dict:
+    """Peak-RSS points from the flat-residency demo (see memdemo.py).
+
+    Records peak bytes per *simulated* rank at each scale; the full run
+    also records the 1M/100k peak-RSS ratio the ISSUE-6 acceptance
+    criterion bounds at 1.25.  Quick mode keeps one modest scale so the
+    CI smoke stays cheap.
+    """
+    scales = (100_000,) if quick else (100_000, 1_000_000)
+    points = {}
+    for nranks in scales:
+        r = _measure_memory(nranks)
+        if "error" in r:
+            raise RuntimeError(f"memory point at {nranks} ranks failed:\n"
+                               f"{r['error']}")
+        points[f"{nranks}_ranks"] = {
+            "peak_rss_bytes": r["peak_rss"],
+            "bytes_per_simulated_rank": r["bytes_per_rank"],
+        }
+        print(f"memory_{nranks}_ranks: peak RSS {r['peak_rss'] / 2**20:.1f} "
+              f"MB ({r['bytes_per_rank']:.1f} B/rank)", flush=True)
+    out = {"points": points}
+    if len(scales) == 2:
+        out["peak_rss_ratio"] = (points[f"{scales[1]}_ranks"]["peak_rss_bytes"]
+                                 / points[f"{scales[0]}_ranks"]
+                                 ["peak_rss_bytes"])
+        print(f"memory peak-RSS ratio {out['peak_rss_ratio']:.3f}",
+              flush=True)
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=".", help="directory for the JSON")
@@ -112,6 +146,8 @@ def main(argv=None) -> int:
         print(f"{name}: min {timings[name]['min_s']:.3f}s over "
               f"{args.repeats} runs", flush=True)
 
+    memory = memory_snapshot(args.quick)
+
     snapshot = {
         "date": datetime.date.today().isoformat(),
         "git": _git_rev(),
@@ -119,6 +155,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "quick": args.quick,
         "timings": timings,
+        "memory": memory,
     }
     path = os.path.join(args.out,
                         f"BENCH_{snapshot['date'].replace('-', '')}.json")
@@ -129,8 +166,10 @@ def main(argv=None) -> int:
 
     bad = [n for n, t in timings.items()
            if not (t["min_s"] > 0 and t["min_s"] < float("inf"))]
+    bad += [n for n, p in memory["points"].items()
+            if not (0 < p["bytes_per_simulated_rank"] < float("inf"))]
     if bad:
-        print(f"non-finite timings: {bad}", file=sys.stderr)
+        print(f"non-finite results: {bad}", file=sys.stderr)
         return 1
     return 0
 

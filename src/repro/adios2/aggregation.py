@@ -120,10 +120,31 @@ def plan_aggregation(comm: VirtualComm,
     n = comm.size
     if num_aggregators is None:
         agg_ranks = comm.node_leaders()
+        if comm.has_block_topology():
+            # the nearest at-or-below leader of rank r is its own node's
+            # leader, so the subfile map *is* the topology array — alias
+            # it (O(nodes) resident) instead of materialising an O(ranks)
+            # searchsorted result; the values are provably identical
+            return AggregationPlan(
+                num_ranks=n,
+                aggregator_ranks=agg_ranks,
+                agg_index_of_rank=comm.node_of_rank,
+                node_of_rank=comm.node_of_rank,
+            )
     else:
         if not 1 <= num_aggregators <= n:
             raise ValueError(
                 f"num_aggregators must be in [1, {n}], got {num_aggregators}"
+            )
+        if num_aggregators == 1:
+            # single-subfile degenerate case: everyone sends to rank 0 —
+            # a stride-0 broadcast view instead of an O(ranks) zeros map
+            return AggregationPlan(
+                num_ranks=n,
+                aggregator_ranks=np.zeros(1, dtype=np.int64),
+                agg_index_of_rank=np.broadcast_to(
+                    np.zeros(1, dtype=np.int64), (n,)),
+                node_of_rank=comm.node_of_rank,
             )
         # evenly spaced ranks: this lands ceil(M/nodes) aggregators per
         # node for M >= nodes and spreads across nodes for M < nodes
@@ -230,8 +251,9 @@ def two_level_gather_cost(plan: AggregationPlan, per_rank_bytes: np.ndarray,
     out[l1] = b[l1] / shm
     scatter_add(out, leader[node[l1]], b[l1] / shm)
 
-    # level 2: sparse (node, subfile) volumes
-    keys = node * m + plan.agg_index_of_rank
+    # level 2: sparse (node, subfile) volumes (int64: node maps may be
+    # int32 and node*m overflows 32 bits at scale)
+    keys = node.astype(np.int64, copy=False) * m + plan.agg_index_of_rank
     vol = np.bincount(keys, weights=b, minlength=nnodes * m)
     vol = vol.reshape(nnodes, m)
     src, agg = np.nonzero(vol)
@@ -256,3 +278,183 @@ def two_level_gather_cost(plan: AggregationPlan, per_rank_bytes: np.ndarray,
         scatter_add(out, leader[busy], nmsg[busy] * lat + egress[busy] / nic)
         scatter_add(out, dst_rank[crossnode], v[crossnode] / nic)
     return out
+
+
+class BlockedShuffle:
+    """Streaming evaluation of the gather cost over rank blocks.
+
+    Produces *bit-identical* per-rank costs to :func:`gather_cost_seconds`
+    (or :func:`two_level_gather_cost` with ``two_level=True``) while only
+    ever holding O(block + nodes + aggregators) state — the memory plane's
+    chunked flush path.  The exactness argument has two halves:
+
+    * byte tallies (NIC egress, sparse (node, subfile) volumes, per-
+      aggregator loads) are sums of integer-valued floats below 2**53,
+      so accumulating per-block partial sums is exact regardless of how
+      the blocks split the element stream;
+    * receiver-side time legs are *non*-integer floats, so those chains
+      are kept in per-owner accumulator slots and extended block by
+      block in exactly the element order the unchunked ``scatter_add``
+      calls would use (all cross-node legs in global rank order, then
+      all same-node legs), collapsing to one clock add per owner at
+      :meth:`finish` — the same single add the unchunked path performs.
+
+    Protocol (the engine drives it)::
+
+        sh = BlockedShuffle(plan, comm, block, two_level=...)
+        for lo, hi in blocks: sh.prepare(lo, hi, stored[lo:hi])
+        for lo, hi in blocks: clocks[lo:hi] += sh.send_legs(lo, hi, ...)
+        if sh.needs_local_pass:
+            for lo, hi in blocks: sh.local_recv(lo, hi, stored[lo:hi])
+        owner_ranks, recv = sh.finish()
+        clocks[owner_ranks] += recv
+    """
+
+    def __init__(self, plan: AggregationPlan, comm: VirtualComm,
+                 block: int, two_level: bool = False):
+        self.plan = plan
+        self.two_level = two_level
+        self.nic = comm.effective_bandwidth()
+        self.shm = comm.shm_bandwidth()
+        self.lat = comm.config.latency
+        self.node = plan.node_of_rank if plan.node_of_rank is not None \
+            else comm.node_of_rank
+        self.owners = plan.aggregator_ranks
+        self.agg_index = plan.agg_index_of_rank
+        self.m = plan.num_aggregators
+        n = plan.num_ranks
+        self.nnodes = int(self.node.max()) + 1
+        self.per_agg = np.zeros(self.m, dtype=np.int64)
+        if two_level:
+            # staging leader per node: first subfile owner, else first
+            # rank — found blockwise so no O(ranks) index temporary
+            leader = np.full(self.nnodes, n, dtype=np.int64)
+            np.minimum.at(leader, self.node[self.owners], self.owners)
+            missing = leader == n
+            if missing.any():
+                first = np.full(self.nnodes, n, dtype=np.int64)
+                for lo in range(0, n, block):
+                    hi = min(n, lo + block)
+                    np.minimum.at(first, self.node[lo:hi],
+                                  np.arange(lo, hi))
+                leader[missing] = first[missing]
+            self.leader = leader
+            self._sorted_leaders = np.sort(leader)
+            self.uranks = np.unique(np.concatenate([leader, self.owners]))
+            self._vol: dict[int, float] = {}
+        else:
+            self.uranks = np.unique(self.owners)
+            self.egress = np.zeros(self.nnodes)
+        self.recv = np.zeros(len(self.uranks))
+
+    @property
+    def needs_local_pass(self) -> bool:
+        return not self.two_level
+
+    def _slots(self, ranks: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.uranks, ranks)
+
+    def _masks(self, lo: int, hi: int, b: np.ndarray):
+        owner_blk = self.owners[self.agg_index[lo:hi]]
+        node_blk = self.node[lo:hi]
+        same = self.node[owner_blk] == node_blk
+        self_mask = owner_blk == np.arange(lo, hi)
+        local = same & ~self_mask & (b > 0)
+        cross = ~same & (b > 0)
+        return owner_blk, node_blk, local, cross
+
+    # -- pass 0: exact integer tallies ---------------------------------
+
+    def prepare(self, lo: int, hi: int, b: np.ndarray) -> None:
+        """Accumulate egress / sparse volumes / per-subfile loads."""
+        idx_blk = np.ascontiguousarray(self.agg_index[lo:hi])
+        self.per_agg += np.bincount(
+            idx_blk, weights=b, minlength=self.m).astype(np.int64)
+        if self.two_level:
+            keys = self.node[lo:hi].astype(np.int64) * self.m + idx_blk
+            uk, inv = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inv, weights=b)
+            vol = self._vol
+            for k, s in zip(uk.tolist(), sums.tolist()):
+                vol[k] = vol.get(k, 0.0) + s
+            return
+        _owner_blk, node_blk, _local, cross = self._masks(lo, hi, b)
+        if cross.any():
+            self.egress += np.bincount(node_blk[cross], weights=b[cross],
+                                       minlength=self.nnodes)
+
+    # -- pass 1: sender legs (returned) + in-order receiver chains -----
+
+    def send_legs(self, lo: int, hi: int, b: np.ndarray) -> np.ndarray:
+        out = np.zeros(hi - lo)
+        if self.two_level:
+            r = np.arange(lo, hi)
+            pos = np.searchsorted(self._sorted_leaders, r)
+            pos = np.minimum(pos, len(self._sorted_leaders) - 1)
+            is_leader = self._sorted_leaders[pos] == r
+            l1 = ~is_leader & (b > 0)
+            out[l1] = b[l1] / self.shm
+            # a non-leader *owner* chains its funnel leg ahead of its
+            # receiver legs in the unchunked evaluation; divert it into
+            # the accumulator slot (0.0 + x == x) and zero the per-block
+            # clock add (+0.0 is exact) to preserve that chain order
+            upos = np.searchsorted(self.uranks, r)
+            in_u = np.minimum(upos, len(self.uranks) - 1)
+            diverted = l1 & (self.uranks[in_u] == r)
+            if diverted.any():
+                np.add.at(self.recv, upos[diverted], out[diverted])
+                out[diverted] = 0.0
+            if l1.any():
+                tgt = self.leader[self.node[lo:hi][l1]]
+                np.add.at(self.recv, self._slots(tgt), b[l1] / self.shm)
+            return out
+        owner_blk, node_blk, local, cross = self._masks(lo, hi, b)
+        out[local] = b[local] / self.shm
+        if cross.any():
+            out[cross] = self.lat + self.egress[node_blk[cross]] / self.nic
+            np.add.at(self.recv, self._slots(owner_blk[cross]),
+                      b[cross] / self.nic)
+        return out
+
+    # -- pass 2 (one-level only): same-node receiver legs --------------
+
+    def local_recv(self, lo: int, hi: int, b: np.ndarray) -> None:
+        owner_blk, _node_blk, local, _cross = self._masks(lo, hi, b)
+        if local.any():
+            np.add.at(self.recv, self._slots(owner_blk[local]),
+                      b[local] / self.shm)
+
+    # -- collapse ------------------------------------------------------
+
+    def finish(self) -> tuple[np.ndarray, np.ndarray]:
+        """Apply any deferred legs; returns ``(owner_ranks, recv)``."""
+        if self.two_level and self._vol:
+            keys = np.array(sorted(self._vol), dtype=np.int64)
+            v = np.array([self._vol[k] for k in keys.tolist()])
+            nz = v != 0.0  # np.nonzero(vol) skips zero-volume cells
+            keys, v = keys[nz], v[nz]
+            if keys.size:
+                src = keys // self.m
+                agg = keys % self.m
+                dst_rank = self.owners[agg]
+                dst_node = self.node[dst_rank]
+                src_leader = self.leader[src]
+                self_leg = src_leader == dst_rank
+                samenode = (dst_node == src) & ~self_leg
+                crossnode = dst_node != src
+                np.add.at(self.recv, self._slots(src_leader[samenode]),
+                          v[samenode] / self.shm)
+                np.add.at(self.recv, self._slots(dst_rank[samenode]),
+                          v[samenode] / self.shm)
+                if crossnode.any():
+                    nmsg = np.bincount(src[crossnode],
+                                       minlength=self.nnodes)
+                    egress = np.bincount(src[crossnode],
+                                         weights=v[crossnode],
+                                         minlength=self.nnodes)
+                    busy = np.nonzero(nmsg)[0]
+                    np.add.at(self.recv, self._slots(self.leader[busy]),
+                              nmsg[busy] * self.lat + egress[busy] / self.nic)
+                    np.add.at(self.recv, self._slots(dst_rank[crossnode]),
+                              v[crossnode] / self.nic)
+        return self.uranks, self.recv

@@ -35,10 +35,12 @@ import numpy as np
 
 from repro.adios2.aggregation import (
     AggregationPlan,
+    BlockedShuffle,
     gather_cost_seconds,
     plan_aggregation,
     two_level_gather_cost,
 )
+from repro.mem import SplitValues, current_budget
 from repro.adios2.profiling import EngineProfile
 from repro.adios2.variables import Attribute, Chunk, Variable
 from repro.compression.api import Compressor, get_compressor
@@ -83,6 +85,13 @@ class EngineConfig:
     #: MaxShmSize-style control), so peak host memory never exceeds
     #: ``max(bound, step_bytes)`` while total wait time is unchanged
     host_memory_bound: int | None = None
+    #: memory plane: evaluate span-staged flushes in rank blocks of this
+    #: size — bit-identical accounting with O(block) temporaries instead
+    #: of O(ranks) (million-rank runs); None = whole-job evaluation
+    rank_block_size: int | None = None
+    #: "rank" (real ADIOS2 layout) or "node": resolution of the
+    #: profiling.json counter axis — "node" keeps the profile O(nodes)
+    profile_granularity: str = "rank"
 
 
 @dataclass
@@ -105,12 +114,42 @@ class _IndexEntry:
     checksum: int = 0
 
 
-@dataclass
-class _Slot:
-    """Reserved in-place region for a rewritable step (per subfile)."""
+class _SlotSpans:
+    """Reserved in-place regions for a rewritable step, run-length-coded.
 
-    offset: int
-    reserved: int
+    One (offset, reserved) pair per subfile, but subfile loads come
+    from integer spreads, so both vectors are piecewise-constant over
+    the subfile index: a rewritable step's slot table encodes in a
+    handful of segments instead of O(aggregators) objects per key —
+    the difference between kilobytes and hundreds of megabytes when a
+    long run touches many step keys at million-rank scale.
+    """
+
+    __slots__ = ("counts", "offsets", "reserved")
+
+    def __init__(self, counts: np.ndarray, offsets: np.ndarray,
+                 reserved: np.ndarray):
+        self.counts = counts
+        self.offsets = offsets
+        self.reserved = reserved
+
+    @classmethod
+    def encode(cls, offsets: np.ndarray, reserved: np.ndarray) \
+            -> "_SlotSpans":
+        change = np.flatnonzero((np.diff(offsets) != 0)
+                                | (np.diff(reserved) != 0))
+        starts = np.concatenate(([0], change + 1))
+        counts = np.diff(np.concatenate((starts, [len(offsets)])))
+        return cls(counts, offsets[starts].copy(), reserved[starts].copy())
+
+    def decode(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.repeat(self.offsets, self.counts),
+                np.repeat(self.reserved, self.counts))
+
+    @property
+    def nbytes(self) -> int:
+        return (self.counts.nbytes + self.offsets.nbytes
+                + self.reserved.nbytes)
 
 
 class IntegrityError(RuntimeError):
@@ -155,9 +194,17 @@ class BPEngineBase:
             get_compressor(self.config.compressor)
             if self.config.compressor else None
         )
+        if self.config.profile_granularity not in ("rank", "node"):
+            raise ValueError(
+                "profile_granularity must be 'rank' or 'node', got "
+                f"{self.config.profile_granularity!r}")
         self.plan: AggregationPlan = plan_aggregation(
             comm, self.config.num_aggregators)
-        self.profile = EngineProfile(comm.size, self.engine_type)
+        self.profile = EngineProfile(
+            comm.size, self.engine_type,
+            bin_of_rank=(comm.node_of_rank
+                         if self.config.profile_granularity == "node"
+                         else None))
         # this engine's profiling.json is a fold over the event spine:
         # the engine emits typed events (scoped to itself, so two open
         # engines on one bus stay separate) and the fold accumulates
@@ -165,7 +212,7 @@ class BPEngineBase:
         self._fold = ProfileFold(self.profile, scope=self._trace_scope)
         posix.trace.subscribe(self._fold)
         self._index: list[_IndexEntry] = []
-        self._slots: dict[str, list[_Slot]] = {}
+        self._slots: dict[str, _SlotSpans] = {}
         self._subfile_tails = np.zeros(self.plan.num_aggregators, dtype=np.int64)
         m = self.plan.num_aggregators
         #: async-drain bookkeeping (virtual time the in-flight drain of
@@ -176,8 +223,13 @@ class BPEngineBase:
         self._drain_bytes: list[np.ndarray] = [np.zeros(0)] * m
         #: high-water resident staging bytes per subfile buffer
         self.peak_host_bytes = np.zeros(m, dtype=np.float64)
-        #: per-rank seconds stalled waiting on an unfinished drain
-        self.drain_wait_seconds = np.zeros(comm.size, dtype=np.float64)
+        #: per-rank seconds stalled waiting on an unfinished drain —
+        #: only the async path writes it, so the sync path keeps an
+        #: empty array instead of an O(ranks) block of zeros
+        self.drain_wait_seconds = np.zeros(
+            comm.size if self.config.async_drain else 0, dtype=np.float64)
+        #: engine staging bytes ledger on the ambient memory budget
+        self._mem_account = current_budget().account("engine")
         #: per-subfile seconds the background drain was busy
         self.drain_seconds = np.zeros(m, dtype=np.float64)
         self._step = -1
@@ -294,11 +346,27 @@ class BPEngineBase:
         var = self.declare_variable(name, dtype, global_shape, entropy)
         return var.put_chunk(rank, tuple(offset), tuple(extent), data)
 
-    def put_group(self, name: str, ranks: np.ndarray,
-                  nbytes_each: int | np.ndarray,
+    def put_group(self, name: str, ranks: np.ndarray | None,
+                  nbytes_each,
                   entropy: str = "particle_float32") -> None:
-        """Stage symmetric synthetic chunks for many ranks (modeled path)."""
+        """Stage symmetric synthetic chunks for many ranks (modeled path).
+
+        ``ranks=None`` with a :class:`~repro.mem.SplitValues` spanning
+        every rank stages the group as a compact descriptor — no
+        O(ranks) array is retained, and a chunked flush materialises
+        only one rank block at a time.
+        """
         self._check_in_step()
+        if ranks is None:
+            if not isinstance(nbytes_each, SplitValues):
+                raise TypeError(
+                    "ranks=None requires a SplitValues byte descriptor")
+            if len(nbytes_each) != self.comm.size:
+                raise ValueError(
+                    f"span covers {len(nbytes_each)} ranks, "
+                    f"comm has {self.comm.size}")
+            self._cur_bulk.append((name, None, nbytes_each, entropy))
+            return
         ranks = np.asarray(ranks)
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
@@ -329,20 +397,33 @@ class BPEngineBase:
         ``self.profile`` is one subscriber folding them back.
         """
         n = self.comm.size
-        staged = np.zeros(n, dtype=np.float64)
-        for var in self._cur_vars.values():
-            staged += var.per_rank_bytes(n)
-        for _name, ranks, nbytes, _entropy in self._cur_bulk:
-            scatter_add(staged, ranks, nbytes.astype(np.float64))
+        block = self.config.rank_block_size
+        # chunk-evaluate only when every staged byte is a span descriptor;
+        # declared-but-chunkless variables (the usual series metadata
+        # declarations) contribute exact zeros either way
+        if (block is not None and block < n
+                and all(not v.chunks for v in self._cur_vars.values())
+                and all(r is None for _nm, r, _b, _e in self._cur_bulk)):
+            per_agg = self._flush_blocked(block)
+        else:
+            staged = np.zeros(n, dtype=np.float64)
+            for var in self._cur_vars.values():
+                staged += var.per_rank_bytes(n)
+            for _name, ranks, nbytes, _entropy in self._cur_bulk:
+                if ranks is None:
+                    staged += nbytes.slice(0, n).astype(np.float64)
+                else:
+                    scatter_add(staged, ranks, nbytes.astype(np.float64))
 
-        stored = self._apply_operator(staged)
-        gather_fn = (two_level_gather_cost if self.two_level_shuffle
-                     else gather_cost_seconds)
-        gather = gather_fn(self.plan, stored, self.comm)
-        self.comm.clocks += gather
-        self._emit("shuffle", np.arange(n), stored, gather)
-
-        per_agg = self.plan.per_aggregator_bytes(stored)
+            stored = self._apply_operator(staged)
+            gather_fn = (two_level_gather_cost if self.two_level_shuffle
+                         else gather_cost_seconds)
+            gather = gather_fn(self.plan, stored, self.comm)
+            self.comm.clocks += gather
+            self._emit("shuffle", np.arange(n), stored, gather)
+            per_agg = self.plan.per_aggregator_bytes(stored)
+        staged_resident = int(per_agg.sum())
+        self._mem_account.charge(staged_resident)
         offsets = self._allocate(overwrite_key, per_agg)
         active = per_agg > 0
         agg_ranks = self.plan.aggregator_ranks
@@ -376,7 +457,67 @@ class BPEngineBase:
                     )
         self._materialize_chunks(offsets)
         self._write_step_metadata(overwrite_key)
+        self._mem_account.release(staged_resident)
         self.profile.steps += 1
+
+    def _stored_block(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Staged and post-operator bytes for ranks ``[lo, hi)``.
+
+        Recomputed per pass from the span descriptors (cheaper than
+        retaining O(ranks) arrays); values are identical to the slices
+        the unchunked path would take of its whole-job arrays.
+        """
+        staged = np.zeros(hi - lo, dtype=np.float64)
+        for _name, _ranks, sv, _entropy in self._cur_bulk:
+            staged += sv.slice(lo, hi).astype(np.float64)
+        if self.compressor is None:
+            return staged, staged
+        stored = np.zeros(hi - lo, dtype=np.float64)
+        for _name, _ranks, sv, entropy in self._cur_bulk:
+            ratio = self.compressor.synthetic_ratio(entropy)
+            stored += np.round(sv.slice(lo, hi).astype(np.float64) * ratio)
+        return staged, stored
+
+    def _flush_blocked(self, block: int) -> np.ndarray:
+        """Stage/operate/shuffle in rank blocks; returns per-subfile bytes.
+
+        Bit-identical to the unchunked pipeline (see
+        :class:`~repro.adios2.aggregation.BlockedShuffle` for the
+        exactness argument) while touching O(block) ranks at a time.
+        Each rank's clock receives the same per-step additions in the
+        same order: operator cost, then its sender leg (owners get an
+        exact ``+0.0`` here), then — owners only — one receiver-side
+        add at the end.
+        """
+        n = self.comm.size
+        shuffle = BlockedShuffle(self.plan, self.comm, block,
+                                 two_level=self.two_level_shuffle)
+        windows = [(lo, min(n, lo + block)) for lo in range(0, n, block)]
+        for lo, hi in windows:
+            _staged, stored = self._stored_block(lo, hi)
+            shuffle.prepare(lo, hi, stored)
+        for lo, hi in windows:
+            staged, stored = self._stored_block(lo, hi)
+            ranks = np.arange(lo, hi)
+            if self.compressor is None:
+                op_s = staged / self.config.memcpy_bandwidth
+                self.comm.clocks[lo:hi] += op_s
+                self._emit("memcpy", ranks, staged, op_s)
+            else:
+                op_s = staged / self.compressor.compress_bandwidth
+                self.comm.clocks[lo:hi] += op_s
+                self._emit("compress", ranks, staged, op_s)
+            send = shuffle.send_legs(lo, hi, stored)
+            self.comm.clocks[lo:hi] += send
+            self._emit("shuffle", ranks, stored, send)
+        if shuffle.needs_local_pass:
+            for lo, hi in windows:
+                _staged, stored = self._stored_block(lo, hi)
+                shuffle.local_recv(lo, hi, stored)
+        owner_ranks, recv = shuffle.finish()
+        self.comm.clocks[owner_ranks] += recv
+        self._emit("shuffle", owner_ranks, np.zeros(len(owner_ranks)), recv)
+        return shuffle.per_agg
 
     def _drain_async(self, per_agg: np.ndarray, offsets: np.ndarray,
                      active: np.ndarray) -> None:
@@ -523,7 +664,11 @@ class BPEngineBase:
                 stored[chunk.rank] += result.compressed_nbytes
         for name, ranks_b, nbytes, entropy in self._cur_bulk:
             ratio = self.compressor.synthetic_ratio(entropy)
-            scatter_add(stored, ranks_b, np.round(nbytes * ratio))
+            if ranks_b is None:
+                stored += np.round(nbytes.slice(0, n).astype(np.float64)
+                                   * ratio)
+            else:
+                scatter_add(stored, ranks_b, np.round(nbytes * ratio))
         return stored
 
     def _allocate(self, key: str | None, per_agg: np.ndarray) -> np.ndarray:
@@ -538,18 +683,28 @@ class BPEngineBase:
         if slots is None:
             offsets[:] = self._subfile_tails
             self._subfile_tails += per_agg
-            self._slots[key] = [
-                _Slot(int(offsets[i]), int(per_agg[i])) for i in range(m)
-            ]
+            self._store_slots(key, offsets, per_agg)
             return offsets
-        for i, slot in enumerate(slots):
-            if per_agg[i] <= slot.reserved:
-                offsets[i] = slot.offset  # in-place overwrite
-            else:
-                offsets[i] = self._subfile_tails[i]
-                self._subfile_tails[i] += per_agg[i]
-                slots[i] = _Slot(int(offsets[i]), int(per_agg[i]))
+        off, res = slots.decode()
+        grow = np.asarray(per_agg, dtype=np.int64) > res
+        offsets[:] = off  # in-place overwrite where the step still fits
+        if grow.any():
+            offsets[grow] = self._subfile_tails[grow]
+            self._subfile_tails[grow] += per_agg[grow]
+            off[grow] = offsets[grow]
+            res[grow] = per_agg[grow]
+            self._store_slots(key, off, res)
         return offsets
+
+    def _store_slots(self, key: str, offsets: np.ndarray,
+                     reserved: np.ndarray) -> None:
+        old = self._slots.get(key)
+        spans = _SlotSpans.encode(np.asarray(offsets, dtype=np.int64),
+                                  np.asarray(reserved, dtype=np.int64))
+        self._slots[key] = spans
+        if old is not None:
+            self._mem_account.release(old.nbytes)
+        self._mem_account.charge(spans.nbytes)
 
     def _materialize_chunks(self, agg_offsets: np.ndarray) -> None:
         """Lay real chunk bytes into the subfiles and index them."""

@@ -49,12 +49,23 @@ class EngineProfile:
     their arguments in synthetic events and fold those).
     """
 
-    def __init__(self, nranks: int, engine_type: str = "BP4"):
+    def __init__(self, nranks: int, engine_type: str = "BP4",
+                 bin_of_rank=None):
         self.nranks = nranks
         self.engine_type = engine_type
-        self.us = {c: np.zeros(nranks, dtype=np.float64)
+        #: optional rank→bin map (e.g. ``comm.node_of_rank``): counters
+        #: are then O(bins) resident instead of O(ranks) — the memory
+        #: plane's node-granularity profiling for million-rank jobs
+        # lazy maps (BlockNodeMap) pass through un-materialised:
+        # indexing is all the fold needs
+        self.bin_of_rank = bin_of_rank if (
+            bin_of_rank is None or hasattr(bin_of_rank, "max")) \
+            else np.asarray(bin_of_rank)
+        self.nbins = nranks if self.bin_of_rank is None \
+            else int(self.bin_of_rank.max()) + 1
+        self.us = {c: np.zeros(self.nbins, dtype=np.float64)
                    for c in PROFILE_CATEGORIES}
-        self.bytes_put = np.zeros(nranks, dtype=np.float64)
+        self.bytes_put = np.zeros(self.nbins, dtype=np.float64)
         self.steps = 0
 
     def fold_event(self, event: IOEvent) -> None:
@@ -62,9 +73,12 @@ class EngineProfile:
         category = KIND_TO_CATEGORY.get(event.kind)
         if category is None:
             return
-        np.add.at(self.us[category], event.ranks, event.duration * 1e6)
+        ranks = event.ranks
+        if self.bin_of_rank is not None:
+            ranks = self.bin_of_rank[np.asarray(ranks)]
+        np.add.at(self.us[category], ranks, event.duration * 1e6)
         if event.kind in _STAGING_KINDS:
-            np.add.at(self.bytes_put, event.ranks, event.nbytes)
+            np.add.at(self.bytes_put, ranks, event.nbytes)
 
     @classmethod
     def from_events(cls, events, nranks: int, engine_type: str = "TRACE",
@@ -112,6 +126,9 @@ class EngineProfile:
             "bytes_put_total": float(self.bytes_put.sum()),
             "transports": [],
         }
+        if self.bin_of_rank is not None:
+            records["granularity"] = "node"
+            records["nbins"] = self.nbins
         for cat in PROFILE_CATEGORIES:
             arr = self.us[cat]
             records["transports"].append({

@@ -61,6 +61,11 @@ class DarshanLog:
     modules: dict[str, ModuleRecord] = field(default_factory=dict)
     files: list[FileRecord] = field(default_factory=list)
     format_version: int = LOG_FORMAT_VERSION
+    #: counter-axis resolution: "rank" (real Darshan) or "node" (the
+    #: memory plane's O(nodes) binning); ``nbins`` is the counter
+    #: array length (== nprocs at rank granularity)
+    granularity: str = "rank"
+    nbins: int | None = None
 
     # -- convenience totals --------------------------------------------------
 
@@ -88,8 +93,12 @@ class DarshanLog:
         )
 
     def per_rank_time(self, category: str) -> np.ndarray:
-        """Per-rank time for ``F_READ_TIME``/``F_WRITE_TIME``/``F_META_TIME``."""
-        out = np.zeros(self.nprocs)
+        """Per-bin time for ``F_READ_TIME``/``F_WRITE_TIME``/``F_META_TIME``.
+
+        One entry per rank for rank-granularity logs, per node for
+        node-binned ones.
+        """
+        out = np.zeros(self.nbins or self.nprocs)
         for mod in self.modules.values():
             out += mod.counters[f"{mod.name}_{category}"]
         return out
@@ -105,6 +114,8 @@ class DarshanLog:
             "runtime_seconds": self.runtime_seconds,
             "machine": self.machine,
             "config": self.config,
+            "granularity": self.granularity,
+            "nbins": self.nbins,
             "modules": {
                 name: {c: arr.tolist() for c, arr in mod.counters.items()}
                 for name, mod in self.modules.items()
@@ -135,6 +146,8 @@ class DarshanLog:
             config=d.get("config", ""),
             modules=modules,
             files=files,
+            granularity=d.get("granularity", "rank"),
+            nbins=d.get("nbins"),
         )
 
     def save(self, path: str | Path) -> None:

@@ -58,21 +58,33 @@ class _FileTable:
 
     Group operations touch tens of thousands of files at once, so the
     per-file plane is numpy arrays grown on demand — the same columnar
-    idiom as the virtual filesystem's inode table.
+    idiom as the virtual filesystem's inode table.  Rows are allocated
+    lazily (the table only grows to the largest inode actually
+    instrumented) and the growth is charged to the ``darshan`` memory
+    account when one is attached.
     """
 
     _FIELDS = ("opens", "reads", "writes", "fsyncs",
                "bytes_read", "bytes_written", "time")
 
-    def __init__(self, capacity: int = 256):
+    #: unfolded registration rows tolerated before compaction — keeps
+    #: residency at O(distinct files) when chunked group opens register
+    #: the same paths once per rank block
+    COMPACT_THRESHOLD = 65536
+
+    def __init__(self, capacity: int = 256, account=None):
         self._cap = capacity
+        self.account = account
         # registrations arrive in (possibly huge) batches from group
         # opens; they are kept as appended batches — O(1) per group —
         # and only folded into the dict when someone asks for it
         self._path_batches: list[tuple] = []
+        self._path_rows = 0
         self._paths: dict[int, str] = {}
         for f in self._FIELDS:
             setattr(self, f, np.zeros(capacity))
+        if account is not None:
+            account.charge(capacity * len(self._FIELDS) * 8)
 
     def ensure(self, max_ino: int) -> None:
         if max_ino < self._cap:
@@ -83,16 +95,22 @@ class _FileTable:
             new = np.zeros(new_cap)
             new[: self._cap] = old
             setattr(self, f, new)
+        if self.account is not None:
+            self.account.charge((new_cap - self._cap) * len(self._FIELDS) * 8)
         self._cap = new_cap
 
     def register(self, ino: int, path: str) -> None:
         self.ensure(ino)
         self._path_batches.append(((int(ino),), (path,)))
+        self._path_rows += 1
 
     def register_batch(self, inos: np.ndarray, paths: Sequence[str]) -> None:
         if inos.size:
             self.ensure(int(inos.max()))
             self._path_batches.append((inos, paths))
+            self._path_rows += len(paths)
+            if self._path_rows > self.COMPACT_THRESHOLD:
+                self.paths  # fold + drop the raw batches
 
     @property
     def paths(self) -> dict[int, str]:
@@ -103,20 +121,58 @@ class _FileTable:
                 for ino, path in zip(inos, paths):
                     setdefault(int(ino), path)
             self._path_batches.clear()
+            self._path_rows = 0
         return self._paths
 
 
 class DarshanMonitor:
-    """Runtime counter collection for one simulated job."""
+    """Runtime counter collection for one simulated job.
 
-    def __init__(self, nprocs: int, jobid: int = 1, exe: str = "bit1"):
+    ``granularity`` picks the counter resolution: ``"rank"`` (the
+    default, one counter cell per MPI rank — real Darshan's layout) or
+    ``"node"`` (cells binned by ``node_of_rank``, so resident counter
+    state is O(nodes) for million-rank virtual jobs).  Binning changes
+    only the counter axis; totals are conserved.
+
+    ``evict_on_close=True`` folds a file's live row into a frozen
+    partial record each time it closes (zeroing the row), mirroring how
+    real Darshan sheds per-file state at shutdown rather than keeping
+    event logs; partials are merged back at :meth:`finalize`.
+    """
+
+    def __init__(self, nprocs: int, jobid: int = 1, exe: str = "bit1",
+                 granularity: str = "rank", node_of_rank=None,
+                 mem_account=None, evict_on_close: bool = False):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if granularity not in ("rank", "node"):
+            raise ValueError(
+                f"granularity must be 'rank' or 'node', got {granularity!r}")
         self.nprocs = nprocs
         self.jobid = jobid
         self.exe = exe
-        self._modules = {m: _ModuleCounters(nprocs) for m in MODULES}
-        self._files = _FileTable()
+        self.granularity = granularity
+        if granularity == "node":
+            if node_of_rank is None:
+                raise ValueError("granularity='node' requires node_of_rank")
+            # keep lazy maps (e.g. BlockNodeMap) as-is: indexing works
+            # and materialising one would defeat its O(1) residency
+            self._bin_of_rank = (node_of_rank
+                                 if hasattr(node_of_rank, "max")
+                                 else np.asarray(node_of_rank))
+            self.nbins = int(self._bin_of_rank.max()) + 1
+        else:
+            self._bin_of_rank = None
+            self.nbins = nprocs
+        self.mem_account = mem_account
+        self.evict_on_close = evict_on_close
+        self._evicted: dict[int, FileRecord] = {}
+        self._modules = {m: _ModuleCounters(self.nbins) for m in MODULES}
+        self._files = _FileTable(account=mem_account)
+        if mem_account is not None:
+            per_bin = (len(COUNT_FIELDS) + len(BYTE_FIELDS)
+                       + len(TIME_FIELDS) + len(SIZE_BUCKET_NAMES)) * 8
+            mem_account.charge(len(MODULES) * self.nbins * per_bin)
         self._finalized: DarshanLog | None = None
 
     # -- registration hooks (called by the POSIX layer) ---------------------
@@ -170,6 +226,8 @@ class DarshanMonitor:
 
     def _fold(self, mod: _ModuleCounters, kind: str, ranks, nbytes,
               duration, ops_arr, inos) -> None:
+        if self._bin_of_rank is not None:
+            ranks = self._bin_of_rank[np.asarray(ranks)]
         count_field = OP_TO_COUNT.get(kind)
         if count_field is not None:
             scatter_add(mod.counts[count_field], ranks, ops_arr)
@@ -191,6 +249,8 @@ class DarshanMonitor:
 
         if inos is not None:
             self._record_files(kind, inos, nbytes, duration, ops_arr)
+            if kind == "close" and self.evict_on_close:
+                self._evict(inos)
 
     def record(self, kind: str, ranks, nbytes, seconds, api: str,
                inos=None, n_ops=1) -> None:
@@ -230,6 +290,26 @@ class DarshanMonitor:
             scatter_add(ft.opens, inos, ops)
         scatter_add(ft.time, inos, seconds)
 
+    def _evict(self, inos) -> None:
+        """Fold live rows of just-closed files into frozen partials."""
+        ft = self._files
+        paths = ft.paths
+        for ino in np.unique(
+                np.atleast_1d(np.asarray(inos, dtype=np.int64))).tolist():
+            rec = self._evicted.get(ino)
+            if rec is None:
+                rec = self._evicted[ino] = FileRecord(
+                    path=paths.get(ino, f"<ino {ino}>"))
+            rec.opens += float(ft.opens[ino])
+            rec.reads += float(ft.reads[ino])
+            rec.writes += float(ft.writes[ino])
+            rec.fsyncs += float(ft.fsyncs[ino])
+            rec.bytes_read += float(ft.bytes_read[ino])
+            rec.bytes_written += float(ft.bytes_written[ino])
+            rec.cumulative_time += float(ft.time[ino])
+            for f in _FileTable._FIELDS:
+                getattr(ft, f)[ino] = 0.0
+
     # -- queries used while the job runs --------------------------------------
 
     def total_bytes_written(self, module: str | None = None) -> float:
@@ -241,15 +321,19 @@ class DarshanMonitor:
         return float(sum(m.bytes["BYTES_READ"].sum() for m in mods))
 
     def per_rank_time(self, field: str) -> np.ndarray:
-        """Per-rank cumulative time for one of the F_*_TIME fields."""
-        out = np.zeros(self.nprocs)
+        """Per-bin cumulative time for one of the F_*_TIME fields.
+
+        One entry per rank at ``granularity='rank'``, per node at
+        ``'node'``.
+        """
+        out = np.zeros(self.nbins)
         for m in self._modules.values():
             out += m.times[field]
         return out
 
     def per_rank_io_time(self) -> np.ndarray:
-        """Per-rank read+write+meta time across modules."""
-        out = np.zeros(self.nprocs)
+        """Per-bin read+write+meta time across modules."""
+        out = np.zeros(self.nbins)
         for f in TIME_FIELDS:
             out += self.per_rank_time(f)
         return out
@@ -274,8 +358,9 @@ class DarshanMonitor:
                 counters[f"{name}_{bname}"] = m.size_hist[:, j].astype(np.float64)
             modules[name] = ModuleRecord(name=name, counters=counters)
         ft = self._files
-        files = [
-            FileRecord(
+        files = []
+        for ino, path in self._files.paths.items():
+            rec = FileRecord(
                 path=path,
                 opens=float(ft.opens[ino]),
                 reads=float(ft.reads[ino]),
@@ -285,8 +370,16 @@ class DarshanMonitor:
                 bytes_written=float(ft.bytes_written[ino]),
                 cumulative_time=float(ft.time[ino]),
             )
-            for ino, path in self._files.paths.items()
-        ]
+            prev = self._evicted.get(ino)
+            if prev is not None:  # merge evicted partials back in
+                rec.opens += prev.opens
+                rec.reads += prev.reads
+                rec.writes += prev.writes
+                rec.fsyncs += prev.fsyncs
+                rec.bytes_read += prev.bytes_read
+                rec.bytes_written += prev.bytes_written
+                rec.cumulative_time += prev.cumulative_time
+            files.append(rec)
         if runtime_seconds is None:
             runtime_seconds = float(self.per_rank_io_time().max())
         self._finalized = DarshanLog(
@@ -298,5 +391,7 @@ class DarshanMonitor:
             config=config,
             modules=modules,
             files=files,
+            granularity=self.granularity,
+            nbins=self.nbins,
         )
         return self._finalized

@@ -90,11 +90,19 @@ def _canonical(value: Any):
 
 
 def point_key(fn: Callable, params: dict) -> str:
-    """Content-addressed cache key of one sweep point."""
+    """Content-addressed cache key of one sweep point.
+
+    The ambient memory-plane configuration is part of the key: the plane
+    never changes simulated results, but quotas do change what a point
+    *returns alongside them* (spill counts, high-water marks, ``mem``
+    events), so results computed under different budgets must not alias.
+    """
+    from repro.mem import fingerprint as mem_fingerprint
     spec = {
         "fn": f"{fn.__module__}.{fn.__qualname__}",
         "params": _canonical(params),
         "src": source_fingerprint(),
+        "mem": mem_fingerprint(),
     }
     return hashlib.sha256(
         json.dumps(spec, sort_keys=True).encode()).hexdigest()

@@ -177,6 +177,19 @@ class PosixIO:
                                           ranks.tolist(), pos_list))
         return fds
 
+    def _maybe_recycle_fds(self) -> None:
+        """Reset descriptor numbering once every file is closed.
+
+        Real kernels reuse the lowest free fd; the monotonic counter
+        here would instead grow the fd→ino map to O(total opens) when a
+        chunked workload opens and closes rank-blocks repeatedly.  A
+        full drain is the cheap safe point to rewind at.
+        """
+        if not self._fds:
+            self._next_fd = 3
+            if len(self._fd_ino) > 4096:
+                self._fd_ino = np.full(256, -1, dtype=np.int64)
+
     def _inos_of(self, fds: np.ndarray) -> np.ndarray:
         inos = self._fd_ino[fds]
         if np.any(inos < 0):
@@ -235,6 +248,7 @@ class PosixIO:
     def close(self, rank: int, fd: int, api: str | None = None) -> None:
         of = self._fds.pop(fd)
         self._fd_ino[fd] = -1
+        self._maybe_recycle_fds()
         self._md(rank, "close", api or of.api, ino=of.ino)
 
     def fileno_path(self, fd: int) -> str:
@@ -416,8 +430,14 @@ class PosixIO:
 
     def read_group(self, ranks: np.ndarray, fds: np.ndarray,
                    nbytes_each: int | np.ndarray,
-                   api: str = "POSIX") -> None:
-        """Symmetric synthetic reads by many ranks (restart/input loads)."""
+                   api: str = "POSIX", clients: int | None = None) -> None:
+        """Symmetric synthetic reads by many ranks (restart/input loads).
+
+        ``clients`` overrides the contention the cost model sees
+        (default: the group size).  Chunked runners processing a large
+        read phase block-by-block pass the *whole* phase's client count
+        so per-op costs stay identical to the unchunked call.
+        """
         ranks = np.asarray(ranks)
         fds = np.asarray(fds)
         inos = self._inos_of(fds)
@@ -429,7 +449,8 @@ class PosixIO:
         scatter_add(cols.read_ops, inos, 1)
         scatter_add(cols.bytes_read, inos, nbytes)
         stripe_count = cols.stripe_count[inos].astype(np.float64)
-        costs = self.fs.perf.read_op_cost(nbytes, len(ranks), stripe_count)
+        costs = self.fs.perf.read_op_cost(
+            nbytes, len(ranks) if clients is None else clients, stripe_count)
         self._charge(ranks, costs)
         self._notify("read", ranks, nbytes, costs, api, inos=inos)
 
@@ -491,6 +512,7 @@ class PosixIO:
         for fd in np.atleast_1d(np.asarray(fds, dtype=np.int64)):
             self._fds.pop(int(fd), None)
             self._fd_ino[int(fd)] = -1
+        self._maybe_recycle_fds()
 
     def close_group(self, ranks: np.ndarray, fds: np.ndarray,
                     api: str = "POSIX") -> None:
@@ -500,6 +522,7 @@ class PosixIO:
         self._fd_ino[fds] = -1
         for fd in fds:
             self._fds.pop(int(fd))
+        self._maybe_recycle_fds()
         cost = float(self.fs.perf.metadata_op_cost(self._md_clients, MD_OPS["close"]))
         costs = np.full(len(ranks), cost)
         self._charge(ranks, costs)

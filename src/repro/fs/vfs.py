@@ -13,7 +13,9 @@ update the size column.
 
 from __future__ import annotations
 
+import bisect
 import posixpath
+import tempfile
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -156,11 +158,15 @@ class VirtualFS:
     """
 
     def __init__(self, default_stripe_count: int = 1,
-                 default_stripe_size: int = 1 << 20):
+                 default_stripe_size: int = 1 << 20,
+                 mem_account=None):
         self.cols = _Columns()
         self._paths: dict[str, int] = {}
         self._children: dict[int, dict[str, int]] = {}
         self._content: dict[int, "ExtentStore"] = {}
+        self._mem_account = mem_account
+        self._spill_file = None
+        self._touch_clock = 0
         self._create_counter = 0
         root = self.cols.alloc()
         self.cols.is_dir[root] = True
@@ -360,7 +366,9 @@ class VirtualFS:
         pino = self._paths[parent]
         del self._children[pino][posixpath.basename(path)]
         del self._paths[path]
-        self._content.pop(ino, None)
+        dropped = self._content.pop(ino, None)
+        if dropped is not None:
+            dropped.discard()
         self.cols.removed[ino] = True
         self.cols.size[ino] = 0
 
@@ -374,6 +382,65 @@ class VirtualFS:
             raise ValueError("stripe_size must be >= 64KiB (Lustre minimum)")
         self.cols.stripe_count[ino] = stripe_count
         self.cols.stripe_size[ino] = stripe_size
+
+    # -- memory plane -----------------------------------------------------
+
+    def configure_memory(self, account, spill: bool = True):
+        """Charge materialised extents to ``account``.
+
+        With ``spill=True`` the account's pressure hook parks the
+        coldest files' extents in a real scratch file when the quota is
+        crossed, so residency stays bounded while reads keep working.
+        Existing stores are re-pointed at the new account.
+        """
+        self._mem_account = account
+        resident = sum(s.resident_bytes for s in self._content.values())
+        for store in self._content.values():
+            store.account = account
+        if resident:
+            account.charge(resident)
+        if spill:
+            account.on_pressure = self._shed_extents
+        return account
+
+    def _vfs_account(self):
+        if self._mem_account is None:
+            from repro.mem.budget import current_budget
+
+            self._mem_account = current_budget().account("vfs")
+        return self._mem_account
+
+    def _store(self, ino: int) -> "ExtentStore":
+        store = self._content.get(ino)
+        if store is None:
+            store = ExtentStore(account=self._vfs_account())
+            self._content[ino] = store
+        self._touch_clock += 1
+        store.last_touch = self._touch_clock
+        return store
+
+    def _spill_alloc(self, data: bytes) -> "_Spilled":
+        if self._spill_file is None:
+            self._spill_file = tempfile.TemporaryFile(
+                prefix="repro-vfs-spill-")
+        f = self._spill_file
+        f.seek(0, 2)
+        off = f.tell()
+        f.write(data)
+        return _Spilled(f, off, len(data))
+
+    def _shed_extents(self, account, needed: int) -> None:
+        """Pressure hook: spill coldest extents until back under quota."""
+        for store in sorted(self._content.values(),
+                            key=lambda s: s.last_touch):
+            if not account.over_quota:
+                break
+            store.spill(self._spill_alloc)
+
+    @property
+    def resident_content_bytes(self) -> int:
+        """Materialised extent bytes currently held in host memory."""
+        return sum(s.resident_bytes for s in self._content.values())
 
     # -- data plane -------------------------------------------------------
 
@@ -389,9 +456,7 @@ class VirtualFS:
         c.write_ops[ino] += 1
         c.bytes_written[ino] += n
         if isinstance(payload, RealPayload):
-            self._content.setdefault(ino, ExtentStore()).write(
-                offset, payload.tobytes()
-            )
+            self._store(ino).write(offset, payload.tobytes())
         return n
 
     def write_group(self, inos: np.ndarray, nbytes_each: int | np.ndarray,
@@ -430,7 +495,7 @@ class VirtualFS:
         end = offset + len(data)
         if end > c.size[ino]:
             c.size[ino] = end
-        self._content.setdefault(ino, ExtentStore()).write(offset, data)
+        self._store(ino).write(offset, data)
 
     def truncate(self, ino: int, length: int = 0) -> None:
         c = self.cols
@@ -476,7 +541,7 @@ class VirtualFS:
         c = self.cols
         if c.is_dir[ino]:
             raise IsADir(f"inode {ino}")
-        store = self._content.setdefault(ino, ExtentStore())
+        store = self._store(ino)
         end = min(offset + nbytes, max(int(c.size[ino]), len(store)))
         if end <= offset:
             raise ValueError("corruption range outside file content")
@@ -535,26 +600,177 @@ class VirtualFS:
         return int(live.sum())
 
 
-class ExtentStore:
-    """Sparse byte storage for one file's materialised content."""
+class _Spilled:
+    """One segment's bytes parked in the shared spill file."""
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    __slots__ = ("file", "off", "length")
 
-    def write(self, offset: int, data: bytes) -> None:
-        end = offset + len(data)
-        if end > len(self._buf):
-            self._buf.extend(b"\x00" * (end - len(self._buf)))
-        self._buf[offset:end] = data
-
-    def read(self, offset: int, length: int) -> bytes:
-        chunk = bytes(self._buf[offset:offset + length])
-        if len(chunk) < length:
-            chunk += b"\x00" * (length - len(chunk))
-        return chunk
-
-    def truncate(self, length: int) -> None:
-        del self._buf[length:]
+    def __init__(self, file, off: int, length: int):
+        self.file = file
+        self.off = off
+        self.length = length
 
     def __len__(self) -> int:
-        return len(self._buf)
+        return self.length
+
+
+class ExtentStore:
+    """Sparse byte storage for one file's materialised content.
+
+    Content lives as a sorted list of non-overlapping segments, so a
+    write at offset N costs bytes-actually-written, not N zero bytes of
+    backing store — a 1 TiB-offset checkpoint extent is two ints and
+    the payload.  Holes read back as zeros.  Resident bytes are charged
+    to the ``vfs`` memory account (when one is wired up), and
+    :meth:`spill` parks segments in a real scratch file under quota
+    pressure; spilled segments are read back transparently and pulled
+    into memory again only when a write overlaps them.
+    """
+
+    __slots__ = ("_starts", "_segs", "_end", "_resident", "account",
+                 "last_touch")
+
+    def __init__(self, account=None):
+        self._starts: list[int] = []
+        self._segs: list = []
+        self._end = 0
+        self._resident = 0
+        self.account = account
+        self.last_touch = 0
+
+    # -- internals ------------------------------------------------------
+
+    def _seg_end(self, i: int) -> int:
+        return self._starts[i] + len(self._segs[i])
+
+    @staticmethod
+    def _load(seg) -> bytes:
+        if isinstance(seg, _Spilled):
+            seg.file.seek(seg.off)
+            return seg.file.read(seg.length)
+        return bytes(seg)
+
+    def _adjust(self, delta: int) -> None:
+        self._resident += delta
+        if self.account is not None:
+            if delta > 0:
+                self.account.charge(delta)
+            elif delta < 0:
+                self.account.release(-delta)
+
+    # -- the byte API ---------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        n = len(data)
+        end = offset + n
+        if end > self._end:
+            self._end = end
+        if n == 0:
+            return
+        starts = self._starts
+        # first segment overlapping or adjacent to [offset, end)
+        i = bisect.bisect_left(starts, offset)
+        if i > 0 and self._seg_end(i - 1) >= offset:
+            i -= 1
+        j = i
+        while j < len(starts) and starts[j] <= end:
+            j += 1
+        if i == j:  # disjoint: plain insert
+            starts.insert(i, offset)
+            self._segs.insert(i, bytearray(data))
+            self._adjust(n)
+            return
+        new_start = min(offset, starts[i])
+        new_end = max(end, self._seg_end(j - 1))
+        buf = bytearray(new_end - new_start)
+        freed = 0
+        for k in range(i, j):
+            seg = self._segs[k]
+            s = starts[k] - new_start
+            buf[s:s + len(seg)] = self._load(seg)
+            if not isinstance(seg, _Spilled):
+                freed += len(seg)
+        buf[offset - new_start:offset - new_start + n] = data
+        del starts[i:j]
+        del self._segs[i:j]
+        starts.insert(i, new_start)
+        self._segs.insert(i, buf)
+        self._adjust(len(buf) - freed)
+
+    def read(self, offset: int, length: int) -> bytes:
+        out = bytearray(length)
+        starts = self._starts
+        end = offset + length
+        i = bisect.bisect_left(starts, offset)
+        if i > 0 and self._seg_end(i - 1) > offset:
+            i -= 1
+        while i < len(starts) and starts[i] < end:
+            s = starts[i]
+            seg = self._segs[i]
+            lo = max(offset, s)
+            hi = min(end, s + len(seg))
+            if isinstance(seg, _Spilled):
+                seg.file.seek(seg.off + (lo - s))
+                out[lo - offset:hi - offset] = seg.file.read(hi - lo)
+            else:
+                out[lo - offset:hi - offset] = seg[lo - s:hi - s]
+            i += 1
+        return bytes(out)
+
+    def truncate(self, length: int) -> None:
+        if length < self._end:
+            self._end = length
+        starts = self._starts
+        i = bisect.bisect_left(starts, length)
+        if i > 0 and self._seg_end(i - 1) > length:
+            k = i - 1
+            seg = self._segs[k]
+            keep = length - starts[k]
+            if isinstance(seg, _Spilled):
+                seg.length = keep
+            else:
+                freed = len(seg) - keep
+                del seg[keep:]
+                self._adjust(-freed)
+        if i < len(starts):
+            freed = sum(len(s) for s in self._segs[i:]
+                        if not isinstance(s, _Spilled))
+            del starts[i:]
+            del self._segs[i:]
+            self._adjust(-freed)
+
+    def __len__(self) -> int:
+        return self._end
+
+    # -- memory plane ---------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held in host memory (excludes spilled)."""
+        return self._resident
+
+    def spill(self, alloc) -> int:
+        """Park every resident segment via ``alloc(bytes) -> _Spilled``.
+
+        Returns the bytes moved out of memory.  Reads keep working
+        (served from the spill file); a later overlapping write pulls
+        the affected segments back into memory.
+        """
+        moved = 0
+        for k, seg in enumerate(self._segs):
+            if not isinstance(seg, _Spilled):
+                self._segs[k] = alloc(bytes(seg))
+                moved += len(seg)
+        if moved:
+            self._adjust(-moved)
+            if self.account is not None:
+                self.account.note_spill(moved)
+        return moved
+
+    def discard(self) -> None:
+        """Drop all content, releasing the account (file unlinked)."""
+        if self._resident:
+            self._adjust(-self._resident)
+        self._starts.clear()
+        self._segs.clear()
+        self._end = 0

@@ -1,0 +1,125 @@
+"""Compact per-rank value descriptors and rank-block iteration.
+
+The scaled workloads hand every rank the same chunk size give or take
+one element (``n // size`` plus one for the first ``n % size`` ranks).
+Materialising that as a million-entry array per component per step is
+exactly the retention the memory plane exists to avoid, so producers
+describe it as a :class:`SplitValues` — *hi for ranks below the split,
+lo at and above it* — and consumers materialise only the block they are
+currently processing.
+
+``blocks`` yields node-aligned ``[lo, hi)`` rank windows; alignment
+matters for bit-identity: per-node reductions (aggregation egress,
+node-binned counters) then see whole nodes per window, so their
+element-order accumulation chains match the unchunked path exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class SplitValues:
+    """``hi_val`` for ranks ``< split``, ``lo_val`` from ``split`` on.
+
+    Covers both the uniform case (``split == 0``) and the
+    remainder-spread case the runners use.  Arithmetic stays in Python
+    ints so sums are exact at any scale.
+    """
+
+    __slots__ = ("n", "split", "hi_val", "lo_val")
+
+    def __init__(self, n: int, lo_val: int, hi_val: int | None = None,
+                 split: int = 0):
+        if n < 0 or split < 0 or split > n:
+            raise ValueError(f"bad span: n={n}, split={split}")
+        self.n = int(n)
+        self.split = int(split)
+        self.lo_val = int(lo_val)
+        self.hi_val = self.lo_val if hi_val is None else int(hi_val)
+
+    @classmethod
+    def spread(cls, total: int, n: int) -> "SplitValues":
+        """``total`` elements over ``n`` ranks, remainder on the first."""
+        base, rem = divmod(int(total), int(n))
+        return cls(n, base, base + 1, rem)
+
+    def sum(self) -> int:
+        return self.hi_val * self.split + self.lo_val * (self.n - self.split)
+
+    def max_value(self) -> int:
+        if self.split and self.split < self.n:
+            return max(self.hi_val, self.lo_val)
+        return self.hi_val if self.split else self.lo_val
+
+    def slice(self, lo: int, hi: int, dtype=np.int64) -> np.ndarray:
+        """Materialise ranks ``[lo, hi)`` as an array."""
+        lo, hi = int(lo), int(hi)
+        if lo < 0 or hi > self.n or lo > hi:
+            raise IndexError(f"slice [{lo}, {hi}) outside 0..{self.n}")
+        out = np.full(hi - lo, self.lo_val, dtype=dtype)
+        cut = min(max(self.split - lo, 0), hi - lo)
+        if cut:
+            out[:cut] = self.hi_val
+        return out
+
+    def materialize(self, dtype=np.int64) -> np.ndarray:
+        return self.slice(0, self.n, dtype=dtype)
+
+    def scaled(self, factor: int) -> "SplitValues":
+        """Elementwise ``* factor`` (e.g. element counts → bytes)."""
+        return SplitValues(self.n, self.lo_val * int(factor),
+                           self.hi_val * int(factor), self.split)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SplitValues):
+            return NotImplemented
+        return (self.n, self.split, self.hi_val, self.lo_val) == (
+            other.n, other.split, other.hi_val, other.lo_val)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.split, self.hi_val, self.lo_val))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SplitValues(n={self.n}, hi={self.hi_val}x{self.split}, "
+                f"lo={self.lo_val}x{self.n - self.split})")
+
+
+def blocks(n: int, block: int | None) -> Iterator[tuple[int, int]]:
+    """Yield ``[lo, hi)`` windows of at most ``block`` ranks over ``n``.
+
+    ``block=None`` (or >= n) yields the single whole-range window, so
+    callers can use one loop for both the chunked and unchunked paths.
+    """
+    n = int(n)
+    if block is None or block >= n:
+        if n:
+            yield 0, n
+        return
+    block = int(block)
+    if block < 1:
+        raise ValueError(f"block size must be >= 1, got {block}")
+    for lo in range(0, n, block):
+        yield lo, min(lo + block, n)
+
+
+def derive_block_size(budget_bytes: int | None, ranks_per_node: int,
+                      bytes_per_rank: int = 96,
+                      min_nodes: int = 1) -> int | None:
+    """Rank-block size from a byte budget, node-aligned.
+
+    ``bytes_per_rank`` is the working-set cost of one rank inside a
+    flush window (a handful of float64/int64 temporaries).  The result
+    is a multiple of ``ranks_per_node`` — required for bit-identity of
+    per-node reduction chains — and at least one node.
+    """
+    if budget_bytes is None:
+        return None
+    ranks = max(1, int(budget_bytes) // max(1, int(bytes_per_rank)))
+    nodes = max(int(min_nodes), ranks // int(ranks_per_node))
+    return nodes * int(ranks_per_node)

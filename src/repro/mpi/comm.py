@@ -50,6 +50,96 @@ class CommConfig:
         return -(-self.size // self.ranks_per_node)
 
 
+class BlockNodeMap:
+    """Lazy node-of-rank map for the standard block distribution.
+
+    Acts like the materialised ``np.arange(size) // ranks_per_node``
+    array for every access pattern the data plane uses — integer,
+    slice, fancy and boolean-mask indexing, ``max()``, ``astype``,
+    equality, ``np.asarray`` — while holding O(1) state.  At 10^6
+    ranks the array it replaces is megabytes of resident weight whose
+    every element is recomputable from two ints; consumers that index
+    windows (the chunked flush path, Darshan's node binning) never see
+    an O(ranks) temporary either.
+    """
+
+    __slots__ = ("size", "ranks_per_node")
+
+    dtype = np.dtype(np.int32)
+
+    def __init__(self, size: int, ranks_per_node: int):
+        self.size = size
+        self.ranks_per_node = ranks_per_node
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return (self.size,)
+
+    def __getitem__(self, idx):
+        rpn = self.ranks_per_node
+        if isinstance(idx, slice):
+            lo, hi, step = idx.indices(self.size)
+            out = np.arange(lo, hi, step, dtype=np.int32)
+            out //= np.int32(rpn)
+            return out
+        if isinstance(idx, (int, np.integer)):
+            i = int(idx)
+            if i < 0:
+                i += self.size
+            if not 0 <= i < self.size:
+                raise IndexError(
+                    f"rank {idx} out of range for {self.size} ranks")
+            return np.int32(i // rpn)
+        idx = np.asarray(idx)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        return (idx // rpn).astype(np.int32)
+
+    def __call__(self, rank):
+        """Callable form (the trace exporters' node-lookup protocol)."""
+        return self[rank]
+
+    def __array__(self, dtype=None, copy=None):
+        out = np.arange(self.size, dtype=np.int32)
+        out //= np.int32(self.ranks_per_node)
+        return out if dtype is None else out.astype(dtype)
+
+    def astype(self, dtype, copy: bool = True):
+        return self.__array__(dtype)
+
+    def max(self):
+        return (self.size - 1) // self.ranks_per_node
+
+    # elementwise comparisons mirror ndarray semantics (materialise a
+    # transient; these only run in tests / small unchunked paths)
+    def __eq__(self, other):
+        return np.asarray(self) == other
+
+    def __ne__(self, other):
+        return np.asarray(self) != other
+
+    def __lt__(self, other):
+        return np.asarray(self) < other
+
+    def __le__(self, other):
+        return np.asarray(self) <= other
+
+    def __gt__(self, other):
+        return np.asarray(self) > other
+
+    def __ge__(self, other):
+        return np.asarray(self) >= other
+
+    __hash__ = None  # mirrors ndarray: unhashable, compare elementwise
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BlockNodeMap(size={self.size}, "
+                f"ranks_per_node={self.ranks_per_node})")
+
+
 class VirtualComm:
     """An MPI_COMM_WORLD-like communicator over simulated ranks.
 
@@ -68,15 +158,29 @@ class VirtualComm:
         self.size = size
         #: virtual clock per rank, seconds
         self.clocks = np.zeros(size, dtype=np.float64)
-        #: node index of each rank (block distribution, like slurm default)
-        self.node_of_rank = np.arange(size) // ranks_per_node
+        #: node index of each rank (block distribution, like slurm
+        #: default) — a lazy O(1) :class:`BlockNodeMap`, not an
+        #: O(ranks) array.  Tests exercising irregular placements may
+        #: assign a real array here; every consumer goes through
+        #: indexing so both representations work.  Consumers that build
+        #: compound keys (the shuffle's ``node * m + subfile``) widen
+        #: to int64 locally since indexed values come back int32.
+        self.node_of_rank = BlockNodeMap(size, ranks_per_node)
         #: optional repro.trace bus; when attached (by a TraceSession),
         #: barriers emit typed events with per-rank wait times
         self.trace = None
         #: optional live :class:`repro.faults.injector.FaultState`; when
         #: installed, NIC flaps derate the effective interconnect bandwidth
         self.fault_state = None
-        self._all_ranks = np.arange(size)
+        # materialised lazily: only traced barriers need the full rank
+        # vector, and at 10^6 ranks it is 8 MB of otherwise-dead weight
+        self._all_ranks_cache: np.ndarray | None = None
+
+    @property
+    def _all_ranks(self) -> np.ndarray:
+        if self._all_ranks_cache is None:
+            self._all_ranks_cache = np.arange(self.size)
+        return self._all_ranks_cache
 
     # -- topology ---------------------------------------------------------
 
@@ -86,10 +190,39 @@ class VirtualComm:
 
     def ranks_on_node(self, node: int) -> np.ndarray:
         """All ranks placed on ``node``."""
+        if isinstance(self.node_of_rank, BlockNodeMap):
+            lo = node * self.config.ranks_per_node
+            return np.arange(lo, min(lo + self.config.ranks_per_node,
+                                     self.size))
         return np.nonzero(self.node_of_rank == node)[0]
+
+    def has_block_topology(self) -> bool:
+        """True when ``node_of_rank`` is the standard block distribution.
+
+        True by construction for the lazy map; a test-assigned array is
+        verified in bounded windows (never an O(ranks) temporary) so the
+        aggregation planner can alias topology arrays instead of
+        materialising per-rank maps at million-rank scale.
+        """
+        node = self.node_of_rank
+        if isinstance(node, BlockNodeMap):
+            return node.ranks_per_node == self.config.ranks_per_node
+        rpn = self.config.ranks_per_node
+        step = 1 << 16
+        for lo in range(0, self.size, step):
+            hi = min(self.size, lo + step)
+            if not np.array_equal(node[lo:hi], np.arange(lo, hi) // rpn):
+                return False
+        return True
 
     def node_leaders(self) -> np.ndarray:
         """The first rank on each node (ADIOS2's default aggregators)."""
+        if self.has_block_topology():
+            # leader of node k sits at k*ranks_per_node; O(nodes) result
+            # with O(1)-window verification instead of np.unique's
+            # O(ranks) sort/index temporaries
+            return np.arange(self.nnodes, dtype=np.int64) * \
+                self.config.ranks_per_node
         _, first = np.unique(self.node_of_rank, return_index=True)
         return first
 

@@ -45,6 +45,12 @@ class SeriesOptions:
     buffer_chunk_size: int | None = None
     #: resident staging cap per aggregator (``MaxShmSize``-style), bytes
     max_shm: int | None = None
+    #: memory plane: evaluate flushes in rank blocks of this size
+    #: (``RankBlockSize``); None = whole-job evaluation
+    rank_block_size: int | None = None
+    #: memory plane: profiling counter axis — "rank" or "node"
+    #: (``ProfileGranularity``)
+    profile_granularity: str = "rank"
     raw: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -55,6 +61,12 @@ class SeriesOptions:
             )
         if self.num_aggregators is not None and self.num_aggregators < 1:
             raise ValueError("NumAggregators must be >= 1")
+        if self.profile_granularity not in ("rank", "node"):
+            raise ValueError(
+                "ProfileGranularity must be 'rank' or 'node', got "
+                f"{self.profile_granularity!r}")
+        if self.rank_block_size is not None and self.rank_block_size < 1:
+            raise ValueError("RankBlockSize must be >= 1")
 
 
 def _as_bool(value: Any) -> bool:
@@ -92,6 +104,10 @@ def parse_options(options: str | Mapping[str, Any] | None = None,
     buffer_chunk_size = None if buffer_chunk is None else int(buffer_chunk)
     max_shm_param = params.get("MaxShmSize")
     max_shm = None if max_shm_param is None else int(max_shm_param)
+    rank_block = params.get("RankBlockSize")
+    rank_block_size = None if rank_block is None else int(rank_block)
+    profile_granularity = str(params.get("ProfileGranularity",
+                                         "rank")).lower()
 
     compressor: str | None = None
     dataset = adios2.get("dataset", {})
@@ -118,6 +134,8 @@ def parse_options(options: str | Mapping[str, Any] | None = None,
         async_write=async_write,
         buffer_chunk_size=buffer_chunk_size,
         max_shm=max_shm,
+        rank_block_size=rank_block_size,
+        profile_granularity=profile_granularity,
         raw=data,
     )
 

@@ -33,6 +33,7 @@ from repro.fs.lustre import LustreFilesystem
 from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.ior.benchmark import SHARED_FILE_LOCK_EFFICIENCY
+from repro.mem import SplitValues
 from repro.mpi.comm import VirtualComm
 from repro.trace.subscribers import ProfileFold
 from repro.util.scatter import scatter_add
@@ -122,9 +123,17 @@ class HDF5Engine:
         var = self.declare_variable(name, dtype, global_shape, entropy)
         return var.put_chunk(rank, tuple(offset), tuple(extent), data)
 
-    def put_group(self, name: str, ranks: np.ndarray, nbytes_each,
+    def put_group(self, name: str, ranks: np.ndarray | None, nbytes_each,
                   entropy: str = "particle_float32") -> None:
         self._check_in_step()
+        if ranks is None:
+            # span descriptor covering every rank (memory-plane staging)
+            if not isinstance(nbytes_each, SplitValues) \
+                    or len(nbytes_each) != self.comm.size:
+                raise TypeError(
+                    "ranks=None requires a SplitValues spanning the job")
+            self._cur_bulk.append((name, None, nbytes_each, entropy))
+            return
         ranks = np.asarray(ranks)
         nbytes = np.broadcast_to(
             np.asarray(nbytes_each, dtype=np.int64), ranks.shape).copy()
@@ -138,7 +147,10 @@ class HDF5Engine:
         for var in self._cur_vars.values():
             staged += var.per_rank_bytes(n)
         for _name, ranks, nbytes, _e in self._cur_bulk:
-            scatter_add(staged, ranks, nbytes.astype(np.float64))
+            if ranks is None:
+                staged += nbytes.slice(0, n).astype(np.float64)
+            else:
+                scatter_add(staged, ranks, nbytes.astype(np.float64))
         total = int(staged.sum())
         per_var_meta = (len(self._cur_vars) + len(self._cur_bulk)) \
             * H5_OBJECT_HEADER

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.adios2.variables import dtype_name
 from repro.fs.payload import Payload, RealPayload, SyntheticPayload, as_payload
+from repro.mem import SplitValues
 
 #: the marker openPMD-api uses for scalar records
 SCALAR = "\x0bscalar"
@@ -155,18 +156,35 @@ class RecordComponent:
                 datas, offs.tolist(), lens.tolist(),
                 np.asarray(ranks).tolist()))
 
-    def store_chunk_group(self, ranks: np.ndarray,
-                          nelems_each: int | np.ndarray) -> None:
+    def store_chunk_group(self, ranks: np.ndarray | None,
+                          nelems_each) -> None:
         """Modeled-mode extension: symmetric synthetic chunks for many ranks.
 
         The per-rank element counts must tile the dataset's global extent
         (1-D only, matching the paper's particle-species storage: "1D
         arrays where each row represents a particle").
+
+        ``ranks=None`` with a :class:`~repro.mem.SplitValues` element
+        descriptor spanning every rank stages the group compactly — the
+        memory plane's O(1)-per-group form for million-rank jobs.
         """
         if self.dataset is None:
             raise RuntimeError("resetDataset() must precede storeChunkGroup()")
         if len(self.dataset.extent) != 1:
             raise ValueError("group chunks support 1-D datasets only")
+        if ranks is None:
+            if not isinstance(nelems_each, SplitValues):
+                raise TypeError(
+                    "ranks=None requires a SplitValues element descriptor")
+            if nelems_each.sum() > self.dataset.extent[0]:
+                raise ValueError(
+                    f"group chunks ({nelems_each.sum()} elements) exceed "
+                    f"the dataset extent {self.dataset.extent[0]} of "
+                    f"{self.name!r}"
+                )
+            self.staged_groups.append(
+                (None, nelems_each.scaled(self.dataset.dtype.itemsize)))
+            return
         ranks = np.asarray(ranks)
         nelems = np.broadcast_to(
             np.asarray(nelems_each, dtype=np.int64), ranks.shape).copy()

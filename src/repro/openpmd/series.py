@@ -161,6 +161,8 @@ class Series:
             async_drain=self.options.async_write,
             buffer_chunk_size=self.options.buffer_chunk_size,
             host_memory_bound=self.options.max_shm,
+            rank_block_size=self.options.rank_block_size,
+            profile_granularity=self.options.profile_granularity,
         )
 
     def _engine_path(self, iteration: int | None) -> str:

@@ -46,7 +46,13 @@ class TraceBus:
     """
 
     __slots__ = ("_subs", "_dispatch", "_wanted", "_scope_stack", "_step",
-                 "_path_batches", "node_of_rank", "_seq")
+                 "_path_batches", "_paths_dict", "_paths_folded",
+                 "_path_rows", "node_of_rank", "_seq")
+
+    #: unfolded registration rows tolerated before compacting into the
+    #: dedup dict — a group open over 10^6 ranks of one shared file
+    #: would otherwise pin the whole ino/path batch in memory
+    PATH_COMPACT_THRESHOLD = 65536
 
     def __init__(self, node_of_rank=None):
         self._subs: list = []
@@ -55,8 +61,12 @@ class TraceBus:
         self._scope_stack: list[str] = []
         self._step: int | None = None
         # ino→path registrations, kept as appended batches so group
-        # opens stay O(1) here; materialised to a dict on demand
+        # opens stay O(1) here; folded incrementally into a cached dict
+        # the first time a path-keyed consumer looks one up
         self._path_batches: list[tuple] = []
+        self._paths_dict: dict[int, str] = {}
+        self._paths_folded = 0
+        self._path_rows = 0
         self.node_of_rank = node_of_rank
         self._seq = 0
 
@@ -87,6 +97,12 @@ class TraceBus:
             self._refresh_wanted()
             if hasattr(subscriber, "register_file") or hasattr(
                     subscriber, "register_files"):
+                if self._paths_dict:
+                    # batches already compacted away: replay the dedup
+                    # dict (insertion order = first-registration order)
+                    self._forward_registration(
+                        subscriber, list(self._paths_dict.keys()),
+                        list(self._paths_dict.values()))
                 for inos, paths in self._path_batches:
                     self._forward_registration(subscriber, inos, paths)
         return subscriber
@@ -169,6 +185,7 @@ class TraceBus:
 
     def register_file(self, ino: int, path: str) -> None:
         self._path_batches.append(((int(ino),), (path,)))
+        self._path_rows += 1
         for sub in self._subs:
             reg = getattr(sub, "register_file", None)
             if reg is not None:
@@ -177,20 +194,47 @@ class TraceBus:
     def register_files(self, inos, paths) -> None:
         """Register a batch (one group open); O(1) on the bus itself."""
         self._path_batches.append((inos, paths))
+        self._path_rows += len(paths)
         for sub in self._subs:
             self._forward_registration(sub, inos, paths)
+        if self._path_rows > self.PATH_COMPACT_THRESHOLD:
+            self._compact_paths()
+
+    def _compact_paths(self) -> None:
+        """Fold every pending batch and drop the raw rows.
+
+        A chunked group-open loop registers the same few files once per
+        rank block; after compaction only the dedup dict (one entry per
+        distinct file) stays resident.
+        """
+        self._fold_paths()
+        self._path_batches = []
+        self._paths_folded = 0
+        self._path_rows = 0
+
+    def _fold_paths(self) -> dict[int, str]:
+        """Fold unseen registration batches into the cached dict.
+
+        Each batch is folded exactly once, so per-record lookups are
+        O(1) amortised instead of O(total registrations) per call.
+        First registration wins, matching Darshan's file-table
+        semantics.
+        """
+        batches = self._path_batches
+        if self._paths_folded < len(batches):
+            out = self._paths_dict
+            for inos, paths in batches[self._paths_folded:]:
+                for ino, path in zip(inos, paths):
+                    out.setdefault(int(ino), path)
+            self._paths_folded = len(batches)
+        return self._paths_dict
 
     def paths(self) -> dict[int, str]:
-        """Materialise the ino→path registry (first registration wins,
-        matching Darshan's file-table semantics)."""
-        out: dict[int, str] = {}
-        for inos, paths in self._path_batches:
-            for ino, path in zip(inos, paths):
-                out.setdefault(int(ino), path)
-        return out
+        """The materialised ino→path registry (a copy; mutate freely)."""
+        return dict(self._fold_paths())
 
     def path_of(self, ino: int, default: str | None = None) -> str | None:
-        return self.paths().get(int(ino), default)
+        return self._fold_paths().get(int(ino), default)
 
     # -- emission --------------------------------------------------------
 

@@ -31,6 +31,9 @@ EVENT_KINDS = frozenset({
     "fault", "retry", "failover", "restart",
     # streaming plane (repro.streaming): staged producer→consumer flow
     "publish", "deliver", "stall", "drop",
+    # memory plane (repro.mem): a budget account crossed a watermark;
+    # nbytes carries the account's resident bytes at the crossing
+    "mem",
 })
 
 #: Layers whose events the Darshan subscriber folds into counters.

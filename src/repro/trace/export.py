@@ -27,7 +27,9 @@ def _node_lookup(node_of_rank):
     if node_of_rank is None:
         return lambda rank: 0
     if callable(node_of_rank):
-        return node_of_rank
+        # int-wrap: lazy maps hand back numpy scalars, which the JSON
+        # encoder refuses
+        return lambda rank: int(node_of_rank(rank))
     arr = np.asarray(node_of_rank)
     return lambda rank: int(arr[rank])
 

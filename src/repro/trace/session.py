@@ -19,6 +19,7 @@ Three modes trade memory for fidelity:
 
 from __future__ import annotations
 
+from repro.mem import current_budget
 from repro.trace.bus import TraceBus
 from repro.trace.export import (
     LayerBreakdown,
@@ -56,7 +57,9 @@ class TraceSession:
                                                 engine_type="TRACE")
             self.bus.subscribe(ProfileFold(self.stream_profile, scope=None))
         if mode == "full":
-            self.recorder = self.bus.subscribe(EventRecorder(capacity))
+            self.recorder = self.bus.subscribe(EventRecorder(
+                capacity,
+                mem_account=current_budget().account("trace")))
         # let the communicator emit barrier events onto this bus
         if comm is not None:
             comm.trace = self.bus

@@ -19,21 +19,51 @@ class EventRecorder:
 
     Keeps the most recent ``capacity`` events; ``dropped`` counts what
     the ring evicted so exporters can flag truncation instead of
-    silently presenting a partial trace as complete.
+    silently presenting a partial trace as complete.  With ``spill_to``
+    set (a path or writable text file), evicted events are appended
+    there as one-line summaries instead of vanishing — the full stream
+    survives on disk while residency stays bounded at ``capacity``.
+    An optional ``mem_account`` (a :class:`repro.mem.MemoryAccount`)
+    is charged a nominal per-retained-event cost so the trace
+    subsystem shows up in the run's memory report.
     """
 
     kinds = None  # record everything
 
-    def __init__(self, capacity: int = 65536):
+    #: nominal resident cost of one retained event (object + views)
+    EVENT_COST = 512
+
+    def __init__(self, capacity: int = 65536, spill_to=None,
+                 mem_account=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._events: deque[IOEvent] = deque(maxlen=capacity)
         self.dropped = 0
+        self.spilled = 0
+        self.mem_account = mem_account
+        self._spill_fh = None
+        self._spill_path = None
+        if spill_to is not None:
+            if hasattr(spill_to, "write"):
+                self._spill_fh = spill_to
+            else:
+                self._spill_path = spill_to
+
+    def _spill(self, event: IOEvent) -> None:
+        if self._spill_fh is None:
+            if self._spill_path is None:
+                return
+            self._spill_fh = open(self._spill_path, "a")
+        self._spill_fh.write(repr(event) + "\n")
+        self.spilled += 1
 
     def on_event(self, event: IOEvent) -> None:
         if len(self._events) == self.capacity:
             self.dropped += 1
+            self._spill(self._events[0])
+        elif self.mem_account is not None:
+            self.mem_account.charge(self.EVENT_COST)
         self._events.append(event)
 
     @property
@@ -47,8 +77,16 @@ class EventRecorder:
         return iter(self._events)
 
     def clear(self) -> None:
+        if self.mem_account is not None:
+            self.mem_account.release(len(self._events) * self.EVENT_COST)
         self._events.clear()
         self.dropped = 0
+
+    def close(self) -> None:
+        """Flush and close the spill file (opened lazily, if any)."""
+        if self._spill_fh is not None and self._spill_path is not None:
+            self._spill_fh.close()
+            self._spill_fh = None
 
 
 class ProfileFold:

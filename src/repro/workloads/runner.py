@@ -33,6 +33,14 @@ from repro.fs.vfs import FileNotFound
 from repro.io_adaptor.checkpoint import restore_from_openpmd, restore_from_original
 from repro.io_adaptor.openpmd_adaptor import Bit1OpenPMDWriter
 from repro.io_adaptor.original import CorruptCheckpointError, OriginalIOWriter
+from repro.mem import (
+    MemoryBudget,
+    SplitValues,
+    blocks,
+    current_budget,
+    derive_block_size,
+    use_budget,
+)
 from repro.mpi.comm import VirtualComm, comm_for_nodes
 from repro.openpmd.record import Dataset
 from repro.openpmd.series import Access, Series
@@ -50,22 +58,47 @@ from repro.workloads.datamodel import (
 from repro.workloads.presets import paper_use_case
 
 
+#: rank-block size for the startup reads.  A *fixed* constant — not the
+#: engine's ``RankBlockSize`` — so every run sees the identical startup
+#: event sequence regardless of flush chunking (the per-file cumulative
+#: time folds in event order, so the sequence itself is part of the
+#: bit-identity contract).  Below this many ranks the loop is a single
+#: window, byte-for-byte the pre-chunking behaviour.  Per-rank costs and
+#: counters are invariant to this value (metadata costs use the phase's
+#: client count and ``clients=`` pins read contention), so it is sized
+#: purely for the transient working set: ~300 B of fd-table state per
+#: open rank makes 8192 a ~2.5 MB peak.
+STARTUP_READ_BLOCK = 8192
+
+
 def _read_startup_inputs(posix: PosixIO, comm: VirtualComm,
                          model: Bit1DataModel, outdir: str) -> None:
     """Model the read side: every rank reads the 1-3 kB input deck, and a
     restarting run re-reads its checkpoint share ("the time spent on
     reads remains consistent, primarily due to checkpointing", §IV-B).
+
+    Ranks are processed in bounded blocks so the transient working set
+    (rank ids, fds, per-rank byte counts) stays O(block) at million-rank
+    scale; ``clients=`` pins the cost model to whole-job contention so
+    per-op costs match the unchunked call exactly.
     """
-    ranks = np.arange(comm.size)
+    n = comm.size
     input_path = f"{outdir}/bit1.inp"
     fd0 = posix.open(0, input_path, create=True)
     posix.write(0, fd0, SyntheticPayload(3072, "ascii_table"))
     posix.close(0, fd0)
-    fds = posix.open_group(ranks, [input_path] * comm.size, create=False)
-    posix.read_group(ranks, fds, 3072)
-    # restart: re-read the previous checkpoint share
-    posix.read_group(ranks, fds, model.ckpt_bytes_per_rank())
-    posix.close_group(ranks, fds)
+    particle = SplitValues.spread(model.particle_state_bytes, n)
+    grid = SplitValues.spread(model.grid_state_bytes, n)
+    meta = model.ckpt_meta_bytes_per_rank()
+    for lo, hi in blocks(n, STARTUP_READ_BLOCK):
+        ranks = np.arange(lo, hi)
+        fds = posix.open_group(ranks, [input_path] * (hi - lo), create=False)
+        posix.read_group(ranks, fds, 3072, clients=n)
+        # restart: re-read the previous checkpoint share
+        posix.read_group(ranks, fds,
+                         particle.slice(lo, hi) + grid.slice(lo, hi) + meta,
+                         clients=n)
+        posix.close_group(ranks, fds)
     posix.unlink(0, input_path)  # keep the census focused on outputs
 
 
@@ -92,6 +125,9 @@ class ScaledRunResult:
     peak_host_bytes: float = 0.0
     drain_wait_seconds: float = 0.0
     drain_seconds: float = 0.0
+    #: memory-plane snapshot (``MemoryBudget.report()``): per-account
+    #: used/high-water/spilled bytes of the *simulator's own* residency
+    mem_report: dict = field(default_factory=dict)
 
     def file_sizes(self) -> np.ndarray:
         return self.fs.vfs.subtree_file_sizes(self.outdir)
@@ -110,6 +146,7 @@ def _event_steps(config: Bit1Config) -> list[tuple[int, bool]]:
 def _setup(machine: Machine, nodes: int, ranks_per_node: int,
            storage_name: str | None, seed: int, exe: str,
            trace_mode: str | None = None,
+           counter_granularity: str = "rank",
            ) -> tuple[VirtualComm, MountedFilesystem, PosixIO,
                       DarshanMonitor, TraceSession]:
     if nodes < 1 or nodes > machine.num_nodes:
@@ -119,7 +156,9 @@ def _setup(machine: Machine, nodes: int, ranks_per_node: int,
                               else machine.storage_named(storage_name))
     # run identity feeds the RNG so "storage weather" differs per run
     rng = RngRegistry(stream_seed(seed, machine.name, nodes, exe))
+    budget = current_budget()
     fs = mount(storage, rng)
+    fs.vfs.configure_memory(budget.account("vfs"))
     comm = comm_for_nodes(nodes, ranks_per_node,
                           latency=machine.network.latency,
                           bandwidth=machine.network.nic_bandwidth,
@@ -127,8 +166,13 @@ def _setup(machine: Machine, nodes: int, ranks_per_node: int,
     # one TraceSession per run is the instrumentation spine: the Darshan
     # monitor subscribes to its bus, and PosixIO emits onto the same bus
     # (passing the monitor to PosixIO as well would double-subscribe it)
-    monitor = DarshanMonitor(comm.size, exe=exe)
+    monitor = DarshanMonitor(
+        comm.size, exe=exe, granularity=counter_granularity,
+        node_of_rank=(comm.node_of_rank
+                      if counter_granularity == "node" else None),
+        mem_account=budget.account("darshan"))
     session = TraceSession(comm, monitor=monitor, mode=trace_mode)
+    budget.attach(session.bus)
     posix = PosixIO(fs, comm, trace=session.bus)
     return comm, fs, posix, monitor, session
 
@@ -220,7 +264,8 @@ def run_original_scaled(machine: Machine, nodes: int,
     log = monitor.finalize(runtime_seconds=comm.max_time(),
                            machine=machine.name, config="original")
     return ScaledRunResult(machine.name, "original", nodes, comm.size,
-                           log, fs, comm, outdir, trace=session)
+                           log, fs, comm, outdir, trace=session,
+                           mem_report=current_budget().report())
 
 
 def run_openpmd_scaled(machine: Machine, nodes: int,
@@ -240,6 +285,9 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                        async_drain: bool = False,
                        host_memory_bound: int | None = None,
                        compute_seconds_per_step: float = 0.0,
+                       mem_budget: int | None = None,
+                       rank_block_size: int | None = None,
+                       counter_granularity: str = "rank",
                        ) -> ScaledRunResult:
     """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II).
 
@@ -247,131 +295,159 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     scheduled in the background and overlap the next step's compute
     (``compute_seconds_per_step`` of virtual time per simulation step),
     bounded by ``host_memory_bound`` bytes of staging per aggregator.
+
+    The memory-plane knobs bound the *simulator's own* residency without
+    changing any simulated result:
+
+    - ``mem_budget`` installs a run-scoped :class:`~repro.mem.
+      MemoryBudget` (total bytes) and derives a rank-block size from it;
+    - ``rank_block_size`` forces the flush evaluation window directly
+      (overrides the derived size) — results are bit-identical for every
+      choice, including ``None`` (whole-job windows);
+    - ``counter_granularity='node'`` bins Darshan counters and engine
+      profiles by node, shrinking counter state from O(ranks) to
+      O(nodes) for million-rank jobs.
     """
     config = config or paper_use_case()
-    comm, fs, posix, monitor, session = _setup(
-        machine, nodes, ranks_per_node, storage_name, seed,
-        "bit1-openpmd", trace_mode)
-    injector = (install_faults(posix, fault_plan, retry_policy)
-                if fault_plan is not None else None)
-    model = Bit1DataModel(config, comm.size)
-    outdir = "/scratch/io_openPMD"
-    posix.mkdir(0, outdir, parents=True)
-    if stripe_count is not None or stripe_size is not None:
-        if not isinstance(fs, LustreFilesystem):
-            raise ValueError("striping controls require a Lustre filesystem")
-        fs.lfs_setstripe(outdir, stripe_count or 1, stripe_size or "1M")
+    budget = (MemoryBudget(total=mem_budget) if mem_budget is not None
+              else current_budget())
+    block = (rank_block_size if rank_block_size is not None
+             else derive_block_size(mem_budget, ranks_per_node))
+    with use_budget(budget):
+        comm, fs, posix, monitor, session = _setup(
+            machine, nodes, ranks_per_node, storage_name, seed,
+            "bit1-openpmd", trace_mode, counter_granularity)
+        injector = (install_faults(posix, fault_plan, retry_policy)
+                    if fault_plan is not None else None)
+        model = Bit1DataModel(config, comm.size)
+        outdir = "/scratch/io_openPMD"
+        posix.mkdir(0, outdir, parents=True)
+        if stripe_count is not None or stripe_size is not None:
+            if not isinstance(fs, LustreFilesystem):
+                raise ValueError(
+                    "striping controls require a Lustre filesystem")
+            fs.lfs_setstripe(outdir, stripe_count or 1, stripe_size or "1M")
 
-    def series(path: str, num_agg: int | None) -> Series:
-        options: dict = {"adios2": {"engine": {"type": engine_ext.strip("."),
-                                               "parameters": {}},
-                                    "dataset": {}}}
-        if num_agg is not None:
-            options["adios2"]["engine"]["parameters"]["NumAggregators"] = num_agg
-        if profiling:
-            options["adios2"]["engine"]["parameters"]["Profile"] = "On"
-        if async_drain:
-            options["adios2"]["engine"]["parameters"]["AsyncWrite"] = "On"
-        if host_memory_bound is not None:
-            options["adios2"]["engine"]["parameters"]["MaxShmSize"] = \
-                int(host_memory_bound)
+        def series(path: str, num_agg: int | None) -> Series:
+            options: dict = {"adios2": {"engine": {"type": engine_ext.strip("."),
+                                                   "parameters": {}},
+                                        "dataset": {}}}
+            params = options["adios2"]["engine"]["parameters"]
+            if num_agg is not None:
+                params["NumAggregators"] = num_agg
+            if profiling:
+                params["Profile"] = "On"
+            if async_drain:
+                params["AsyncWrite"] = "On"
+            if host_memory_bound is not None:
+                params["MaxShmSize"] = int(host_memory_bound)
+            if block is not None:
+                params["RankBlockSize"] = int(block)
+            if counter_granularity == "node":
+                params["ProfileGranularity"] = "node"
+            if compressor:
+                options["adios2"]["dataset"]["operators"] = [
+                    {"type": compressor}]
+            return Series(posix, comm, path, Access.CREATE, options=options)
+
+        _read_startup_inputs(posix, comm, model, outdir)
+        diag_series = series(f"{outdir}/dat_file{engine_ext}",
+                             num_aggregators)
+        ckpt_series = series(f"{outdir}/dmp_file{engine_ext}",
+                             1 if num_aggregators is None else num_aggregators)
+
+        # per-rank chunk sizes as O(1) span descriptors — never
+        # materialised job-wide (the engine slices per rank block)
+        n_particles = model.total_particles
+        per_rank_particles = SplitValues.spread(n_particles, comm.size)
+        grid_elems = model.grid_state_bytes // 8
+        per_rank_grid = SplitValues.spread(grid_elems, comm.size)
+        meta_elems = model.ckpt_meta_bytes_per_rank() // 8
+        diag_elems = model.diag_bytes_per_rank_per_event() // 8
+        diag_span = SplitValues(comm.size, int(diag_elems))
+        meta_span = SplitValues(comm.size, int(meta_elems))
+
+        last_step = 0
+        with posix.phase(writers=comm.size, md_clients=comm.size):
+            for step, is_ckpt in _event_steps(config):
+                if compute_seconds_per_step > 0.0 and step != last_step:
+                    # advance every rank through the PIC compute between
+                    # I/O milestones — the window async drains overlap
+                    comm.clocks += \
+                        (step - last_step) * compute_seconds_per_step
+                last_step = step
+                with posix.trace.step(step):
+                    if injector is not None:
+                        for directive in injector.begin_step(step):
+                            diag_series.handle_rank_failure(directive.rank)
+                            ckpt_series.handle_rank_failure(directive.rank)
+                    it = diag_series.iterations[step]
+                    it.set_time(step * config.dt, config.dt)
+                    comp = it.meshes["rank_summary"].scalar
+                    comp.entropy = "diagnostic_float64"
+                    comp.reset_dataset(Dataset(np.float64,
+                                               (int(diag_elems) * comm.size,)))
+                    comp.store_chunk_group(None, diag_span)
+                    it.close()
+
+                    if is_ckpt:
+                        it0 = ckpt_series.iterations[0].reopen()
+                        it0.set_time(step * config.dt, config.dt)
+                        sp = it0.particles["all_species"]
+                        for rec_name, comp_name in (("position", "x"),
+                                                    ("momentum", "x"),
+                                                    ("momentum", "y"),
+                                                    ("momentum", "z")):
+                            rec = sp[rec_name]
+                            comp = rec[comp_name]
+                            comp.entropy = "particle_float32"
+                            comp.reset_dataset(Dataset(np.float32,
+                                                       (n_particles,)))
+                            comp.store_chunk_group(None, per_rank_particles)
+                        moments = it0.meshes["grid_moments"].scalar
+                        moments.entropy = "diagnostic_float64"
+                        moments.reset_dataset(Dataset(np.float64,
+                                                      (grid_elems,)))
+                        moments.store_chunk_group(None, per_rank_grid)
+                        meta = it0.meshes["rank_state"].scalar
+                        meta.entropy = "diagnostic_float64"
+                        meta.reset_dataset(Dataset(
+                            np.float64, (int(meta_elems) * comm.size,)))
+                        meta.store_chunk_group(None, meta_span)
+                        it0.close()
+
+            diag_series.close()
+            ckpt_series.close()
+
+        label_parts = [f"openPMD+{engine_ext.strip('.').upper()}"]
+        if num_aggregators is not None:
+            label_parts.append(f"{num_aggregators}AGGR")
         if compressor:
-            options["adios2"]["dataset"]["operators"] = [{"type": compressor}]
-        return Series(posix, comm, path, Access.CREATE, options=options)
-
-    _read_startup_inputs(posix, comm, model, outdir)
-    diag_series = series(f"{outdir}/dat_file{engine_ext}", num_aggregators)
-    ckpt_series = series(f"{outdir}/dmp_file{engine_ext}",
-                         1 if num_aggregators is None else num_aggregators)
-
-    ranks = np.arange(comm.size)
-    n_particles = model.total_particles
-    per_rank_particles = np.full(comm.size, n_particles // comm.size,
-                                 dtype=np.int64)
-    per_rank_particles[: n_particles % comm.size] += 1
-    grid_elems = model.grid_state_bytes // 8
-    per_rank_grid = np.full(comm.size, grid_elems // comm.size, dtype=np.int64)
-    per_rank_grid[: grid_elems % comm.size] += 1
-    meta_elems = model.ckpt_meta_bytes_per_rank() // 8
-    diag_elems = model.diag_bytes_per_rank_per_event() // 8
-
-    last_step = 0
-    with posix.phase(writers=comm.size, md_clients=comm.size):
-        for step, is_ckpt in _event_steps(config):
-            if compute_seconds_per_step > 0.0 and step != last_step:
-                # advance every rank through the PIC compute between I/O
-                # milestones — the window asynchronous drains overlap
-                comm.clocks += (step - last_step) * compute_seconds_per_step
-            last_step = step
-            with posix.trace.step(step):
-                if injector is not None:
-                    for directive in injector.begin_step(step):
-                        diag_series.handle_rank_failure(directive.rank)
-                        ckpt_series.handle_rank_failure(directive.rank)
-                it = diag_series.iterations[step]
-                it.set_time(step * config.dt, config.dt)
-                comp = it.meshes["rank_summary"].scalar
-                comp.entropy = "diagnostic_float64"
-                comp.reset_dataset(Dataset(np.float64,
-                                           (int(diag_elems) * comm.size,)))
-                comp.store_chunk_group(ranks, int(diag_elems))
-                it.close()
-
-                if is_ckpt:
-                    it0 = ckpt_series.iterations[0].reopen()
-                    it0.set_time(step * config.dt, config.dt)
-                    sp = it0.particles["all_species"]
-                    for rec_name, comp_name in (("position", "x"),
-                                                ("momentum", "x"),
-                                                ("momentum", "y"),
-                                                ("momentum", "z")):
-                        rec = sp[rec_name]
-                        comp = rec[comp_name]
-                        comp.entropy = "particle_float32"
-                        comp.reset_dataset(Dataset(np.float32,
-                                                   (n_particles,)))
-                        comp.store_chunk_group(ranks, per_rank_particles)
-                    moments = it0.meshes["grid_moments"].scalar
-                    moments.entropy = "diagnostic_float64"
-                    moments.reset_dataset(Dataset(np.float64, (grid_elems,)))
-                    moments.store_chunk_group(ranks, per_rank_grid)
-                    meta = it0.meshes["rank_state"].scalar
-                    meta.entropy = "diagnostic_float64"
-                    meta.reset_dataset(Dataset(np.float64,
-                                               (int(meta_elems) * comm.size,)))
-                    meta.store_chunk_group(ranks, int(meta_elems))
-                    it0.close()
-
-        diag_series.close()
-        ckpt_series.close()
-
-    label_parts = [f"openPMD+{engine_ext.strip('.').upper()}"]
-    if num_aggregators is not None:
-        label_parts.append(f"{num_aggregators}AGGR")
-    if compressor:
-        label_parts.append(compressor)
-    if stripe_count is not None:
-        label_parts.append(f"sc{stripe_count}")
-    profiles = []
-    peak_host = wait_s = drain_s = 0.0
-    for s in (diag_series, ckpt_series):
-        eng = s.engine
-        if eng is not None and hasattr(eng, "profile"):
-            profiles.append(eng.profile)
-        if eng is not None and hasattr(eng, "peak_host_bytes"):
-            peak_host = max(peak_host,
-                            float(np.max(eng.peak_host_bytes, initial=0.0)))
-            wait_s += float(eng.drain_wait_seconds.sum())
-            drain_s += float(eng.drain_seconds.sum())
-    log = monitor.finalize(runtime_seconds=comm.max_time(),
-                           machine=machine.name,
-                           config="+".join(label_parts))
-    return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
-                           comm.size, log, fs, comm, outdir,
-                           profiles=profiles, trace=session,
-                           peak_host_bytes=peak_host,
-                           drain_wait_seconds=wait_s,
-                           drain_seconds=drain_s)
+            label_parts.append(compressor)
+        if stripe_count is not None:
+            label_parts.append(f"sc{stripe_count}")
+        profiles = []
+        peak_host = wait_s = drain_s = 0.0
+        for s in (diag_series, ckpt_series):
+            eng = s.engine
+            if eng is not None and hasattr(eng, "profile"):
+                profiles.append(eng.profile)
+            if eng is not None and hasattr(eng, "peak_host_bytes"):
+                peak_host = max(peak_host,
+                                float(np.max(eng.peak_host_bytes,
+                                             initial=0.0)))
+                wait_s += float(eng.drain_wait_seconds.sum())
+                drain_s += float(eng.drain_seconds.sum())
+        log = monitor.finalize(runtime_seconds=comm.max_time(),
+                               machine=machine.name,
+                               config="+".join(label_parts))
+        return ScaledRunResult(machine.name, "+".join(label_parts), nodes,
+                               comm.size, log, fs, comm, outdir,
+                               profiles=profiles, trace=session,
+                               peak_host_bytes=peak_host,
+                               drain_wait_seconds=wait_s,
+                               drain_seconds=drain_s,
+                               mem_report=budget.report())
 
 
 # -- checkpoint-restart orchestration (functional, fault-injected) ------------

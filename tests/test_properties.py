@@ -66,13 +66,15 @@ class TestEngineSlotProperties:
             eng.begin_step()
             eng.put_group("/v", ranks, nbytes)
             eng.end_step(overwrite_key=key)
-        # reconstruct the live slot spans per subfile
+        # reconstruct the live slot spans per subfile (slot tables are
+        # run-length coded; decode() yields per-subfile offset/reserved)
         spans: dict[int, list[tuple[int, int]]] = {0: [], 1: []}
         for slots in eng._slots.values():
-            for sub, slot in enumerate(slots):
-                if slot.reserved:
-                    spans[sub].append((slot.offset,
-                                       slot.offset + slot.reserved))
+            off, res = slots.decode()
+            for sub in range(len(off)):
+                if res[sub]:
+                    spans[sub].append((int(off[sub]),
+                                       int(off[sub]) + int(res[sub])))
         for sub, slot_spans in spans.items():
             slot_spans.sort()
             for (a1, b1), (a2, _b2) in zip(slot_spans, slot_spans[1:]):

@@ -70,6 +70,19 @@ class TestPointKey:
         with pytest.raises(TypeError):
             point_key(_cube, {"x": object()})
 
+    def test_memory_plane_config_keys_the_cache(self):
+        """Points computed under different ambient budgets must not
+        alias: quotas change what a point returns *alongside* simulated
+        results (spill counts, high-water marks, ``mem`` events)."""
+        from repro.mem import MemoryBudget, use_budget
+        base = point_key(_cube, {"x": 3})
+        with use_budget(MemoryBudget(total=1 << 20,
+                                     quotas={"vfs": 1 << 16})):
+            quota_key = point_key(_cube, {"x": 3})
+        assert quota_key != base
+        # restoring the ambient budget restores the key
+        assert point_key(_cube, {"x": 3}) == base
+
 
 class TestSweepCache:
     def test_first_run_evaluates_second_hits(self, tmp_path, touch_log):
