@@ -36,6 +36,15 @@ from memdemo import measure as _measure_memory             # noqa: E402
 
 from repro.cluster.presets import dardel                   # noqa: E402
 from repro.experiments.fig8 import run_fig8                # noqa: E402
+from repro.faults import FaultPlan, NodeCrash              # noqa: E402
+from repro.fs import PosixIO, mount                        # noqa: E402
+from repro.mpi import VirtualComm                          # noqa: E402
+from repro.resilience import CheckpointPolicy              # noqa: E402
+from repro.trace.session import TraceSession               # noqa: E402
+from repro.workloads import (                              # noqa: E402
+    run_crash_restart,
+    small_use_case,
+)
 from repro.experiments.points import (                     # noqa: E402
     engine_report,
     original_report,
@@ -70,6 +79,31 @@ def _time(fn, repeats: int) -> dict:
     }
 
 
+def _recovery_point(policy) -> None:
+    """One crash-restart run under ``policy``; prints the modeled cost.
+
+    The tiered/PFS-only pair bounds the recovery-time win of the
+    multi-level store: the partner policy restores from the buddy
+    node's memory (zero PFS reads), the single-level baseline re-reads
+    the fsynced L3 generation.  Wall time is what the harness records;
+    the printed virtual seconds are the model's recovery-time signal.
+    """
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(4, 2)
+    session = TraceSession(comm)
+    posix = PosixIO(fs, comm, trace=session.bus)
+    cfg = small_use_case(ncells=32, particles_per_cell=10, last_step=40,
+                         datfile=20, dmpstep=20)
+    rep = run_crash_restart(cfg, comm, posix, "/out", writer="original",
+                            plan=FaultPlan((NodeCrash(0, 31),)),
+                            checkpoint_policy=policy)
+    rec = rep.crash_records[0]
+    print(f"  [{policy.label()}] recovered via {rec.source} "
+          f"(gen {rec.generation}), PFS bytes read "
+          f"{float(fs.vfs.cols.bytes_read.sum()):.0f}, modeled total "
+          f"{comm.max_time():.4f}s", flush=True)
+
+
 def build_suite(quick: bool) -> dict:
     """name -> zero-arg callable; quick mode shrinks the node counts."""
     fig8_nodes = 5 if quick else 200
@@ -94,6 +128,12 @@ def build_suite(quick: bool) -> dict:
                                   engine_ext=".bp5", async_drain=True,
                                   num_aggregators=2 * point_nodes,
                                   compute_seconds_per_step=0.02),
+        "recovery_tiered_partner":
+            lambda: _recovery_point(
+                CheckpointPolicy.partner(l3_interval=0)),
+        "recovery_pfs_only":
+            lambda: _recovery_point(
+                CheckpointPolicy.pfs_only(async_flush=False)),
     }
 
 

@@ -47,6 +47,7 @@ from repro.ior import IORConfig, run_ior
 from repro.mpi import VirtualComm, comm_for_nodes
 from repro.openpmd import Access, Dataset, Series
 from repro.pic import Bit1Config, Bit1Simulation, SpeciesConfig
+from repro.resilience import CheckpointPolicy, MultiLevelStore
 from repro.trace import (
     IOEvent,
     TraceBus,
@@ -75,6 +76,7 @@ __all__ = [
     "Bit1DataModel",
     "Bit1OpenPMDWriter",
     "Bit1Simulation",
+    "CheckpointPolicy",
     "DarshanLog",
     "DarshanMonitor",
     "Dataset",
@@ -84,6 +86,7 @@ __all__ = [
     "LustreFilesystem",
     "MDSSlowdown",
     "Machine",
+    "MultiLevelStore",
     "NICFlap",
     "NodeCrash",
     "OSTFault",

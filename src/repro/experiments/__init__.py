@@ -11,7 +11,12 @@ from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.postproc import PostprocResult, run_postproc
-from repro.experiments.resilience import ResilienceResult, run_resilience
+from repro.experiments.resilience import (
+    MultiLevelResult,
+    ResilienceResult,
+    run_resilience,
+    run_resilience_multilevel,
+)
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.streaming import StreamingResult, run_streaming
 from repro.experiments.table2 import Table2Result, run_table2
@@ -22,6 +27,7 @@ __all__ = [
     "ExperimentResult",
     "Fig5Result",
     "PostprocResult",
+    "MultiLevelResult",
     "ResilienceResult",
     "SensitivityResult",
     "Fig8Result",
@@ -40,6 +46,7 @@ __all__ = [
     "run_fig9",
     "run_postproc",
     "run_resilience",
+    "run_resilience_multilevel",
     "run_sensitivity",
     "run_streaming",
     "run_table2",

@@ -25,6 +25,7 @@ from repro.experiments import (
     run_fig9,
     run_postproc,
     run_resilience,
+    run_resilience_multilevel,
     run_sensitivity,
     run_streaming,
     run_table2,
@@ -35,7 +36,7 @@ from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
        "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
-       "streaming", "agg")
+       "resilience_ml", "streaming", "agg")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +68,9 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": lambda: run_sensitivity(
             nodes=50 if args.quick else 200).render(),
         "resilience": lambda: run_resilience(quick=args.quick).render(),
+        "resilience_ml": lambda: run_resilience_multilevel(
+            quick=args.quick,
+            artifact_path="results/resilience_multilevel.json").render(),
         "streaming": lambda: run_streaming(quick=args.quick).render(),
         "agg": lambda: run_agg_sweep(quick=args.quick).render(),
     }

@@ -28,12 +28,18 @@ failure-free, checkpoint-free ideal.
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cluster.presets import dardel
 from repro.experiments.common import resolve_machine, subset
 from repro.util.rng import make_rng
 from repro.util.tables import Table
+from repro.workloads.datamodel import Bit1DataModel
 from repro.workloads.presets import paper_use_case
 from repro.workloads.runner import run_openpmd_scaled
 
@@ -185,8 +191,295 @@ def run_resilience(machine=None, nodes: int = 2, quick: bool = False,
     return result
 
 
+# -- multi-level sweep (tier policy × MTBF × interval) ------------------------
+#
+# The headline question of the resilience plane: where does multi-level
+# checkpointing keep machine efficiency flat while single-level PFS
+# checkpointing at its own Young/Daly-optimal interval collapses?
+# Failure statistics follow the SCR measurements (Moody et al., SC'10):
+# the large majority of failures take out a single node, which a
+# partner/XOR tier recovers *in allocation* at NIC speed — no PFS read,
+# no requeue.
+
+#: fraction of failures confined to one node (recoverable from the
+#: memory tiers when partner/XOR redundancy is on)
+SINGLE_NODE_FRACTION = 0.9
+#: seconds to swap in a spare node and resume inside the allocation
+IN_ALLOCATION_RESTART_SECONDS = 10.0
+#: extended MTBF sweep, hours — reaches the regime where PFS-only
+#: checkpointing collapses
+MULTILEVEL_MTBF_HOURS = (0.5, 2.0, 6.0, 24.0)
+
+
+def young_daly_interval_s(ckpt_cost_s: float, mtbf_s: float) -> float:
+    """The classic single-level optimum T = sqrt(2 * delta * MTBF)."""
+    return math.sqrt(2.0 * max(ckpt_cost_s, 1e-9) * mtbf_s)
+
+
+@dataclass
+class TierCosts:
+    """Per-checkpoint tier costs derived from the machine model."""
+
+    l0_s: float          # node-local staging at memory bandwidth
+    l1_s: float          # partner copy over the NIC
+    l2_s: float          # XOR ring-reduce over the NIC (per member)
+    l3_s: float          # measured PFS checkpoint cost
+    pfs_read_s: float    # reading one checkpoint back from the PFS
+    tier_restore_s: float  # rebuilding one node from partner/parity
+
+
+@dataclass
+class MultiLevelRow:
+    """One (policy, MTBF, interval) cell."""
+
+    policy: str
+    mtbf_hours: float
+    interval: int
+    n_failures: int
+    n_memory_recoveries: int
+    n_pfs_recoveries: int
+    ckpt_overhead_s: float
+    lost_work_s: float
+    time_to_solution_s: float
+    efficiency: float
+
+
+@dataclass
+class MultiLevelResult:
+    """Tiered policies vs the single-level Young/Daly baseline."""
+
+    machine: str
+    nodes: int
+    costs: TierCosts
+    total_steps: int
+    step_seconds: float
+    rows: list[MultiLevelRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def best_rows(self) -> list[MultiLevelRow]:
+        """Per (policy, MTBF): the interval with the best efficiency."""
+        best: dict[tuple[str, float], MultiLevelRow] = {}
+        for r in self.rows:
+            key = (r.policy, r.mtbf_hours)
+            if key not in best or r.efficiency > best[key].efficiency:
+                best[key] = r
+        return [best[k] for k in sorted(best)]
+
+    def efficiency_curves(self) -> dict[str, list[dict]]:
+        """policy -> [{mtbf_hours, efficiency, interval}] (the artifact)."""
+        curves: dict[str, list[dict]] = {}
+        for r in self.best_rows():
+            curves.setdefault(r.policy, []).append({
+                "mtbf_hours": r.mtbf_hours,
+                "efficiency": r.efficiency,
+                "interval": r.interval,
+            })
+        for curve in curves.values():
+            curve.sort(key=lambda p: p["mtbf_hours"])
+        return curves
+
+    def to_artifact(self) -> dict:
+        return {
+            "experiment": "resilience_multilevel",
+            "machine": self.machine,
+            "nodes": self.nodes,
+            "total_steps": self.total_steps,
+            "step_seconds": self.step_seconds,
+            "tier_costs_s": {
+                "l0": self.costs.l0_s, "l1": self.costs.l1_s,
+                "l2": self.costs.l2_s, "l3": self.costs.l3_s,
+                "pfs_read": self.costs.pfs_read_s,
+                "tier_restore": self.costs.tier_restore_s,
+            },
+            "single_node_fraction": SINGLE_NODE_FRACTION,
+            "efficiency_vs_mtbf": self.efficiency_curves(),
+        }
+
+    def save_artifact(self, path: str) -> str:
+        d = os.path.dirname(path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.to_artifact(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
+    def to_table(self) -> Table:
+        t = Table(["policy", "MTBF [h]", "interval", "failures",
+                   "mem rec", "PFS rec", "ovh [s]", "lost [s]",
+                   "TTS [h]", "efficiency"],
+                  title=f"Multi-level resilience sweep on {self.machine} "
+                        f"({self.nodes} nodes, {self.total_steps} steps)")
+        for r in self.best_rows():
+            t.add_row([r.policy, f"{r.mtbf_hours:g}", r.interval,
+                       r.n_failures, r.n_memory_recoveries,
+                       r.n_pfs_recoveries, f"{r.ckpt_overhead_s:.0f}",
+                       f"{r.lost_work_s:.0f}",
+                       f"{r.time_to_solution_s / 3600.0:.3f}",
+                       f"{r.efficiency:.4f}"])
+        return t
+
+    def render(self) -> str:
+        out = self.to_table().render()
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+def _replay_multilevel(total_steps: int, step_s: float, interval: int,
+                       policy: str, costs: TierCosts, l3_every: int,
+                       mtbf_s: float, rng) -> MultiLevelRow:
+    """Walk one failure timeline under one tier policy.
+
+    ``pfs-only``: every checkpoint is a synchronous L3 write; every
+    failure rolls back to the last checkpoint and pays a PFS read plus
+    the full requeue penalty — the Young/Daly world.
+
+    ``partner``/``xor``: every checkpoint is staged to L0 and promoted
+    to the memory tier; every ``l3_every``-th is also flushed to the PFS
+    asynchronously (overhead only when the flush outruns its window).  A
+    single-node failure recovers from the memory tier in allocation;
+    a multi-node failure falls back to the last *flushed* generation
+    and pays the PFS read plus requeue.
+    """
+    tiered = policy != "pfs-only"
+    if tiered:
+        tier_s = costs.l1_s if policy == "partner" else costs.l2_s
+        window = l3_every * interval * step_s
+        per_ckpt = costs.l0_s + tier_s + max(0.0, costs.l3_s - window) \
+            / l3_every
+    else:
+        per_ckpt = costs.l3_s
+    wall = 0.0
+    completed = 0
+    last_l3 = 0            # newest generation on the PFS (steps)
+    ckpts_since_l3 = 0
+    n_failures = n_mem = n_pfs = 0
+    ckpt_overhead = 0.0
+    lost_work = 0.0
+    next_fail = wall + float(rng.exponential(mtbf_s))
+    while completed < total_steps:
+        block = min(interval, total_steps - completed)
+        block_time = block * step_s + per_ckpt
+        if wall + block_time >= next_fail:
+            n_failures += 1
+            lost_since_ckpt = max(next_fail - wall, 0.0)
+            single = tiered and float(rng.random()) < SINGLE_NODE_FRACTION
+            if single:
+                # memory-tier rebuild: roll back only to the last
+                # checkpoint, resume inside the allocation
+                n_mem += 1
+                lost_work += lost_since_ckpt
+                wall = next_fail + costs.tier_restore_s \
+                    + IN_ALLOCATION_RESTART_SECONDS
+            else:
+                # beyond redundancy (or single-level): back to the last
+                # PFS generation, full requeue
+                n_pfs += 1
+                rollback = (completed - last_l3) * step_s + lost_since_ckpt
+                lost_work += rollback
+                completed = last_l3
+                ckpts_since_l3 = 0
+                wall = next_fail + costs.pfs_read_s \
+                    + RESTART_PENALTY_SECONDS
+            next_fail = wall + float(rng.exponential(mtbf_s))
+            continue
+        wall += block_time
+        completed += block
+        ckpt_overhead += per_ckpt
+        ckpts_since_l3 += 1
+        if not tiered or ckpts_since_l3 >= l3_every:
+            last_l3 = completed
+            ckpts_since_l3 = 0
+    ideal = total_steps * step_s
+    return MultiLevelRow(
+        policy=policy, mtbf_hours=mtbf_s / 3600.0, interval=interval,
+        n_failures=n_failures, n_memory_recoveries=n_mem,
+        n_pfs_recoveries=n_pfs, ckpt_overhead_s=ckpt_overhead,
+        lost_work_s=lost_work, time_to_solution_s=wall,
+        efficiency=ideal / wall)
+
+
+def run_resilience_multilevel(machine=None, nodes: int = 2,
+                              quick: bool = False, seed: int = 0,
+                              mtbf_hours=MULTILEVEL_MTBF_HOURS,
+                              intervals=CKPT_INTERVALS,
+                              ranks_per_node: int = 128,
+                              l3_every: int = 4,
+                              artifact_path: str | None = None,
+                              ) -> MultiLevelResult:
+    """Sweep tier policy × MTBF × interval against the Young/Daly optimum.
+
+    The L3 (PFS) checkpoint cost is *measured* on the virtual machine
+    exactly as :func:`run_resilience` measures it; the memory-tier costs
+    follow from the machine model (node memory bandwidth, NIC rate) and
+    the data model's checkpoint volume.  The single-level baseline runs
+    at its own Young/Daly-optimal interval per MTBF — the strongest
+    version of the world the tiered policies are compared against.
+    """
+    machine = resolve_machine(machine) if machine is not None else dardel()
+    mtbf_hours = subset(tuple(mtbf_hours), quick)
+    intervals = subset(tuple(intervals), quick)
+
+    base = run_resilience(machine=machine, nodes=nodes, quick=quick,
+                          seed=seed, mtbf_hours=mtbf_hours[:1],
+                          intervals=intervals[:1])
+    nranks = nodes * ranks_per_node
+    model = Bit1DataModel(paper_use_case(), nranks)
+    node_bytes = float(np.mean(model.ckpt_bytes_per_rank())) * ranks_per_node
+    nic = machine.network.nic_bandwidth
+    lat = machine.network.latency
+    costs = TierCosts(
+        l0_s=node_bytes / machine.node.memory_bandwidth,
+        l1_s=lat + node_bytes / nic,
+        l2_s=lat + node_bytes / nic,
+        l3_s=max(base.ckpt_cost_s, 1e-3),
+        pfs_read_s=max(base.ckpt_cost_s, 1e-3),
+        tier_restore_s=lat + node_bytes / nic,
+    )
+
+    result = MultiLevelResult(
+        machine=machine.name, nodes=nodes, costs=costs,
+        total_steps=base.total_steps, step_seconds=base.step_seconds)
+    result.notes.append(
+        f"tier costs per checkpoint: L0 {costs.l0_s * 1e3:.2f} ms, "
+        f"L1/L2 {costs.l1_s * 1e3:.2f} ms, L3 {costs.l3_s:.2f} s "
+        f"(measured); {SINGLE_NODE_FRACTION:.0%} of failures single-node")
+
+    step_s = base.step_seconds
+    for mtbf_h in mtbf_hours:
+        mtbf_s = mtbf_h * 3600.0
+        # the baseline checkpoints at its own optimum — Young/Daly
+        daly_steps = max(1, int(round(
+            young_daly_interval_s(costs.l3_s, mtbf_s) / step_s)))
+        rng = make_rng(seed, "resilience-ml", "pfs-only", mtbf_h)
+        result.rows.append(_replay_multilevel(
+            base.total_steps, step_s, daly_steps, "pfs-only", costs,
+            l3_every, mtbf_s, rng))
+        for policy in ("partner", "xor"):
+            for interval in intervals:
+                rng = make_rng(seed, "resilience-ml", policy, mtbf_h,
+                               interval)
+                result.rows.append(_replay_multilevel(
+                    base.total_steps, step_s, int(interval), policy,
+                    costs, l3_every, mtbf_s, rng))
+        daly_row = next(r for r in result.rows
+                        if r.policy == "pfs-only"
+                        and r.mtbf_hours == mtbf_h)
+        result.notes.append(
+            f"MTBF {mtbf_h:g} h: Young/Daly interval {daly_steps} steps, "
+            f"baseline efficiency {daly_row.efficiency:.4f}")
+
+    if artifact_path is not None:
+        result.save_artifact(artifact_path)
+        result.notes.append(f"artifact written to {artifact_path}")
+    return result
+
+
 def main() -> None:  # pragma: no cover
     print(run_resilience().render())
+    print(run_resilience_multilevel(
+        artifact_path="results/resilience_multilevel.json").render())
 
 
 if __name__ == "__main__":  # pragma: no cover

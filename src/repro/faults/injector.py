@@ -54,10 +54,17 @@ class NodeCrashError(RuntimeError):
     valid checkpoint.
     """
 
-    def __init__(self, node: int, step: int):
-        super().__init__(f"node {node} crashed at step {step}")
+    def __init__(self, node: int, step: int, nodes: tuple[int, ...] = ()):
+        nodes = tuple(nodes) or (node,)
+        label = (f"node {node}" if len(nodes) == 1
+                 else f"nodes {', '.join(str(n) for n in nodes)}")
+        super().__init__(f"{label} crashed at step {step}")
+        #: first crashed node (back-compat for single-crash plans)
         self.node = node
         self.step = step
+        #: every node lost at this step — the failure domain the
+        #: resilience plane scopes recovery to
+        self.nodes = nodes
 
 
 class InjectedIOError(OSError):
@@ -190,13 +197,20 @@ class FaultInjector:
             n > 0 and spec.step <= step
             for spec, n in self._transient_remaining.items())
 
+        # node crashes: all specs pinned to this step fire together as
+        # ONE failure domain (a rack power event takes several nodes at
+        # once) — the error carries every lost node so recovery can be
+        # scoped to what redundancy actually survives
+        crashed: list[int] = []
         for spec in self.plan.of_type(NodeCrash):
             if spec.step == step and spec not in self._crashes_done:
                 self._crashes_done.add(spec)
                 ranks = (self.comm.ranks_on_node(spec.node)
                          if self.comm is not None else 0)
                 self._emit("fault", ranks, api="NODE")
-                raise NodeCrashError(spec.node, step)
+                crashed.append(spec.node)
+        if crashed:
+            raise NodeCrashError(crashed[0], step, nodes=tuple(crashed))
         return directives
 
     # -- per-op guard --------------------------------------------------------

@@ -57,5 +57,10 @@ class RetryPolicy:
         return base
 
     def timeout_charge(self) -> float:
-        """Virtual seconds a timed-out op burns before failing."""
-        return float(self.op_timeout) if self.op_timeout else 0.0
+        """Virtual seconds a timed-out op burns before failing.
+
+        ``op_timeout=0.0`` is a *configured* zero-second timeout (fail
+        fast, charge nothing) — only ``None`` means unconfigured, so the
+        check must be ``is not None``, not truthiness.
+        """
+        return float(self.op_timeout) if self.op_timeout is not None else 0.0

@@ -303,6 +303,52 @@ class PosixIO:
                          n_ops=n_chunks)
         return n
 
+    def write_scheduled(self, rank: int, fd: int,
+                        data: Payload | bytes | np.ndarray,
+                        start_at: float,
+                        chunk_size: int | None = None,
+                        sync_each_chunk: bool = False,
+                        api: str | None = None) -> float:
+        """Write a payload whose cost runs in the background (async drain).
+
+        The content lands in the vfs immediately (so later reads see it)
+        but no clock is charged: the caller owns the scheduling — this is
+        the store-level twin of :meth:`write_aggregate`'s
+        ``charge_clocks=False`` path, used by the resilience plane's
+        asynchronous L3 checkpoint flush.  Events are stamped at
+        ``start_at`` so timeline exports show the drain where it actually
+        runs.  Returns the modeled seconds (write plus any per-chunk
+        fsyncs) for the caller's drain bookkeeping.
+        """
+        payload = as_payload(data)
+        of = self._fds[fd]
+        api = api or of.api
+        if self.faults is not None:
+            self.faults.guard(self, "write", of.rank, of.ino, api)
+        n = self.fs.vfs.write(of.ino, of.pos, payload)
+        of.pos += n
+        st = self.fs.vfs.cols
+        stripe_count = int(st.stripe_count[of.ino])
+        stripe_size = int(st.stripe_size[of.ino])
+        n_chunks = 1
+        per_chunk = n
+        if chunk_size is not None and n > 0:
+            n_chunks = max(1, -(-n // chunk_size))
+            per_chunk = min(n, chunk_size)
+        cost = float(self.fs.perf.write_op_cost(
+            per_chunk, self._writers, stripe_count, stripe_size,
+            n_ops=n_chunks)) * float(self.fs.perf.noise())
+        self._notify("write", rank, n, cost, api, inos=of.ino,
+                     n_ops=n_chunks, start=start_at)
+        total = cost
+        if sync_each_chunk:
+            sync_cost = float(self.fs.perf.fsync_cost(
+                self._writers, stripe_count, n_ops=n_chunks))
+            self._notify("sync", rank, 0, sync_cost, api, inos=of.ino,
+                         n_ops=n_chunks, start=start_at + cost)
+            total += sync_cost
+        return total
+
     def fsync(self, rank: int, fd: int, api: str | None = None) -> None:
         of = self._fds[fd]
         if self.faults is not None:

@@ -13,6 +13,8 @@ output format:
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 
 from repro.fs.posix import PosixIO
@@ -20,6 +22,23 @@ from repro.io_adaptor.naming import species_path
 from repro.io_adaptor.original import OriginalIOWriter
 from repro.mpi.comm import VirtualComm
 from repro.openpmd.series import Access, Series
+
+
+def serialize_node_state(sim, ranks) -> bytes:
+    """One node's checkpoint shard: every resident rank's phase space.
+
+    The byte representation is deterministic for identical state (numpy
+    arrays pickle by buffer), so shard CRCs and XOR parity are stable —
+    the property the resilience plane's bit-identity contract rests on.
+    """
+    return pickle.dumps(
+        {int(r): sim.state_arrays(int(r)) for r in ranks}, protocol=4)
+
+
+def apply_node_state(sim, blob: bytes) -> None:
+    """Restore the ranks recorded in one shard (inverse of serialize)."""
+    for rank, state in pickle.loads(blob).items():
+        sim.restore_state(rank, state)
 
 
 def restore_from_openpmd(sim, posix: PosixIO, comm: VirtualComm,

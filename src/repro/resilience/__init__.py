@@ -1,0 +1,29 @@
+"""Multi-level checkpointing and failure-domain-aware recovery.
+
+The SCR/VeloC pattern (Moody et al., SC'10; Nicolae et al., CCGrid'19)
+applied to the virtual cluster: checkpoints are staged through a
+hierarchy of progressively slower, progressively more failure-tolerant
+tiers, and recovery reads from the *cheapest tier that survives the
+failure domain* —
+
+- **L0** node-local staging (memory-speed, lost with the node),
+- **L1** partner replication to a buddy node over the NIC,
+- **L2** XOR parity groups (any single node per group rebuildable),
+- **L3** the fsynced Lustre path, flushed asynchronously and retained
+  as a ring of generations.
+
+A single-node crash inside redundancy never touches the PFS; only
+failures exceeding the redundancy level (or CRC-refused L3 files) walk
+back through the ring before a scratch restart.
+"""
+
+from repro.resilience.policy import CheckpointPolicy
+from repro.resilience.store import CheckpointGeneration, MultiLevelStore
+from repro.resilience.recovery import RecoveryOutcome
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointGeneration",
+    "MultiLevelStore",
+    "RecoveryOutcome",
+]

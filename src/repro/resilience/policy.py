@@ -1,0 +1,97 @@
+"""CheckpointPolicy — the tier schedule of a multi-level store.
+
+Intervals count *checkpoints* (store calls), not simulation steps: the
+runner already owns the step cadence (``dmpstep``), the policy decides
+which of those checkpoints are promoted beyond node-local staging.
+``interval=1`` promotes every checkpoint, ``k`` every k-th, ``0`` turns
+the tier off.  L0 staging always happens — it is the source every other
+tier copies from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Tier schedule, redundancy layout and ring depth of one store.
+
+    ``partner_distance`` is the node offset of the L1 buddy (node ``i``
+    replicates to ``(i + distance) % nnodes``); ``group_size`` the
+    number of consecutive nodes sharing one L2 XOR parity block (each
+    group tolerates one lost member); ``ring_depth`` how many L3
+    generations stay on the PFS before the oldest is unlinked.
+    ``async_flush`` drains L3 writes in the background (the BP5
+    ``AsyncWrite`` idiom) instead of stalling the checkpoint step.
+    """
+
+    partner_interval: int = 0
+    partner_distance: int = 1
+    xor_interval: int = 0
+    group_size: int = 4
+    l3_interval: int = 1
+    ring_depth: int = 2
+    async_flush: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("partner_interval", "xor_interval", "l3_interval"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 disables the tier)")
+        if self.partner_interval and self.partner_distance < 1:
+            raise ValueError("partner_distance must be >= 1")
+        if self.xor_interval and self.group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        if self.l3_interval and self.ring_depth < 1:
+            raise ValueError("ring_depth must be >= 1 when L3 is enabled")
+
+    # -- tier schedule -------------------------------------------------------
+
+    def _due(self, interval: int, index: int) -> bool:
+        return interval > 0 and index % interval == 0
+
+    def partner_due(self, index: int) -> bool:
+        """Does checkpoint number ``index`` (0-based) get an L1 copy?"""
+        return self._due(self.partner_interval, index)
+
+    def xor_due(self, index: int) -> bool:
+        return self._due(self.xor_interval, index)
+
+    def l3_due(self, index: int) -> bool:
+        return self._due(self.l3_interval, index)
+
+    # -- common configurations ----------------------------------------------
+
+    @classmethod
+    def pfs_only(cls, ring_depth: int = 2,
+                 async_flush: bool = True) -> "CheckpointPolicy":
+        """Single-level baseline: every checkpoint straight to Lustre."""
+        return cls(l3_interval=1, ring_depth=ring_depth,
+                   async_flush=async_flush)
+
+    @classmethod
+    def partner(cls, distance: int = 1, l3_interval: int = 4,
+                ring_depth: int = 2) -> "CheckpointPolicy":
+        """L1 buddy replication with a periodic L3 backstop."""
+        return cls(partner_interval=1, partner_distance=distance,
+                   l3_interval=l3_interval, ring_depth=ring_depth)
+
+    @classmethod
+    def xor_group(cls, group_size: int = 4, l3_interval: int = 4,
+                  ring_depth: int = 2) -> "CheckpointPolicy":
+        """L2 XOR parity groups with a periodic L3 backstop."""
+        return cls(xor_interval=1, group_size=group_size,
+                   l3_interval=l3_interval, ring_depth=ring_depth)
+
+    def label(self) -> str:
+        """Compact human-readable tier summary (for reports/sweeps)."""
+        tiers = ["L0"]
+        if self.partner_interval:
+            tiers.append(f"L1/{self.partner_interval}"
+                         f"(d={self.partner_distance})")
+        if self.xor_interval:
+            tiers.append(f"L2/{self.xor_interval}(g={self.group_size})")
+        if self.l3_interval:
+            tiers.append(f"L3/{self.l3_interval}(ring={self.ring_depth}"
+                         f"{',async' if self.async_flush else ''})")
+        return "+".join(tiers)

@@ -29,6 +29,13 @@ EVENT_KINDS = frozenset({
     "barrier",
     # fault plane (repro.faults): injected failures and recovery actions
     "fault", "retry", "failover", "restart",
+    # resilience plane (repro.resilience): multi-level checkpoint traffic
+    # that never touches the PFS — ``ckpt_store`` is a tier store (L0
+    # node-local / L1 partner / L2 XOR group), ``ckpt_flush`` the async
+    # L3 drain bookkeeping, ``rebuild`` a recovery read from a memory
+    # tier.  All ride the ``faults`` layer so Darshan folds L3 traffic
+    # only, as real Darshan would.
+    "ckpt_store", "ckpt_flush", "rebuild",
     # streaming plane (repro.streaming): staged producer→consumer flow
     "publish", "deliver", "stall", "drop",
     # memory plane (repro.mem): a budget account crossed a watermark;

@@ -3,6 +3,7 @@
 from repro.workloads.datamodel import Bit1DataModel
 from repro.workloads.presets import paper_use_case, sheath_case, small_use_case
 from repro.workloads.runner import (
+    CrashRecord,
     FailureRecord,
     ResilientRunReport,
     ScaledRunResult,
@@ -13,6 +14,7 @@ from repro.workloads.runner import (
 
 __all__ = [
     "Bit1DataModel",
+    "CrashRecord",
     "FailureRecord",
     "ResilientRunReport",
     "ScaledRunResult",

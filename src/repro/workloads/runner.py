@@ -46,6 +46,8 @@ from repro.openpmd.record import Dataset
 from repro.openpmd.series import Access, Series
 from repro.pic.config import Bit1Config
 from repro.pic.simulation import Bit1Simulation
+from repro.resilience import CheckpointPolicy, MultiLevelStore
+from repro.resilience.recovery import recover as _tiered_recover
 from repro.trace.session import TraceSession
 from repro.util.rng import RngRegistry, stream_seed
 from repro.workloads.datamodel import (
@@ -463,6 +465,26 @@ class FailureRecord:
 
 
 @dataclass
+class CrashRecord:
+    """One node crash and how the run recovered from it.
+
+    Every crash produces one record (not only the refused-checkpoint
+    ones), so the resilience experiment can attribute recovery cost per
+    failure: which nodes died, which checkpoint step the replacement job
+    resumed from, and which tier produced the state (``l1-partner`` /
+    ``l2-xor`` from the memory tiers, ``l3`` from the PFS ring,
+    ``writer`` from the legacy single-level path, ``scratch`` when
+    nothing survived).
+    """
+
+    step: int
+    nodes: tuple[int, ...]
+    restored_step: int = 0
+    source: str = "scratch"
+    generation: int | None = None
+
+
+@dataclass
 class ResilientRunReport:
     """Outcome of one :func:`run_crash_restart` orchestration."""
 
@@ -472,6 +494,13 @@ class ResilientRunReport:
     restarts: int
     executed_steps: int
     failures: list[FailureRecord] = field(default_factory=list)
+    #: one entry per crash, in order (see :class:`CrashRecord`)
+    crash_records: list[CrashRecord] = field(default_factory=list)
+    #: tier schedule label when a multi-level store was active
+    checkpoint_policy: str | None = None
+    #: stall charged when a checkpoint caught an unfinished async L3
+    #: flush (0.0 without a store or with synchronous flushes)
+    flush_wait_seconds: float = 0.0
 
     @property
     def wasted_steps(self) -> int:
@@ -479,11 +508,20 @@ class ResilientRunReport:
         return self.executed_steps - self.sim.step_index
 
     def render(self) -> str:
+        policy = (f", policy {self.checkpoint_policy}"
+                  if self.checkpoint_policy else "")
         lines = [
-            f"resilient run ({self.writer_kind}): "
+            f"resilient run ({self.writer_kind}{policy}): "
             f"{self.sim.step_index} steps, {self.crashes} crash(es), "
             f"{self.restarts} restart(s), {self.wasted_steps} wasted step(s)",
         ]
+        for rec in self.crash_records:
+            nodes = ",".join(str(n) for n in rec.nodes)
+            lines.append(
+                f"  crash at step {rec.step} (node {nodes}): resumed from "
+                f"step {rec.restored_step} via {rec.source}"
+                + (f" (generation {rec.generation})"
+                   if rec.generation is not None else ""))
         for rec in self.failures:
             lines.append(f"  restart at step {rec.step} failed: {rec.error}")
             ctx = {k: v for k, v in rec.context.items() if v is not None}
@@ -547,7 +585,10 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
                       outdir: str, writer: str = "original",
                       plan: FaultPlan | None = None,
                       policy: RetryPolicy | None = None,
-                      max_restarts: int = 8) -> ResilientRunReport:
+                      max_restarts: int = 8,
+                      checkpoint_policy: CheckpointPolicy | None = None,
+                      compute_seconds_per_step: float = 0.0,
+                      ) -> ResilientRunReport:
     """Run a functional BIT1 simulation under a fault plan, restarting
     from the last valid checkpoint whenever a node crash kills the job.
 
@@ -565,21 +606,49 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
        (:class:`~repro.io_adaptor.original.CorruptCheckpointError` /
        :class:`~repro.adios2.engine.IntegrityError`) is *refused*: the
        failure is recorded with its structured context and the run falls
-       back to a scratch restart from step 0.
+       back through any older valid generation before a scratch restart
+       from step 0.
+
+    ``checkpoint_policy`` activates the multi-level store
+    (:class:`~repro.resilience.MultiLevelStore`): checkpoints are staged
+    node-locally and promoted to partner copies / XOR parity / the
+    asynchronously-flushed PFS ring per the policy's tier schedule, and
+    recovery becomes failure-domain-aware — a crash inside redundancy
+    restores entirely from the memory tiers with zero PFS reads; a
+    crash beyond it (or a CRC-refused ring file) walks back through
+    older ring generations before scratch.  ``None`` keeps the legacy
+    single-level behaviour exactly.
+
+    ``compute_seconds_per_step`` charges that much virtual time to every
+    rank per simulation step (the functional sim itself models physics,
+    not wall time) — this is what asynchronous L3 flushes overlap, so
+    leave it 0.0 only when flush timing does not matter: with no virtual
+    time between checkpoints, an async flush is still in flight at any
+    same-interval crash and the ring contributes nothing.
 
     Because particle order, RNG state and rank assignment all survive
     the round trip, a recovered run's final state is bit-identical to a
-    fault-free run of the same config and seed.
+    fault-free run of the same config and seed — for every tier
+    combination.
     """
     injector = (install_faults(posix, plan, policy)
                 if plan is not None else None)
+    store = (MultiLevelStore(posix, comm, outdir, checkpoint_policy)
+             if checkpoint_policy is not None else None)
     sim = Bit1Simulation(config, comm)
     out = _make_writer(writer, posix, comm, outdir)
     crashes = 0
     restarts = 0
     executed = 0
     failures: list[FailureRecord] = []
+    crash_records: list[CrashRecord] = []
     bus = posix.trace
+
+    def checkpoint() -> None:
+        out.write_checkpoint(sim, sim.step_index)
+        _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+        if store is not None:
+            store.store(sim, sim.step_index)
 
     while True:
         try:
@@ -592,13 +661,15 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
                                 out.handle_rank_failure(directive.rank)
                     sim.step()
                     executed += 1
+                    if compute_seconds_per_step > 0.0:
+                        comm.clocks += compute_seconds_per_step
                     if sim.step_index % config.datfile == 0:
                         out.write_diagnostics(sim, sim.step_index)
                     if sim.step_index % config.dmpstep == 0:
-                        out.write_checkpoint(sim, sim.step_index)
-                        _write_sidecar(posix, outdir, sim.step_index, sim.rng)
-            out.write_checkpoint(sim, sim.step_index)
-            _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+                        checkpoint()
+            checkpoint()
+            if store is not None:
+                store.settle_flushes()
             out.finalize(sim)
             break
         except NodeCrashError as crash:
@@ -606,39 +677,61 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
             if crashes > max_restarts:
                 raise
             out.abandon()
+            if store is not None:
+                store.fail_nodes(crash.nodes)
             if bus.wants("restart"):
                 all_ranks = np.arange(comm.size)
                 bus.emit("restart", all_ranks, api="NODE", layer="faults",
                          start=comm.clocks[all_ranks])
             # bring up the replacement job: fresh simulation, restored
-            # from the last valid checkpoint (or from scratch)
+            # from the cheapest surviving tier (or from scratch)
             sim = Bit1Simulation(config, comm)
-            meta = _read_sidecar(posix, outdir)
-            if meta is not None:
-                step, rng_blob = meta
-                try:
-                    if writer == "original":
-                        reader = OriginalIOWriter(posix, comm, outdir)
-                        restore_from_original(sim, reader)
-                        reader.abandon()
-                    else:
-                        restore_from_openpmd(
-                            sim, posix, comm, f"{outdir}/bit1_dmp.bp4")
-                    sim.rng.restore(rng_blob)
-                    sim.step_index = step
-                except (CorruptCheckpointError, IntegrityError) as exc:
-                    failures.append(FailureRecord(
-                        step=crash.step, error=str(exc),
-                        context=dict(getattr(exc, "context", {}))))
-                    sim = Bit1Simulation(config, comm)  # scratch restart
+            record = CrashRecord(step=crash.step, nodes=tuple(crash.nodes))
+            if store is not None:
+                outcome = _tiered_recover(store, sim, crash.nodes)
+                if outcome is not None:
+                    for gen_id, err in outcome.refused:
+                        failures.append(FailureRecord(
+                            step=crash.step, error=err,
+                            context={"generation": gen_id}))
+                    if outcome.source != "scratch":
+                        record.restored_step = outcome.step
+                        record.source = outcome.source
+                        record.generation = outcome.generation
+            else:
+                meta = _read_sidecar(posix, outdir)
+                if meta is not None:
+                    step, rng_blob = meta
+                    try:
+                        if writer == "original":
+                            reader = OriginalIOWriter(posix, comm, outdir)
+                            restore_from_original(sim, reader)
+                            reader.abandon()
+                        else:
+                            restore_from_openpmd(
+                                sim, posix, comm, f"{outdir}/bit1_dmp.bp4")
+                        sim.rng.restore(rng_blob)
+                        sim.step_index = step
+                        record.restored_step = step
+                        record.source = "writer"
+                    except (CorruptCheckpointError, IntegrityError) as exc:
+                        failures.append(FailureRecord(
+                            step=crash.step, error=str(exc),
+                            context=dict(getattr(exc, "context", {}))))
+                        sim = Bit1Simulation(config, comm)  # scratch restart
+            crash_records.append(record)
             restarts += 1
             # the replacement writer truncates the output set; re-seed it
             # with the restored state so a second crash can still restore
             out = _make_writer(writer, posix, comm, outdir)
             if sim.step_index > 0:
-                out.write_checkpoint(sim, sim.step_index)
-                _write_sidecar(posix, outdir, sim.step_index, sim.rng)
+                checkpoint()
 
-    return ResilientRunReport(sim=sim, writer_kind=writer, crashes=crashes,
-                              restarts=restarts, executed_steps=executed,
-                              failures=failures)
+    return ResilientRunReport(
+        sim=sim, writer_kind=writer, crashes=crashes, restarts=restarts,
+        executed_steps=executed, failures=failures,
+        crash_records=crash_records,
+        checkpoint_policy=(checkpoint_policy.label()
+                           if checkpoint_policy is not None else None),
+        flush_wait_seconds=(store.flush_wait_seconds
+                            if store is not None else 0.0))

@@ -133,6 +133,14 @@ class TestRetryPolicy:
         assert p.delay(0) == pytest.approx(1e-3)
         assert p.delay(10) == pytest.approx(0.5)
 
+    def test_timeout_charge_distinguishes_zero_from_unset(self):
+        # regression: a *configured* zero-second timeout (fail fast)
+        # must charge 0.0 because it was set, not because it is falsy —
+        # and a real timeout must charge its full value
+        assert RetryPolicy(op_timeout=0.0).timeout_charge() == 0.0
+        assert RetryPolicy(op_timeout=2.5).timeout_charge() == 2.5
+        assert RetryPolicy(op_timeout=None).timeout_charge() == 0.0
+
 
 class TestGuard:
     def test_transient_without_policy_raises(self):
@@ -200,8 +208,20 @@ class TestGuard:
         with pytest.raises(NodeCrashError) as ei:
             inj.begin_step(5)
         assert ei.value.node == 1 and ei.value.step == 5
+        assert ei.value.nodes == (1,)
         # consumed once: replaying the step after restart does not re-crash
         inj.begin_step(5)
+
+    def test_same_step_crashes_form_one_failure_domain(self):
+        # two nodes dying in the same step is ONE failure event whose
+        # domain spans both — recovery planning needs the full set
+        fs, comm, posix, _ = _stack()
+        inj = install_faults(posix, FaultPlan(
+            (NodeCrash(0, 5), NodeCrash(1, 5))))
+        with pytest.raises(NodeCrashError) as ei:
+            inj.begin_step(5)
+        assert ei.value.nodes == (0, 1) and ei.value.node == 0
+        inj.begin_step(5)  # both consumed together
 
 
 class TestFaultState:
@@ -304,6 +324,18 @@ class TestCrashRestart:
         with pytest.raises(NodeCrashError):
             run_crash_restart(_config(), comm, posix, "/out",
                               plan=plan, max_restarts=2)
+
+    def test_max_restarts_exact_boundary(self):
+        # N crashes under max_restarts=N must complete (the budget is
+        # inclusive); the same plan under N-1 must raise — no off-by-one
+        plan = FaultPlan(tuple(NodeCrash(0, s) for s in (5, 6, 7)))
+        fs, comm, posix, _ = _stack()
+        rep = run_crash_restart(_config(), comm, posix, "/out",
+                                plan=plan, max_restarts=3)
+        assert rep.crashes == 3 and rep.restarts == 3
+        assert rep.sim.step_index == 40
+        _assert_states_equal(_final_state(rep.sim),
+                             _baseline_state("original"))
 
 
 class TestGoldenDeterminism:
