@@ -50,6 +50,7 @@ from repro.experiments.points import (                     # noqa: E402
     original_report,
     streaming_report,
 )
+from repro.experiments.serving import serving_report       # noqa: E402
 from repro.experiments.weak_scaling import run_weak_scaling  # noqa: E402
 from repro.workloads.presets import paper_use_case         # noqa: E402
 
@@ -104,6 +105,18 @@ def _recovery_point(policy) -> None:
           f"{comm.max_time():.4f}s", flush=True)
 
 
+def _serving_point(policy: str, nodes: int) -> None:
+    """One 16-reader fleet on the repeated pattern; prints the LRU-vs-
+    Markov signal (hit rate + aggregate throughput) the serving plane's
+    acceptance rests on.  Wall time is what the harness records."""
+    rep = serving_report(machine=dardel(), nodes=nodes, pattern="repeated",
+                         policy=policy, readers=16, cache_mib=512,
+                         prefetch_depth=2, requests_per_reader=256, seed=0)
+    print(f"  [{policy}] hit rate {rep['hit_rate']:.3f}, "
+          f"{rep['agg_throughput_bps'] / 2**30:.2f} GiB/s aggregate, "
+          f"{rep['prefetch_issued']} prefetches", flush=True)
+
+
 def build_suite(quick: bool) -> dict:
     """name -> zero-arg callable; quick mode shrinks the node counts."""
     fig8_nodes = 5 if quick else 200
@@ -128,6 +141,10 @@ def build_suite(quick: bool) -> dict:
                                   engine_ext=".bp5", async_drain=True,
                                   num_aggregators=2 * point_nodes,
                                   compute_seconds_per_step=0.02),
+        f"serving_lru_point_{point_nodes}nodes":
+            lambda: _serving_point("lru", point_nodes),
+        f"serving_markov_point_{point_nodes}nodes":
+            lambda: _serving_point("markov", point_nodes),
         "recovery_tiered_partner":
             lambda: _recovery_point(
                 CheckpointPolicy.partner(l3_interval=0)),

@@ -1,0 +1,90 @@
+"""Micro-benchmark: the serving plane is free when it is not used.
+
+``repro.serving`` put a chunk-granular cache surface in front of the
+engine read path and refactored ``BPEngineBase.get`` onto the shared
+``chunk_entries``/``read_chunk`` primitives; the contract is twofold:
+
+* **model**: a ``policy="none"`` cached reader charges exactly the same
+  virtual clocks as direct ``Series.load`` — not approximately, bit-for-
+  bit (the refactored ``get`` is the same per-entry cost/event order);
+* **wall**: routing every load through the (disabled) cache surface
+  costs < 5 % wall time over direct loads of the same series.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cluster.presets import dardel
+from repro.fs import PosixIO, mount
+from repro.io_adaptor import Bit1OpenPMDWriter
+from repro.mpi import VirtualComm
+from repro.openpmd.series import Access, Series
+from repro.pic import Bit1Simulation
+from repro.serving import CachedSeriesReader, ServingConfig
+from repro.workloads import small_use_case
+
+REPEATS = 7
+MAX_OVERHEAD = 0.05
+#: absolute slack for sub-100ms timings on noisy shared machines
+EPSILON_SECONDS = 0.005
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fresh_series():
+    fs = mount(dardel().storage_named("lfs"))
+    comm = VirtualComm(4, 2)
+    posix = PosixIO(fs, comm)
+    writer = Bit1OpenPMDWriter(posix, comm, "/run/bench")
+    cfg = small_use_case(ncells=64, particles_per_cell=20, last_step=80,
+                         datfile=20, dmpstep=80)
+    Bit1Simulation(cfg, comm, writers=[writer]).run()
+    series = Series(posix, comm, "/run/bench/bit1_dat.bp4",
+                    Access.READ_ONLY)
+    paths = [series.mesh_path(it, mesh)
+             for it in series.read_iterations()
+             for mesh in ("e_density", "D_density", "D_plus_density")]
+    return comm, series, [p for p in paths if series.variable_chunks(p)]
+
+
+class TestServingOverhead:
+    def test_disabled_cache_charges_identical_virtual_clocks(self):
+        comm_a, series_a, paths_a = _fresh_series()
+        direct = [series_a.load(p) for p in paths_a]
+        comm_b, series_b, paths_b = _fresh_series()
+        reader = CachedSeriesReader(series_b,
+                                    config=ServingConfig(policy="none"))
+        cached = [reader.load(p) for p in paths_b]
+        assert np.array_equal(comm_a.clocks, comm_b.clocks), (
+            "policy='none' must charge the exact virtual time of direct "
+            "loads")
+        for a, b in zip(direct, cached):
+            assert a.tobytes() == b.tobytes()
+
+    def test_disabled_cache_wall_overhead_under_5_percent(self):
+        _, series, paths = _fresh_series()
+        reader = CachedSeriesReader(series,
+                                    config=ServingConfig(policy="none"))
+
+        def direct():
+            for p in paths:
+                series.load(p)
+
+        def through_serving():
+            for p in paths:
+                reader.load(p)
+
+        base = _best_of(REPEATS, direct)
+        routed = _best_of(REPEATS, through_serving)
+        assert routed <= base * (1 + MAX_OVERHEAD) + EPSILON_SECONDS, (
+            f"reads through the disabled serving surface took {routed:.4f}s "
+            f"(best of {REPEATS}) vs {base:.4f}s direct; allowed "
+            f"{MAX_OVERHEAD:.0%} + {EPSILON_SECONDS}s")

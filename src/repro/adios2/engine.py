@@ -113,6 +113,12 @@ class _IndexEntry:
     #: crc32 of the stored bytes; 0 for synthetic/no-verify chunks
     checksum: int = 0
 
+    @property
+    def selection(self) -> tuple[slice, ...]:
+        """The chunk's slab within the variable's global shape."""
+        return tuple(slice(o, o + x)
+                     for o, x in zip(self.chunk_offset, self.chunk_extent))
+
 
 class _SlotSpans:
     """Reserved in-place regions for a rewritable step, run-length-coded.
@@ -792,12 +798,14 @@ class BPEngineBase:
                 out[e.var].append(e.step_key)
         return out
 
-    def get(self, name: str, step_key: str | None = None,
-            rank: int = 0) -> np.ndarray:
-        """Assemble a variable from its chunks (functional mode).
+    def chunk_entries(self, name: str,
+                      step_key: str | None = None) -> list[_IndexEntry]:
+        """The stored chunks assembling one variable, in index order.
 
-        ``step_key=None`` returns the latest version — which, for
-        overwritten checkpoint steps, is the most recent rewrite.
+        ``step_key=None`` selects the latest version — which, for
+        overwritten checkpoint steps, is the most recent rewrite.  This
+        is the chunk-granular request surface the serving plane's cache
+        keys and prefetches over.
         """
         entries = [e for e in self._index if e.var == name]
         if step_key is not None:
@@ -806,33 +814,44 @@ class BPEngineBase:
             raise KeyError(f"no stored chunks for variable {name!r}"
                            + (f" at {step_key!r}" if step_key else ""))
         last_key = entries[-1].step_key
-        entries = [e for e in entries if e.step_key == last_key]
+        return [e for e in entries if e.step_key == last_key]
+
+    def read_chunk(self, e: _IndexEntry, rank: int = 0) -> np.ndarray:
+        """Read, verify and decode one stored chunk (functional mode).
+
+        Charges ``rank`` the chunk's modeled read cost and emits the
+        posix-layer ``read`` event; ``e.selection`` places the returned
+        array in the variable's global shape.
+        """
+        vfs = self.posix.fs.vfs
+        ino = vfs.lookup(self._subfile_path(e.subfile))
+        raw = vfs.read(ino, e.offset, e.stored_nbytes)
+        if e.checksum and zlib.crc32(raw) != e.checksum:
+            raise IntegrityError(
+                f"checksum mismatch reading {e.var!r} "
+                f"(subfile data.{e.subfile} @ {e.offset}): the "
+                f"checkpoint is corrupt",
+                path=self._subfile_path(e.subfile), rank=e.rank,
+                step=e.step_key, expected=e.checksum,
+                actual=zlib.crc32(raw))
+        cost = float(self.posix.fs.perf.read_op_cost(e.stored_nbytes))
+        self.posix._charge(rank, cost)
+        self.posix._notify("read", rank, e.stored_nbytes, cost, "POSIX",
+                           inos=ino)
+        if e.compressed:
+            codec = self.compressor or get_compressor("blosc")
+            raw = codec.decompress_bytes(raw)
+        arr = np.frombuffer(raw[: e.raw_nbytes], dtype=_numpy_dtype(e.dtype))
+        return arr.reshape(e.chunk_extent)
+
+    def get(self, name: str, step_key: str | None = None,
+            rank: int = 0) -> np.ndarray:
+        """Assemble a variable from its chunks (functional mode)."""
+        entries = self.chunk_entries(name, step_key)
         dtype = _numpy_dtype(entries[0].dtype)
         out = np.zeros(entries[0].global_shape, dtype=dtype)
-        vfs = self.posix.fs.vfs
         for e in entries:
-            ino = vfs.lookup(self._subfile_path(e.subfile))
-            raw = vfs.read(ino, e.offset, e.stored_nbytes)
-            if e.checksum and zlib.crc32(raw) != e.checksum:
-                raise IntegrityError(
-                    f"checksum mismatch reading {e.var!r} "
-                    f"(subfile data.{e.subfile} @ {e.offset}): the "
-                    f"checkpoint is corrupt",
-                    path=self._subfile_path(e.subfile), rank=e.rank,
-                    step=e.step_key, expected=e.checksum,
-                    actual=zlib.crc32(raw))
-            cost = float(self.posix.fs.perf.read_op_cost(e.stored_nbytes))
-            self.posix._charge(rank, cost)
-            self.posix._notify("read", rank, e.stored_nbytes, cost, "POSIX",
-                               inos=ino)
-            if e.compressed:
-                codec = self.compressor or get_compressor("blosc")
-                raw = codec.decompress_bytes(raw)
-            arr = np.frombuffer(raw[: e.raw_nbytes], dtype=dtype)
-            arr = arr.reshape(e.chunk_extent)
-            sel = tuple(slice(o, o + x)
-                        for o, x in zip(e.chunk_offset, e.chunk_extent))
-            out[sel] = arr
+            out[e.selection] = self.read_chunk(e, rank)
         return out
 
     # -- fault plane --------------------------------------------------------------------

@@ -53,12 +53,34 @@ class Bit1SeriesReader:
 
     def __init__(self, posix, comm, outdir: str, prefix: str = "bit1",
                  engine_ext: str = ".bp4"):
-        self.diag = Series(posix, comm,
-                           f"{outdir.rstrip('/')}/{prefix}_dat{engine_ext}",
-                           Access.READ_ONLY)
-        self.ckpt = Series(posix, comm,
-                           f"{outdir.rstrip('/')}/{prefix}_dmp{engine_ext}",
-                           Access.READ_ONLY)
+        self._posix = posix
+        self._comm = comm
+        self._outdir = outdir
+        self._prefix = prefix
+        self._engine_ext = engine_ext
+        self._open_series()
+
+    def _open_series(self) -> None:
+        outdir, prefix, ext = (self._outdir.rstrip("/"), self._prefix,
+                               self._engine_ext)
+        self.diag = Series(self._posix, self._comm,
+                           f"{outdir}/{prefix}_dat{ext}", Access.READ_ONLY)
+        self.ckpt = Series(self._posix, self._comm,
+                           f"{outdir}/{prefix}_dmp{ext}", Access.READ_ONLY)
+        # per-session metadata caches: a read-only series is immutable,
+        # so iteration scans happen once per open, not per accessor call
+        self._diag_iterations: list[int] | None = None
+        self._ckpt_latest: int | None = None
+
+    def reopen(self) -> "Bit1SeriesReader":
+        """Re-open both series, invalidating the metadata caches.
+
+        Call this when the on-disk series may have grown (a still-running
+        job appended iterations) — the per-session caches assume the
+        series is immutable while open.
+        """
+        self._open_series()
+        return self
 
     # -- checkpoints -----------------------------------------------------------
 
@@ -68,9 +90,11 @@ class Bit1SeriesReader:
         BIT1 usually rewrites iteration 0 in place, but restart-file
         (file-based) layouts and future multi-slot checkpoints carry
         several iterations — always read the newest one instead of
-        hardcoding 0.
+        hardcoding 0.  Cached per session (see :meth:`reopen`).
         """
-        return max(self.ckpt.read_iterations(), default=0)
+        if self._ckpt_latest is None:
+            self._ckpt_latest = max(self.ckpt.read_iterations(), default=0)
+        return self._ckpt_latest
 
     def phase_space(self, bit1_species: str) -> PhaseSpace:
         """The latest checkpointed phase space of one species."""
@@ -94,7 +118,9 @@ class Bit1SeriesReader:
     # -- diagnostics --------------------------------------------------------------
 
     def iterations(self) -> list[int]:
-        return self.diag.read_iterations()
+        if self._diag_iterations is None:
+            self._diag_iterations = self.diag.read_iterations()
+        return list(self._diag_iterations)
 
     def frame(self, iteration: int) -> DiagnosticsFrame:
         """All per-species diagnostics of one snapshot."""

@@ -18,6 +18,7 @@ from repro.experiments.resilience import (
     run_resilience_multilevel,
 )
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.serving import ServingResult, run_serving
 from repro.experiments.streaming import StreamingResult, run_streaming
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.weak_scaling import run_weak_scaling
@@ -33,6 +34,7 @@ __all__ = [
     "Fig8Result",
     "Fig9Result",
     "SeriesResult",
+    "ServingResult",
     "StreamingResult",
     "Table2Result",
     "run_agg_sweep",
@@ -48,6 +50,7 @@ __all__ = [
     "run_resilience",
     "run_resilience_multilevel",
     "run_sensitivity",
+    "run_serving",
     "run_streaming",
     "run_table2",
     "run_weak_scaling",

@@ -27,6 +27,7 @@ from repro.experiments import (
     run_resilience,
     run_resilience_multilevel,
     run_sensitivity,
+    run_serving,
     run_streaming,
     run_table2,
     run_weak_scaling,
@@ -36,7 +37,7 @@ from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
        "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
-       "resilience_ml", "streaming", "agg")
+       "resilience_ml", "streaming", "serving", "agg")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             artifact_path="results/resilience_multilevel.json").render(),
         "streaming": lambda: run_streaming(quick=args.quick).render(),
+        "serving": lambda: run_serving(
+            quick=args.quick,
+            artifact_path="results/serving.json").render(),
         "agg": lambda: run_agg_sweep(quick=args.quick).render(),
     }
     for name in args.experiments:

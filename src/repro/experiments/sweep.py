@@ -96,13 +96,18 @@ def point_key(fn: Callable, params: dict) -> str:
     never changes simulated results, but quotas do change what a point
     *returns alongside them* (spill counts, high-water marks, ``mem``
     events), so results computed under different budgets must not alias.
+    The ambient serving-plane config (cache size, policy, prefetch
+    depth) is keyed for the same reason: points evaluated under
+    different read-cache configurations must never alias.
     """
     from repro.mem import fingerprint as mem_fingerprint
+    from repro.serving.config import fingerprint as serving_fingerprint
     spec = {
         "fn": f"{fn.__module__}.{fn.__qualname__}",
         "params": _canonical(params),
         "src": source_fingerprint(),
         "mem": mem_fingerprint(),
+        "serving": serving_fingerprint(),
     }
     return hashlib.sha256(
         json.dumps(spec, sort_keys=True).encode()).hexdigest()

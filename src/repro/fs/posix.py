@@ -372,6 +372,26 @@ class PosixIO:
         self._notify("read", rank, len(data), cost, api or of.api, inos=of.ino)
         return data
 
+    def read_scheduled(self, rank: int, fd: int, nbytes: int,
+                       start_at: float, api: str | None = None) -> float:
+        """Account a read whose cost runs in the background (prefetch).
+
+        The read-side twin of :meth:`write_scheduled`: byte/op counters
+        move immediately but no clock is charged — the caller owns the
+        scheduling.  Used by the serving plane's prefetch channels,
+        which fetch predicted chunks while the reader is busy analysing;
+        events are stamped at ``start_at`` so timeline exports show the
+        fill where it actually runs.  Returns the modeled seconds.
+        """
+        of = self._fds[fd]
+        if self.faults is not None:
+            self.faults.guard(self, "read", rank, of.ino, api or of.api)
+        self.fs.vfs.account_read(of.ino, nbytes)
+        cost = float(self.fs.perf.read_op_cost(nbytes, self._md_clients))
+        self._notify("read", rank, nbytes, cost, api or of.api,
+                     inos=of.ino, start=start_at)
+        return cost
+
     def read_synthetic(self, rank: int, fd: int, nbytes: int,
                        api: str | None = None) -> int:
         """Account a read without materialised content (modeled mode)."""

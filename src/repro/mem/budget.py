@@ -15,7 +15,7 @@ import contextlib
 DEFAULT_WATERMARKS = (0.5, 0.9, 1.0)
 
 #: The canonical subsystem account names (others are allowed).
-SUBSYSTEMS = ("vfs", "trace", "darshan", "engine", "resilience")
+SUBSYSTEMS = ("vfs", "trace", "darshan", "engine", "resilience", "serving")
 
 
 class MemoryQuotaExceeded(MemoryError):

@@ -297,22 +297,51 @@ class Series:
                 out.add(int(m.group(1)))
         return sorted(out)
 
+    @staticmethod
+    def mesh_path(iteration: int, mesh: str,
+                  component: str | None = None) -> str:
+        suffix = "" if component is None else f"/{component}"
+        return f"/data/{iteration}/meshes/{mesh}{suffix}"
+
+    @staticmethod
+    def particles_path(iteration: int, species: str, record: str,
+                       component: str | None = None) -> str:
+        suffix = "" if component is None else f"/{component}"
+        return f"/data/{iteration}/particles/{species}/{record}{suffix}"
+
     def load(self, variable_path: str) -> np.ndarray:
         """Read a full variable back (functional mode)."""
         if self.access != Access.READ_ONLY:
             raise PermissionError("load() requires READ_ONLY access")
         return self._read_engine.get(variable_path)
 
+    def variable_chunks(self, variable_path: str) -> list:
+        """The stored chunk entries of one variable (latest version).
+
+        The chunk-granular request surface: each entry carries its step
+        key, subfile, offset and byte counts, so a caching reader can
+        key, fetch and bill individual chunks instead of whole
+        variables (see :mod:`repro.serving.reader`).
+        """
+        if self.access != Access.READ_ONLY:
+            raise PermissionError("variable_chunks() requires READ_ONLY "
+                                  "access")
+        return self._read_engine.chunk_entries(variable_path)
+
+    def load_chunk(self, variable_path: str, index: int,
+                   rank: int = 0) -> np.ndarray:
+        """Read one chunk of a variable (see :meth:`variable_chunks`)."""
+        e = self.variable_chunks(variable_path)[index]
+        return self._read_engine.read_chunk(e, rank)
+
     def load_mesh(self, iteration: int, mesh: str,
                   component: str | None = None) -> np.ndarray:
-        suffix = "" if component is None else f"/{component}"
-        return self.load(f"/data/{iteration}/meshes/{mesh}{suffix}")
+        return self.load(self.mesh_path(iteration, mesh, component))
 
     def load_particles(self, iteration: int, species: str, record: str,
                        component: str | None = None) -> np.ndarray:
-        suffix = "" if component is None else f"/{component}"
-        return self.load(
-            f"/data/{iteration}/particles/{species}/{record}{suffix}")
+        return self.load(self.particles_path(iteration, species, record,
+                                             component))
 
     # -- lifecycle ---------------------------------------------------------------------
 

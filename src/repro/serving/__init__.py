@@ -1,0 +1,53 @@
+"""The read-side serving plane: concurrent readers + predictive cache.
+
+The mirror image of the write plane — many concurrent analysis clients
+served from a stored BP series through a shared chunk-granular read
+cache with pluggable prefetch policies.  See ``docs/architecture.md``
+("Serving plane") for the design, billing model and trace-spine
+integration.
+"""
+
+from repro.serving.cache import CacheEntry, EvictionPolicy, ReadCache
+from repro.serving.config import (
+    POLICIES,
+    ServingConfig,
+    current_serving_config,
+    set_serving_config,
+    use_serving_config,
+)
+from repro.serving.fleet import ANALYSIS_RATE, FleetReport, ReaderFleet, SeriesLayout
+from repro.serving.patterns import PATTERNS, AccessPatternGenerator, make_pattern
+from repro.serving.prefetch import (
+    AdaptiveMarkovPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetch,
+    Prefetcher,
+    SequentialReadahead,
+    make_prefetcher,
+)
+from repro.serving.reader import CachedSeriesReader
+
+__all__ = [
+    "ANALYSIS_RATE",
+    "AccessPatternGenerator",
+    "AdaptiveMarkovPrefetcher",
+    "CacheEntry",
+    "CachedSeriesReader",
+    "EvictionPolicy",
+    "FleetReport",
+    "MarkovPrefetcher",
+    "NoPrefetch",
+    "PATTERNS",
+    "POLICIES",
+    "Prefetcher",
+    "ReadCache",
+    "ReaderFleet",
+    "SequentialReadahead",
+    "SeriesLayout",
+    "ServingConfig",
+    "current_serving_config",
+    "make_pattern",
+    "make_prefetcher",
+    "set_serving_config",
+    "use_serving_config",
+]

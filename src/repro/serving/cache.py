@@ -1,0 +1,212 @@
+"""The shared chunk-granular read cache between readers and storage.
+
+One :class:`ReadCache` sits in front of the Lustre/POSIX model for a
+whole reader fleet: demand fetches and prefetch fills insert entries,
+lookups serve them at memory speed.  Eviction is pluggable with LRU as
+the baseline.  Residency is billed to the run's ``serving`` memory
+account, so quotas and watermark events apply to the cache like any
+other subsystem (and the fleet backs prefetching off under pressure).
+
+In-flight entries carry a ``ready_at`` virtual timestamp: a reader
+hitting a chunk whose background fill has not completed waits out the
+remainder instead of re-fetching — the shared-fetch dedup a real cache
+gives concurrent clients.  Prefetched entries stay *pinned* (shielded
+from eviction) until first use, bounded per stream: a stream issuing
+new predictions past its pin quota unpins its oldest — that
+displacement, like eviction-before-use, is the misprediction signal
+fed back to adaptive prefetchers.
+
+All state is instance-scoped (run-isolation contract; no module-level
+registries).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+
+@dataclass
+class CacheEntry:
+    """One resident (or in-flight) chunk."""
+
+    key: Hashable
+    nbytes: int
+    #: virtual time the chunk's bytes are actually available
+    ready_at: float = 0.0
+    #: materialised content for functional readers (None in modeled mode)
+    data: Any = None
+    #: stream that prefetched it, until first use (None = demand/used)
+    pinned_by: int | None = None
+
+
+@dataclass
+class EvictionOutcome:
+    """What one insertion displaced."""
+
+    #: entries removed from the cache (bytes released)
+    evicted: list[CacheEntry] = field(default_factory=list)
+    #: (stream, key) pins expired by the stream's own pin quota —
+    #: the entry stays resident but no longer counts as a prediction
+    expired: list[tuple[int, Hashable]] = field(default_factory=list)
+
+
+class EvictionPolicy:
+    """Pluggable victim selection over the cache's recency order."""
+
+    name = "lru"
+
+    def victims(self, entries: "OrderedDict[Hashable, CacheEntry]",
+                needed: int) -> Iterable[Hashable]:
+        """Keys to evict, in order, until ``needed`` bytes are freed.
+
+        Default LRU: walk from least- to most-recently-used, taking
+        unpinned entries first and pinned ones only if the unpinned
+        walk cannot free enough.
+        """
+        freed = 0
+        pinned: list[tuple[Hashable, int]] = []
+        for key, entry in entries.items():
+            if freed >= needed:
+                return
+            if entry.pinned_by is not None:
+                pinned.append((key, entry.nbytes))
+                continue
+            freed += entry.nbytes
+            yield key
+        for key, nbytes in pinned:
+            if freed >= needed:
+                return
+            freed += nbytes
+            yield key
+
+
+class ReadCache:
+    """Chunk store with LRU recency, pinning, and residency billing."""
+
+    def __init__(self, capacity_bytes: int, account=None,
+                 eviction: EvictionPolicy | None = None,
+                 max_pinned_per_stream: int = 2):
+        self.capacity_bytes = int(capacity_bytes)
+        self.account = account
+        self.eviction = eviction or EvictionPolicy()
+        self.max_pinned_per_stream = max(1, int(max_pinned_per_stream))
+        #: key -> entry in recency order (last = most recently used)
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._pins: dict[int, deque] = {}
+        self.used_bytes = 0
+        #: run-scoped residency peak (the account's high-water mark can
+        #: span several runs billed to the same ambient budget)
+        self.peak_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lookups ---------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> tuple[CacheEntry | None, int | None]:
+        """Probe the cache, updating recency and hit/miss counters.
+
+        Returns ``(entry, prefetch_stream)``: the stream id whose
+        prediction this hit redeems (its pin is released), or None for
+        misses and demand-filled hits.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None, None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        stream = entry.pinned_by
+        if stream is not None:
+            self._unpin(stream, key)
+            entry.pinned_by = None
+        return entry, stream
+
+    def peek(self, key: Hashable) -> CacheEntry | None:
+        """Probe without recency or counter side effects."""
+        return self._entries.get(key)
+
+    # -- insertion / eviction --------------------------------------------
+
+    def insert(self, key: Hashable, nbytes: int, ready_at: float = 0.0,
+               data: Any = None,
+               pinned_by: int | None = None) -> EvictionOutcome:
+        """Make room, insert, and bill residency; returns displacements.
+
+        Oversized chunks (larger than the whole cache) are not cached;
+        re-inserting an existing key refreshes it in place.
+        """
+        out = EvictionOutcome()
+        nbytes = int(nbytes)
+        if nbytes > self.capacity_bytes:
+            return out
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._release(old)
+        needed = self.used_bytes + nbytes - self.capacity_bytes
+        if needed > 0:
+            for victim_key in list(self.eviction.victims(self._entries,
+                                                         needed)):
+                victim = self._entries.pop(victim_key)
+                self._release(victim)
+                self.evictions += 1
+                out.evicted.append(victim)
+        entry = CacheEntry(key=key, nbytes=nbytes, ready_at=float(ready_at),
+                           data=data, pinned_by=pinned_by)
+        self._entries[key] = entry
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        if self.account is not None:
+            self.account.charge(nbytes)
+        self.insertions += 1
+        if pinned_by is not None:
+            pins = self._pins.setdefault(pinned_by, deque())
+            pins.append(key)
+            while len(pins) > self.max_pinned_per_stream:
+                stale_key = pins.popleft()
+                stale = self._entries.get(stale_key)
+                if stale is not None and stale.pinned_by == pinned_by:
+                    stale.pinned_by = None
+                    out.expired.append((pinned_by, stale_key))
+        return out
+
+    def clear(self) -> None:
+        """Drop every entry, releasing all billed residency."""
+        for entry in self._entries.values():
+            self._release(entry, unpin=False)
+        self._entries.clear()
+        self._pins.clear()
+
+    def _release(self, entry: CacheEntry, unpin: bool = True) -> None:
+        self.used_bytes -= entry.nbytes
+        if self.account is not None:
+            self.account.release(entry.nbytes)
+        if unpin and entry.pinned_by is not None:
+            self._unpin(entry.pinned_by, entry.key)
+
+    def _unpin(self, stream: int, key: Hashable) -> None:
+        pins = self._pins.get(stream)
+        if pins is not None:
+            try:
+                pins.remove(key)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ReadCache(entries={len(self._entries)}, "
+                f"used={self.used_bytes}/{self.capacity_bytes} B, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,92 @@
+"""Serving-plane configuration: one ambient, fingerprintable dataclass.
+
+The read cache and prefetcher are run-scoped objects, but experiment
+points are pure functions of their parameters — so the serving knobs a
+point runs under must be part of its sweep-cache key, exactly like the
+ambient memory budget (see :func:`repro.experiments.sweep.point_key`).
+This module keeps the config import-light (no numpy, no fs stack) so
+the sweep executor can fingerprint it without pulling the whole plane.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, replace
+
+from repro.util.units import MiB
+
+#: The pluggable prefetch policies (``none`` also disables the cache
+#: in the fleet, giving the uncached baseline).
+POLICIES = ("none", "lru", "readahead", "markov", "adaptive")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the shared read cache + prefetcher.
+
+    ``policy`` names the prefetcher riding on the LRU cache:
+
+    * ``none`` — no cache at all (every read pays the storage model);
+    * ``lru`` — cache with LRU eviction, no prefetch;
+    * ``readahead`` — sequential readahead of ``prefetch_depth`` chunks;
+    * ``markov`` — first-order per-stream transition counts;
+    * ``adaptive`` — Markov with a confidence weight that demotes the
+      prefetcher under misprediction.
+    """
+
+    cache_bytes: int = 512 * MiB
+    policy: str = "lru"
+    prefetch_depth: int = 2
+    chunk_bytes: int = 8 * MiB
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown serving policy {self.policy!r}; "
+                             f"choose from {POLICIES}")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+
+    def with_(self, **kw) -> "ServingConfig":
+        return replace(self, **kw)
+
+    def config(self) -> dict:
+        """Canonical, hashable description (for cache fingerprints)."""
+        return {
+            "cache_bytes": self.cache_bytes,
+            "policy": self.policy,
+            "prefetch_depth": self.prefetch_depth,
+            "chunk_bytes": self.chunk_bytes,
+        }
+
+
+#: The ambient process-default config — the plane's neutral baseline.
+_DEFAULT = ServingConfig()
+_current = _DEFAULT
+
+
+def current_serving_config() -> ServingConfig:
+    """The ambient serving config (process default unless installed)."""
+    return _current
+
+
+def set_serving_config(config: ServingConfig | None) -> ServingConfig:
+    """Install ``config`` as ambient (None restores the default)."""
+    global _current
+    _current = _DEFAULT if config is None else config
+    return _current
+
+
+@contextlib.contextmanager
+def use_serving_config(config: ServingConfig):
+    """Scope an ambient serving config to a ``with`` block."""
+    prev = _current
+    set_serving_config(config)
+    try:
+        yield config
+    finally:
+        set_serving_config(prev)
+
+
+def fingerprint() -> dict:
+    """Serving-plane config of the ambient (for sweep keys)."""
+    return _current.config()

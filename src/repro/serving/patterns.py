@@ -1,0 +1,177 @@
+"""Seeded access-pattern generators for the serving plane's readers.
+
+Each generator turns (seed, reader index) into a deterministic stream
+of chunk indices over a ``universe`` of ``n`` chunks — the flattened
+chunk-granular view of a stored BP series (see
+:class:`repro.serving.fleet.SeriesLayout`).  The six patterns mirror
+the quark2 ``OPT_markov`` bench mix: Sequential, Reverse, Random,
+Zipfian, Locality-Based and Repeated, which between them cover
+dashboards paging through iterations, convergence checks walking
+backwards, exploratory sampling, hot-variable portals, neighbourhood
+analysis and periodic refresh loops.
+
+Determinism contract: two generators built with identical arguments
+produce identical streams; distinct readers get decorrelated streams
+via the reader index folded into the rng seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The pattern vocabulary, in sweep order.
+PATTERNS = ("sequential", "reverse", "random", "zipfian", "locality",
+            "repeated")
+
+
+class AccessPatternGenerator:
+    """Base: a deterministic stream of chunk ids in ``[0, universe)``."""
+
+    name = "base"
+    #: per-subclass rng salt so patterns sharing a seed stay decorrelated
+    salt = 0
+
+    def __init__(self, universe: int, seed: int = 0, reader_index: int = 0,
+                 total_readers: int = 1):
+        if universe <= 0:
+            raise ValueError("pattern universe must be positive")
+        self.universe = int(universe)
+        self.seed = int(seed)
+        self.reader_index = int(reader_index)
+        self.total_readers = max(1, int(total_readers))
+        self.rng = np.random.default_rng(
+            [self.seed, self.reader_index, self.salt])
+
+    def _start(self) -> int:
+        """This reader's slice start (staggers readers over the series)."""
+        return (self.reader_index * self.universe) // self.total_readers
+
+    def requests(self, n: int) -> np.ndarray:
+        """The first ``n`` chunk ids of the stream (int64 array)."""
+        raise NotImplementedError
+
+
+class SequentialPattern(AccessPatternGenerator):
+    """Forward scan from a per-reader staggered start (wraps)."""
+
+    name = "sequential"
+    salt = 1
+
+    def requests(self, n: int) -> np.ndarray:
+        return (self._start() + np.arange(n, dtype=np.int64)) % self.universe
+
+
+class ReversePattern(AccessPatternGenerator):
+    """Backward scan — newest-first convergence checks (wraps)."""
+
+    name = "reverse"
+    salt = 2
+
+    def requests(self, n: int) -> np.ndarray:
+        return (self._start() - np.arange(n, dtype=np.int64)) % self.universe
+
+
+class RandomPattern(AccessPatternGenerator):
+    """Uniform random sampling over the whole series."""
+
+    name = "random"
+    salt = 3
+
+    def requests(self, n: int) -> np.ndarray:
+        return self.rng.integers(0, self.universe, size=n, dtype=np.int64)
+
+
+class ZipfianPattern(AccessPatternGenerator):
+    """Zipf-distributed popularity over a shared hot set.
+
+    The rank→chunk permutation is derived from the run seed alone, so
+    every reader hammers the *same* hot chunks (a portal serving many
+    dashboards of the latest iterations) while the per-reader rng
+    decorrelates the draw order.
+    """
+
+    name = "zipfian"
+    salt = 4
+
+    def __init__(self, universe: int, seed: int = 0, reader_index: int = 0,
+                 total_readers: int = 1, theta: float = 1.3):
+        super().__init__(universe, seed, reader_index, total_readers)
+        self.theta = float(theta)
+        self._perm = np.random.default_rng(
+            [self.seed, self.salt]).permutation(self.universe)
+
+    def requests(self, n: int) -> np.ndarray:
+        ranks = (self.rng.zipf(self.theta, size=n) - 1) % self.universe
+        return self._perm[ranks].astype(np.int64)
+
+
+class LocalityPattern(AccessPatternGenerator):
+    """A drifting neighbourhood walk with rare long jumps.
+
+    Steps favour +1 (the walk creeps forward through adjacent chunks,
+    occasionally revisiting), so transitions are predictable enough for
+    a first-order Markov model to earn its keep, while jumps keep the
+    working set moving past what plain recency can hold.
+    """
+
+    name = "locality"
+    salt = 5
+    #: step offsets and their probabilities (mean drift ≈ +0.75/step)
+    STEPS = np.array([-2, -1, 0, 1, 2], dtype=np.int64)
+    PROBS = np.array([0.05, 0.15, 0.10, 0.50, 0.20])
+    JUMP_P = 0.03
+
+    def requests(self, n: int) -> np.ndarray:
+        steps = self.rng.choice(self.STEPS, size=n, p=self.PROBS)
+        jumps = self.rng.random(n) < self.JUMP_P
+        jump_to = self.rng.integers(0, self.universe, size=n, dtype=np.int64)
+        out = np.empty(n, dtype=np.int64)
+        pos = self._start()
+        for i in range(n):
+            pos = int(jump_to[i]) if jumps[i] else (pos + int(steps[i]))
+            pos %= self.universe
+            out[i] = pos
+        return out
+
+
+class RepeatedPattern(AccessPatternGenerator):
+    """A fixed per-reader working set, cycled in order.
+
+    Periodic refresh loops: each reader re-polls the same few chunks in
+    the same order forever.  The per-reader sets are distinct, so a
+    fleet's combined working set can exceed the shared cache — where
+    recency alone thrashes but a Markov predictor, having learned each
+    reader's cycle after one lap, keeps the next chunk in flight.
+    """
+
+    name = "repeated"
+    salt = 6
+
+    def __init__(self, universe: int, seed: int = 0, reader_index: int = 0,
+                 total_readers: int = 1, working_set: int = 8):
+        super().__init__(universe, seed, reader_index, total_readers)
+        size = max(1, min(int(working_set), self.universe))
+        self._set = self.rng.choice(self.universe, size=size,
+                                    replace=False).astype(np.int64)
+
+    def requests(self, n: int) -> np.ndarray:
+        return np.resize(self._set, n)
+
+
+_PATTERN_CLASSES = {
+    cls.name: cls
+    for cls in (SequentialPattern, ReversePattern, RandomPattern,
+                ZipfianPattern, LocalityPattern, RepeatedPattern)
+}
+
+
+def make_pattern(name: str, universe: int, seed: int = 0,
+                 reader_index: int = 0, total_readers: int = 1,
+                 **kwargs) -> AccessPatternGenerator:
+    """Construct a pattern generator by name (see :data:`PATTERNS`)."""
+    cls = _PATTERN_CLASSES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown access pattern {name!r}; "
+                         f"choose from {PATTERNS}")
+    return cls(universe, seed=seed, reader_index=reader_index,
+               total_readers=total_readers, **kwargs)

@@ -1,0 +1,161 @@
+"""Pluggable prefetch policies for the shared read cache.
+
+A prefetcher watches each reader's request stream (``observe``), emits
+predicted next chunks (``predict``) and learns from outcome signals
+(``feedback``: a prefetched chunk was used, or was displaced unused).
+All state is instance-scoped — two runs building two prefetchers share
+nothing, the same run-isolation contract the trace/memory planes keep
+(no process-global registries; see the PR-4 ``_STREAMS`` fix).
+
+The Markov family follows the quark2 ``OPT_markov`` bench pattern:
+first-order transition counts per stream, chunk → most-frequent
+successor, walked ``depth`` hops ahead so a learned cycle keeps the
+pipeline full.  The adaptive variant carries a per-stream confidence
+(EWMA of feedback) and demotes itself — shallower walks, then silence —
+when its predictions keep missing.
+"""
+
+from __future__ import annotations
+
+
+class Prefetcher:
+    """Base policy: never predicts (the pure-LRU and uncached modes)."""
+
+    name = "none"
+
+    def __init__(self, depth: int = 2, universe: int | None = None):
+        self.depth = max(0, int(depth))
+        #: chunk-id universe for wrapping predictions; None = unbounded
+        #: (the functional reader clamps ids itself)
+        self.universe = universe
+
+    def observe(self, stream: int, prev: int | None, cur: int) -> None:
+        """Record that ``stream`` requested ``cur`` right after ``prev``."""
+
+    def predict(self, stream: int, cur: int) -> list[int]:
+        """Chunk ids worth fetching ahead of ``stream``'s next request."""
+        return []
+
+    def feedback(self, stream: int, used: bool) -> None:
+        """Outcome of one prediction: used from cache, or wasted."""
+
+    def _wrap(self, chunk: int) -> int:
+        return chunk % self.universe if self.universe else chunk
+
+
+class NoPrefetch(Prefetcher):
+    """Explicit alias of the base no-op policy."""
+
+
+class SequentialReadahead(Prefetcher):
+    """Classic readahead: the next ``depth`` chunks after the current."""
+
+    name = "readahead"
+
+    def predict(self, stream: int, cur: int) -> list[int]:
+        return [self._wrap(cur + k) for k in range(1, self.depth + 1)]
+
+
+class MarkovPrefetcher(Prefetcher):
+    """First-order per-stream transition counts over chunk successors.
+
+    ``predict`` walks the most-frequent-successor chain ``depth`` hops
+    from the current chunk (ties break toward the smaller chunk id so
+    runs are deterministic), stopping at unseen states or on revisits
+    within one walk.
+    """
+
+    name = "markov"
+
+    def __init__(self, depth: int = 2, universe: int | None = None):
+        super().__init__(depth, universe)
+        #: stream -> prev chunk -> {successor: count}; instance-scoped
+        self._transitions: dict[int, dict[int, dict[int, int]]] = {}
+
+    def observe(self, stream: int, prev: int | None, cur: int) -> None:
+        if prev is None:
+            return
+        succ = self._transitions.setdefault(stream, {}).setdefault(prev, {})
+        succ[cur] = succ.get(cur, 0) + 1
+
+    def _best_successor(self, stream: int, cur: int,
+                        min_count: int = 1) -> int | None:
+        succ = self._transitions.get(stream, {}).get(cur)
+        if not succ:
+            return None
+        chunk, count = min(succ.items(), key=lambda kv: (-kv[1], kv[0]))
+        return chunk if count >= min_count else None
+
+    def _walk(self, stream: int, cur: int, hops: int,
+              min_count: int = 1) -> list[int]:
+        out: list[int] = []
+        seen = {cur}
+        pos = cur
+        for _ in range(hops):
+            nxt = self._best_successor(stream, pos, min_count)
+            if nxt is None or nxt in seen:
+                break
+            out.append(nxt)
+            seen.add(nxt)
+            pos = nxt
+        return out
+
+    def predict(self, stream: int, cur: int) -> list[int]:
+        return self._walk(stream, cur, self.depth)
+
+
+class AdaptiveMarkovPrefetcher(MarkovPrefetcher):
+    """Markov with confidence-weighted depth and self-demotion.
+
+    Per-stream confidence is an EWMA of prediction outcomes.  High
+    confidence walks the full depth; sagging confidence shortens the
+    walk and requires transitions seen at least twice; below the floor
+    the stream's prefetching shuts off entirely (random workloads stop
+    paying for wasted storage fetches).
+    """
+
+    name = "adaptive"
+
+    #: EWMA weight of each new outcome
+    ALPHA = 0.15
+    #: starting confidence (optimistic enough to learn)
+    INITIAL = 0.6
+    #: below this, the stream stops prefetching
+    FLOOR = 0.2
+
+    def __init__(self, depth: int = 2, universe: int | None = None):
+        super().__init__(depth, universe)
+        self._confidence: dict[int, float] = {}
+
+    def confidence(self, stream: int) -> float:
+        return self._confidence.get(stream, self.INITIAL)
+
+    def feedback(self, stream: int, used: bool) -> None:
+        c = self.confidence(stream)
+        self._confidence[stream] = (1 - self.ALPHA) * c + self.ALPHA * used
+
+    def predict(self, stream: int, cur: int) -> list[int]:
+        c = self.confidence(stream)
+        if c < self.FLOOR:
+            return []
+        hops = max(1, round(self.depth * min(1.0, 2.0 * c)))
+        return self._walk(stream, cur, hops, min_count=1 if c >= 0.5 else 2)
+
+
+_POLICY_CLASSES = {
+    "none": NoPrefetch,
+    "lru": NoPrefetch,  # cache without prediction
+    "readahead": SequentialReadahead,
+    "markov": MarkovPrefetcher,
+    "adaptive": AdaptiveMarkovPrefetcher,
+}
+
+
+def make_prefetcher(policy: str, depth: int = 2,
+                    universe: int | None = None) -> Prefetcher:
+    """Construct the prefetcher behind a serving policy name."""
+    cls = _POLICY_CLASSES.get(policy)
+    if cls is None:
+        raise ValueError(f"unknown serving policy {policy!r}; "
+                         f"choose from {tuple(_POLICY_CLASSES)}")
+    return cls(depth, universe)

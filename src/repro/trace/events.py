@@ -38,6 +38,14 @@ EVENT_KINDS = frozenset({
     "ckpt_store", "ckpt_flush", "rebuild",
     # streaming plane (repro.streaming): staged producer→consumer flow
     "publish", "deliver", "stall", "drop",
+    # serving plane (repro.serving): the shared read cache in front of
+    # the storage model — ``read_hit`` is served from cache at memory
+    # speed, ``read_miss`` a demand fetch (the storage traffic itself is
+    # a separate posix-layer ``read``), ``prefetch`` a predicted fill
+    # running on a background channel, ``evict`` a capacity eviction.
+    # All ride the ``serving`` layer, which Darshan ignores: only the
+    # real POSIX reads underneath fold into its counters.
+    "read_hit", "read_miss", "prefetch", "evict",
     # memory plane (repro.mem): a budget account crossed a watermark;
     # nbytes carries the account's resident bytes at the crossing
     "mem",

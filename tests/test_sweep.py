@@ -83,6 +83,25 @@ class TestPointKey:
         # restoring the ambient budget restores the key
         assert point_key(_cube, {"x": 3}) == base
 
+    def test_serving_plane_config_keys_the_cache(self):
+        """Points evaluated under different ambient read-cache configs
+        must not alias: cache size, policy and prefetch depth all change
+        what a serving point measures."""
+        from repro.serving import ServingConfig, use_serving_config
+        base = point_key(_cube, {"x": 3})
+        with use_serving_config(ServingConfig(cache_bytes=1 << 20,
+                                              policy="markov",
+                                              prefetch_depth=4)):
+            markov_key = point_key(_cube, {"x": 3})
+            with use_serving_config(ServingConfig(cache_bytes=1 << 20,
+                                                  policy="markov",
+                                                  prefetch_depth=8)):
+                deeper_key = point_key(_cube, {"x": 3})
+        assert markov_key != base
+        assert deeper_key != markov_key
+        # restoring the ambient config restores the key
+        assert point_key(_cube, {"x": 3}) == base
+
 
 class TestSweepCache:
     def test_first_run_evaluates_second_hits(self, tmp_path, touch_log):
