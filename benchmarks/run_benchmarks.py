@@ -34,7 +34,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from memdemo import measure as _measure_memory             # noqa: E402
 
-from repro.cluster.presets import dardel                   # noqa: E402
+from repro.cluster.presets import dardel, dardel_gpu       # noqa: E402
 from repro.experiments.fig8 import run_fig8                # noqa: E402
 from repro.faults import FaultPlan, NodeCrash              # noqa: E402
 from repro.fs import PosixIO, mount                        # noqa: E402
@@ -50,6 +50,7 @@ from repro.experiments.points import (                     # noqa: E402
     original_report,
     streaming_report,
 )
+from repro.experiments.gpu import gpu_report               # noqa: E402
 from repro.experiments.serving import serving_report       # noqa: E402
 from repro.experiments.weak_scaling import run_weak_scaling  # noqa: E402
 from repro.workloads.presets import paper_use_case         # noqa: E402
@@ -117,6 +118,22 @@ def _serving_point(policy: str, nodes: int) -> None:
           f"{rep['prefetch_issued']} prefetches", flush=True)
 
 
+def _gpu_point(mode: str, nodes: int, staging_mib: int) -> None:
+    """One hybrid checkpoint-drain point; prints the host-vs-GDS signal
+    (staged bytes over the slowest device's drain seconds) behind the
+    ``results/gpu_staging.json`` crossover.  Wall time is what the
+    harness records."""
+    rep = gpu_report(machine=dardel_gpu(), nodes=nodes, mode=mode,
+                     aggregators=400, gpus_per_node=4,
+                     staging_mib=staging_mib, engine_ext=".bp5", seed=0)
+    drain = rep["drain_seconds_max"]
+    gibps = rep["staged_bytes"] / 2**30 / drain if drain > 0 else 0.0
+    print(f"  [{mode}] staged {rep['staged_bytes'] / 2**30:.2f} GiB, "
+          f"drain max {drain:.4f}s -> {gibps:.1f} GiB/s, "
+          f"{rep['turnarounds']} turnarounds, peak staging "
+          f"{rep['peak_staging_bytes'] / 2**20:.1f} MiB", flush=True)
+
+
 def build_suite(quick: bool) -> dict:
     """name -> zero-arg callable; quick mode shrinks the node counts."""
     fig8_nodes = 5 if quick else 200
@@ -145,6 +162,14 @@ def build_suite(quick: bool) -> dict:
             lambda: _serving_point("lru", point_nodes),
         f"serving_markov_point_{point_nodes}nodes":
             lambda: _serving_point("markov", point_nodes),
+        # staging bound scales with the quick shrink so both points stay
+        # in the regimes the gpu experiment's crossover check contrasts
+        f"gpu_host_staged_point_{point_nodes}nodes":
+            lambda: _gpu_point("host", point_nodes,
+                               80 if quick else 2),
+        f"gpu_gds_point_{point_nodes}nodes":
+            lambda: _gpu_point("gds", point_nodes,
+                               80 if quick else 2),
         "recovery_tiered_partner":
             lambda: _recovery_point(
                 CheckpointPolicy.partner(l3_interval=0)),

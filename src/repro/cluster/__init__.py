@@ -1,6 +1,7 @@
 """Virtual cluster descriptions: nodes, networks, storage systems, presets."""
 
 from repro.cluster.machine import (
+    GpuSpec,
     Machine,
     NetworkSpec,
     NodeSpec,
@@ -10,12 +11,14 @@ from repro.cluster.machine import (
 from repro.cluster.presets import (
     all_machines,
     dardel,
+    dardel_gpu,
     discoverer,
     machine_by_name,
     vega,
 )
 
 __all__ = [
+    "GpuSpec",
     "Machine",
     "NetworkSpec",
     "NodeSpec",
@@ -23,6 +26,7 @@ __all__ = [
     "StorageTuning",
     "all_machines",
     "dardel",
+    "dardel_gpu",
     "discoverer",
     "machine_by_name",
     "vega",

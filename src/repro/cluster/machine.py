@@ -18,8 +18,60 @@ FilesystemKind = Literal["lustre", "nfs", "cephfs"]
 
 
 @dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device of a hybrid node (see :class:`NodeSpec.gpus`).
+
+    All rates are bytes/s, latencies seconds.  ``link_bandwidth`` is the
+    host↔device path (PCIe or Infinity Fabric/NVLink) that bounce-buffer
+    staging pays in both directions (D2H on checkpoint drain, H2D on
+    restart); ``gds_bandwidth`` is the optional GPUDirect-Storage DMA
+    path that moves device bytes to/from storage without touching the
+    host bounce buffer — ``None`` means the device has no GDS support
+    and a GDS-mode run on it is a configuration error.
+    """
+
+    name: str = "MI250X"
+    #: device (HBM) memory capacity, bytes
+    memory_bytes: float = 128 * GiB
+    #: device memory bandwidth, bytes/s (HBM stream rate)
+    memory_bandwidth: float = 3.2 * TiB
+    #: host↔device link bandwidth, bytes/s (PCIe / Infinity Fabric)
+    link_bandwidth: float = 36 * GiB
+    #: per-transfer link setup latency, seconds (DMA program + sync)
+    link_latency: float = 5.0e-6
+    #: GPUDirect-Storage path bandwidth, bytes/s; None = no GDS support
+    gds_bandwidth: float | None = 22 * GiB
+
+
+@dataclass(frozen=True)
 class NodeSpec:
-    """One compute node: sockets × cores and memory."""
+    """One compute node: sockets × cores, memory, and (optionally) GPUs.
+
+    The bandwidth fields split three ways — each is a different wire and
+    a different consumer bills it:
+
+    =====================  =================================================
+    field                  what runs at this rate
+    =====================  =================================================
+    ``memory_bandwidth``   node-local shared-memory copies: intra-node
+                           transfers such as ADIOS2's shm aggregation
+                           funnel and L0 checkpoint staging (NOT the NIC —
+                           inter-node traffic uses
+                           :class:`NetworkSpec.nic_bandwidth`)
+    ``gpus[i].link_…``     host↔device staging over PCIe/Infinity Fabric:
+                           D2H checkpoint drains into the pinned bounce
+                           buffer, H2D restores at restart
+    ``gpus[i].gds_…``      GPUDirect-Storage transfers that bypass the
+                           host bounce buffer entirely
+    ``gpus[i].memory_…``   on-device HBM traffic (serialisation of the
+                           particle blocks before any transfer)
+    =====================  =================================================
+
+    ``gpus=()`` (the default) is a CPU-only node: every existing machine
+    preset keeps this default, and all CPU code paths are bit-identical
+    to their pre-GPU behaviour — the field is only consulted when a run
+    explicitly asks for the hybrid writer (:mod:`repro.gpu`).
+    """
 
     sockets: int = 2
     cores_per_socket: int = 64
@@ -29,10 +81,16 @@ class NodeSpec:
     #: run at, as opposed to the NIC rate of inter-node traffic
     memory_bandwidth: float = 200 * GiB
     cpu_model: str = "AMD EPYC 7H12"
+    #: GPU devices of a hybrid node, () for CPU-only nodes
+    gpus: tuple[GpuSpec, ...] = ()
 
     @property
     def cores(self) -> int:
         return self.sockets * self.cores_per_socket
+
+    @property
+    def gpus_per_node(self) -> int:
+        return len(self.gpus)
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,10 @@ shows no clear scaling; and Dardel's aggregator curve rising 0.59 →
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cluster.machine import (
+    GpuSpec,
     Machine,
     NetworkSpec,
     NodeSpec,
@@ -209,12 +212,43 @@ def vega() -> Machine:
     )
 
 
-_PRESETS = {"dardel": dardel, "discoverer": discoverer, "vega": vega}
+def dardel_gpu() -> Machine:
+    """A Dardel-GPU-like hybrid partition: 4× MI250X-class devices/node.
+
+    Modelled on Dardel's GPU partition (4× AMD Instinct MI250X per
+    node, Slingshot, the same 48-OST Lustre), with two deliberate
+    deviations so the Table-II scenario fits: the real partition's 56
+    nodes are scaled to 224, and the node keeps the CPU partition's
+    2×64-core socket layout so the standard 128-ranks-per-node job shape
+    (200 nodes × 128 ranks = 25 600 ranks) runs unchanged.  The storage
+    tuning is Dardel's — the PFS is shared between the partitions.
+
+    The GPU fields are the MI250X OAM numbers: 128 GiB HBM2e per
+    device, ~3.2 TiB/s device memory bandwidth, ~36 GiB/s host link
+    (Infinity Fabric), and a ~22 GiB/s GPUDirect-Storage DMA path.
+    Without an explicit hybrid writer the preset behaves exactly like
+    :func:`dardel` at the same node count (``gpus`` is inert data).
+    """
+    base = dardel()
+    mi250x = GpuSpec(name="MI250X", memory_bytes=128 * GiB,
+                     memory_bandwidth=3.2 * TiB, link_bandwidth=36 * GiB,
+                     link_latency=5.0e-6, gds_bandwidth=22 * GiB)
+    return replace(
+        base,
+        name="Dardel-GPU",
+        num_nodes=224,
+        node=replace(base.node, gpus=(mi250x,) * 4,
+                     cpu_model="AMD EPYC Zen3 (hybrid partition)"),
+    )
+
+
+_PRESETS = {"dardel": dardel, "dardel_gpu": dardel_gpu,
+            "discoverer": discoverer, "vega": vega}
 
 
 def machine_by_name(name: str) -> Machine:
     """Look up a preset machine by (case-insensitive) name."""
-    key = name.lower()
+    key = name.lower().replace("-", "_")
     if key not in _PRESETS:
         raise KeyError(f"unknown machine {name!r}; presets: {sorted(_PRESETS)}")
     return _PRESETS[key]()

@@ -10,6 +10,7 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.gpu import GpuResult, run_gpu
 from repro.experiments.postproc import PostprocResult, run_postproc
 from repro.experiments.resilience import (
     MultiLevelResult,
@@ -33,6 +34,7 @@ __all__ = [
     "SensitivityResult",
     "Fig8Result",
     "Fig9Result",
+    "GpuResult",
     "SeriesResult",
     "ServingResult",
     "StreamingResult",
@@ -46,6 +48,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_gpu",
     "run_postproc",
     "run_resilience",
     "run_resilience_multilevel",

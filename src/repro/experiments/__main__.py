@@ -23,6 +23,7 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_gpu,
     run_postproc,
     run_resilience,
     run_resilience_multilevel,
@@ -37,7 +38,7 @@ from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
        "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
-       "resilience_ml", "streaming", "serving", "agg")
+       "resilience_ml", "streaming", "serving", "gpu", "agg")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +77,9 @@ def main(argv: list[str] | None = None) -> int:
         "serving": lambda: run_serving(
             quick=args.quick,
             artifact_path="results/serving.json").render(),
+        "gpu": lambda: run_gpu(
+            quick=args.quick,
+            artifact_path="results/gpu_staging.json").render(),
         "agg": lambda: run_agg_sweep(quick=args.quick).render(),
     }
     for name in args.experiments:

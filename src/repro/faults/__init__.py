@@ -3,7 +3,8 @@
 ``repro.faults`` makes failure a first-class, reproducible input to the
 virtual machine: a seeded :class:`FaultPlan` schedules OST outages, MDS
 slowdowns, NIC flaps, transient I/O errors, aggregator deaths, node
-crashes and silent corruption; the :class:`FaultInjector` applies them
+crashes, silent corruption and GPU faults (device OOM, ECC page
+retirement, host↔device link stalls); the :class:`FaultInjector` applies them
 at run time; a :class:`RetryPolicy` recovers what can be recovered in
 place; and :func:`repro.workloads.runner.run_crash_restart` orchestrates
 checkpoint-restart for what cannot.
@@ -22,7 +23,10 @@ from repro.faults.plan import (
     SPEC_TYPES,
     AggregatorFailure,
     ConsumerCrash,
+    DeviceOOM,
+    EccRetirement,
     FaultPlan,
+    H2DStall,
     MDSSlowdown,
     NICFlap,
     NodeCrash,
@@ -35,9 +39,12 @@ from repro.faults.retry import RetryPolicy
 __all__ = [
     "AggregatorFailure",
     "ConsumerCrash",
+    "DeviceOOM",
+    "EccRetirement",
     "FaultInjector",
     "FaultPlan",
     "FaultState",
+    "H2DStall",
     "InjectedIOError",
     "MDSSlowdown",
     "NICFlap",

@@ -32,7 +32,10 @@ import numpy as np
 
 from repro.faults.plan import (
     AggregatorFailure,
+    DeviceOOM,
+    EccRetirement,
     FaultPlan,
+    H2DStall,
     MDSSlowdown,
     NICFlap,
     NodeCrash,
@@ -92,6 +95,9 @@ class FaultState:
     mds_factor: float = 1.0
     #: interconnect bandwidth multiplier (NIC flaps)
     nic_factor: float = 1.0
+    #: host↔device staging link multiplier (H2D stall windows) — read by
+    #: :class:`repro.gpu.hybrid.HybridStager` on every staged transfer
+    h2d_factor: float = 1.0
 
 
 class FaultInjector:
@@ -163,6 +169,9 @@ class FaultInjector:
         self.state.nic_factor = min(
             [s.factor for s in self.plan.of_type(NICFlap)
              if s.active(step)], default=1.0)
+        self.state.h2d_factor = min(
+            [s.factor for s in self.plan.of_type(H2DStall)
+             if s.active(step)], default=1.0)
 
         # OST outage windows opening/closing
         for ost in sorted(active_outage - self.fs.dead_osts):
@@ -200,7 +209,9 @@ class FaultInjector:
         # node crashes: all specs pinned to this step fire together as
         # ONE failure domain (a rack power event takes several nodes at
         # once) — the error carries every lost node so recovery can be
-        # scoped to what redundancy actually survives
+        # scoped to what redundancy actually survives.  GPU device-fatal
+        # faults (device OOM, ECC page retirement) take the whole node's
+        # job step with them, so they join the same domain.
         crashed: list[int] = []
         for spec in self.plan.of_type(NodeCrash):
             if spec.step == step and spec not in self._crashes_done:
@@ -209,6 +220,14 @@ class FaultInjector:
                          if self.comm is not None else 0)
                 self._emit("fault", ranks, api="NODE")
                 crashed.append(spec.node)
+        for spec in self.plan.of_type((DeviceOOM, EccRetirement)):
+            if spec.step == step and spec not in self._crashes_done:
+                self._crashes_done.add(spec)
+                ranks = (self.comm.ranks_on_node(spec.node)
+                         if self.comm is not None else 0)
+                self._emit("fault", ranks, api="GPU")
+                if spec.node not in crashed:
+                    crashed.append(spec.node)
         if crashed:
             raise NodeCrashError(crashed[0], step, nodes=tuple(crashed))
         return directives

@@ -25,6 +25,12 @@ machine):
 :class:`AggregatorFailure`  an ADIOS2 aggregator process dies; its subfiles
                         fail over to survivors
 :class:`SilentCorruption`  bytes of a file are bit-flipped without any error
+:class:`DeviceOOM`      a GPU exhausts device memory mid-step; the node's
+                        ranks die with it (checkpoint-restart territory)
+:class:`EccRetirement`  a GPU retires an ECC-degraded HBM page and resets;
+                        the node's job processes are lost
+:class:`H2DStall`       the host↔device link of the hybrid staging path
+                        degrades to ``factor``× bandwidth for a window
 =====================  ======================================================
 """
 
@@ -161,14 +167,59 @@ class SilentCorruption:
     nbytes: int = 8
 
 
+@dataclass(frozen=True)
+class DeviceOOM:
+    """GPU ``gpu`` on ``node`` exhausts device memory at the *start* of
+    ``step``.  A device OOM aborts every process sharing the device, and
+    slurm reaps the node's job step with them — so the whole node is
+    lost, exactly like a :class:`NodeCrash`.  Recovery is checkpoint
+    restart through :func:`repro.workloads.runner.run_crash_restart`
+    (with a hybrid stager attached, restored shards pay the H2D leg
+    back onto the devices)."""
+
+    node: int
+    step: int
+    gpu: int = 0
+
+
+@dataclass(frozen=True)
+class EccRetirement:
+    """GPU ``gpu`` on ``node`` retires an ECC-degraded HBM page at the
+    start of ``step`` — the driver resets the device and the node's job
+    processes are lost (crash-like, as :class:`DeviceOOM`)."""
+
+    node: int
+    step: int
+    gpu: int = 0
+
+
+@dataclass(frozen=True)
+class H2DStall:
+    """The host↔device staging link degrades to ``factor``× bandwidth
+    during ``[start_step, end_step]`` (PCIe error-retrain storms, a
+    congested Infinity Fabric).  Interpreted by the hybrid staging path
+    (:mod:`repro.gpu`) through the shared
+    :class:`~repro.faults.injector.FaultState` — a window derate like
+    :class:`NICFlap`, recoverable in place."""
+
+    node: int
+    start_step: int
+    end_step: int
+    factor: float = 0.1
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step <= self.end_step
+
+
 #: every spec type a plan may carry
 SPEC_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError, NodeCrash,
-              AggregatorFailure, SilentCorruption, ConsumerCrash)
+              AggregatorFailure, SilentCorruption, ConsumerCrash,
+              DeviceOOM, EccRetirement, H2DStall)
 
 #: spec types whose faults are recoverable in place (no restart needed),
 #: provided a RetryPolicy with enough retries is installed
 RECOVERABLE_TYPES = (OSTFault, MDSSlowdown, NICFlap, TransientError,
-                     AggregatorFailure, ConsumerCrash)
+                     AggregatorFailure, ConsumerCrash, H2DStall)
 
 
 @dataclass(frozen=True)

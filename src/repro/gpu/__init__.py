@@ -1,0 +1,14 @@
+"""GPU/hybrid scenario plane: device → host → storage staging in virtual time.
+
+See :mod:`repro.gpu.hybrid` for the model.  ``HybridWriter`` is the
+public alias of :class:`HybridStager` — it is the piece that turns the
+existing CPU write path into a hybrid one when handed to the runner.
+"""
+
+from repro.gpu.hybrid import HybridConfig, HybridStager
+
+#: public alias — the hybrid write path is "the writer" from the
+#: runner's point of view, a staging leg from the model's
+HybridWriter = HybridStager
+
+__all__ = ["HybridConfig", "HybridStager", "HybridWriter"]

@@ -15,7 +15,8 @@ import contextlib
 DEFAULT_WATERMARKS = (0.5, 0.9, 1.0)
 
 #: The canonical subsystem account names (others are allowed).
-SUBSYSTEMS = ("vfs", "trace", "darshan", "engine", "resilience", "serving")
+SUBSYSTEMS = ("vfs", "trace", "darshan", "engine", "resilience", "serving",
+              "gpu")
 
 
 class MemoryQuotaExceeded(MemoryError):

@@ -121,6 +121,14 @@ def _restore_from_memory(store: MultiLevelStore, sim,
         store._emit("rebuild", ranks, api=api,
                     nbytes=len(blob) / max(1, len(ranks)), duration=cost)
         apply_node_state(sim, blob)
+        if store.hybrid is not None:
+            # device-resident state: pay the H2D restore onto the
+            # (replacement) node's devices after the host copy lands
+            h2d = store.hybrid.h2d_node(node, len(blob))
+            store.posix._charge(ranks, h2d)
+            store._emit("h2d", ranks, api="GPU",
+                        nbytes=len(blob) / max(1, len(ranks)),
+                        duration=h2d, layer="gpu")
     sim.rng.restore(gen.rng_blob)
     sim.step_index = gen.step
 
@@ -148,6 +156,13 @@ def _restore_from_l3(store: MultiLevelStore, sim,
         pos = 0
         for node, length in zip(header["nodes"], header["lengths"]):
             apply_node_state(sim, body[pos:pos + length])
+            if store.hybrid is not None:
+                ranks = store.comm.ranks_on_node(node)
+                h2d = store.hybrid.h2d_node(node, length)
+                store.posix._charge(ranks, h2d)
+                store._emit("h2d", ranks, api="GPU",
+                            nbytes=length / max(1, len(ranks)),
+                            duration=h2d, layer="gpu")
             pos += length
     except (ValueError, KeyError) as exc:
         raise RingCheckpointError(

@@ -17,6 +17,9 @@ Tier traffic that never touches the PFS is emitted as ``ckpt_store`` /
 ``ckpt_flush`` / ``rebuild`` events on the ``faults`` layer — invisible
 to the Darshan fold, exactly as node-local staging is invisible to real
 Darshan — while L3 bytes go through PosixIO and are counted normally.
+With a hybrid stager attached (:class:`repro.gpu.hybrid.HybridStager`),
+device checkpoints additionally pay the D2H drain into L0 (``d2h``
+events on the ``gpu`` layer) and the H2D restore at recovery.
 """
 
 from __future__ import annotations
@@ -128,11 +131,15 @@ class MultiLevelStore:
     """Tiered checkpoint store bound to one run's posix/comm stack."""
 
     def __init__(self, posix: PosixIO, comm: VirtualComm, outdir: str,
-                 policy: CheckpointPolicy):
+                 policy: CheckpointPolicy, hybrid=None):
         self.posix = posix
         self.comm = comm
         self.outdir = outdir.rstrip("/")
         self.policy = policy
+        #: optional :class:`repro.gpu.hybrid.HybridStager` — when set,
+        #: the simulation state is device-resident: L0 staging pays the
+        #: D2H drain first, tier recovery pays the H2D restore after
+        self.hybrid = hybrid
         self.ring_dir = f"{self.outdir}/.ring"
         self._account = current_budget().account("resilience")
         self._generations: list[CheckpointGeneration] = []  # oldest first
@@ -146,7 +153,8 @@ class MultiLevelStore:
     # -- event plumbing ------------------------------------------------------
 
     def _emit(self, kind: str, ranks: np.ndarray, *, api: str,
-              nbytes=0.0, duration=0.0, start=None) -> None:
+              nbytes=0.0, duration=0.0, start=None,
+              layer: str = "faults") -> None:
         bus = self.posix.trace
         if bus is None or not bus.wants(kind):
             return
@@ -155,14 +163,14 @@ class MultiLevelStore:
             start = self.comm.clocks[ranks] - np.broadcast_to(
                 np.asarray(duration, dtype=np.float64), ranks.shape)
         bus.emit(kind, ranks, nbytes=nbytes, duration=duration, start=start,
-                 api=api, layer="faults")
+                 api=api, layer=layer)
 
     def _charge_node(self, node: int, seconds: float, *, api: str,
-                     kind: str, nbytes: int) -> None:
+                     kind: str, nbytes: int, layer: str = "faults") -> None:
         ranks = self.comm.ranks_on_node(node)
         self.posix._charge(ranks, seconds)
         self._emit(kind, ranks, api=api, nbytes=nbytes / max(1, len(ranks)),
-                   duration=seconds)
+                   duration=seconds, layer=layer)
 
     # -- store ---------------------------------------------------------------
 
@@ -193,6 +201,11 @@ class MultiLevelStore:
             gen.shards[node] = blob
             gen.shard_crc[node] = zlib.crc32(blob)
             gen.resident_bytes += len(blob)
+            if self.hybrid is not None:
+                # device-resident state drains over the host link first
+                self._charge_node(
+                    node, self.hybrid.d2h_node(node, len(blob)),
+                    api="GPU", kind="d2h", nbytes=len(blob), layer="gpu")
             self._charge_node(node, len(blob) / shm_bw, api="L0",
                               kind="ckpt_store", nbytes=len(blob))
 

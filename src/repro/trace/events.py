@@ -46,6 +46,16 @@ EVENT_KINDS = frozenset({
     # All ride the ``serving`` layer, which Darshan ignores: only the
     # real POSIX reads underneath fold into its counters.
     "read_hit", "read_miss", "prefetch", "evict",
+    # GPU/hybrid plane (repro.gpu): device↔host↔storage staging traffic
+    # — ``d2h``/``h2d`` are bounce-buffer transfers over the host link
+    # (checkpoint drains out, restart restores back in), ``gds`` a
+    # GPUDirect-Storage transfer that bypasses the host bounce buffer,
+    # ``gpu_stall`` the turnaround wait when the bounded pinned staging
+    # buffer is full and the drain into the aggregation funnel has not
+    # freed it yet.  All ride the ``gpu`` layer, which Darshan ignores
+    # (real Darshan never sees PCIe traffic): only the POSIX writes the
+    # engine issues underneath fold into its counters.
+    "h2d", "d2h", "gds", "gpu_stall",
     # memory plane (repro.mem): a budget account crossed a watermark;
     # nbytes carries the account's resident bytes at the crossing
     "mem",

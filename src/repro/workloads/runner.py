@@ -30,6 +30,7 @@ from repro.fs.payload import RealPayload, SyntheticPayload
 from repro.fs.posix import PosixIO
 from repro.fs.stdio import DEFAULT_BUFSIZE
 from repro.fs.vfs import FileNotFound
+from repro.gpu.hybrid import HybridConfig, HybridStager
 from repro.io_adaptor.checkpoint import restore_from_openpmd, restore_from_original
 from repro.io_adaptor.openpmd_adaptor import Bit1OpenPMDWriter
 from repro.io_adaptor.original import CorruptCheckpointError, OriginalIOWriter
@@ -130,6 +131,10 @@ class ScaledRunResult:
     #: memory-plane snapshot (``MemoryBudget.report()``): per-account
     #: used/high-water/spilled bytes of the *simulator's own* residency
     mem_report: dict = field(default_factory=dict)
+    #: hybrid staging accounting (``HybridStager.report()``): per-GPU
+    #: drain/stall leg seconds and staging residency — empty for
+    #: CPU-only runs
+    gpu_report: dict = field(default_factory=dict)
 
     def file_sizes(self) -> np.ndarray:
         return self.fs.vfs.subtree_file_sizes(self.outdir)
@@ -290,6 +295,7 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                        mem_budget: int | None = None,
                        rank_block_size: int | None = None,
                        counter_granularity: str = "rank",
+                       hybrid: HybridConfig | None = None,
                        ) -> ScaledRunResult:
     """Full-scale BIT1 through openPMD + ADIOS2 (Figs. 3-9, Table II).
 
@@ -309,6 +315,14 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
     - ``counter_granularity='node'`` bins Darshan counters and engine
       profiles by node, shrinking counter state from O(ranks) to
       O(nodes) for million-rank jobs.
+
+    ``hybrid`` turns the run into a hybrid CPU+GPU job: the machine's
+    nodes must carry :class:`~repro.cluster.machine.GpuSpec` entries,
+    and every diagnostic/checkpoint payload pays the device→host
+    staging leg (:class:`~repro.gpu.hybrid.HybridStager`) before the
+    unchanged engine write path sees it.  ``None`` (the default) is the
+    plain CPU path, bit-identical to pre-GPU behaviour even on a GPU
+    machine preset.
     """
     config = config or paper_use_case()
     budget = (MemoryBudget(total=mem_budget) if mem_budget is not None
@@ -321,6 +335,14 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
             "bit1-openpmd", trace_mode, counter_granularity)
         injector = (install_faults(posix, fault_plan, retry_policy)
                     if fault_plan is not None else None)
+        stager = None
+        if hybrid is not None:
+            if not machine.node.gpus:
+                raise ValueError(
+                    f"{machine.name} nodes carry no GPUs; hybrid staging "
+                    "needs a GPU machine preset (e.g. dardel_gpu)")
+            stager = HybridStager(comm, machine.node.gpus, hybrid,
+                                  bus=session.bus)
         model = Bit1DataModel(config, comm.size)
         outdir = "/scratch/io_openPMD"
         posix.mkdir(0, outdir, parents=True)
@@ -369,6 +391,18 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
         diag_span = SplitValues(comm.size, int(diag_elems))
         meta_span = SplitValues(comm.size, int(meta_elems))
 
+        # device-resident payload bytes per rank: what the hybrid
+        # staging leg moves before the engine sees the same bytes
+        # (4 float32 particle components + float64 grid + float64 meta)
+        if stager is not None:
+            ckpt_stage_bytes = (
+                np.asarray(per_rank_particles.materialize(),
+                           dtype=np.float64) * 16.0
+                + np.asarray(per_rank_grid.materialize(),
+                             dtype=np.float64) * 8.0
+                + float(meta_elems) * 8.0)
+            diag_stage_bytes = float(diag_elems) * 8.0
+
         last_step = 0
         with posix.phase(writers=comm.size, md_clients=comm.size):
             for step, is_ckpt in _event_steps(config):
@@ -383,6 +417,8 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                         for directive in injector.begin_step(step):
                             diag_series.handle_rank_failure(directive.rank)
                             ckpt_series.handle_rank_failure(directive.rank)
+                    if stager is not None:
+                        stager.stage_step(diag_stage_bytes)
                     it = diag_series.iterations[step]
                     it.set_time(step * config.dt, config.dt)
                     comp = it.meshes["rank_summary"].scalar
@@ -393,6 +429,8 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                     it.close()
 
                     if is_ckpt:
+                        if stager is not None:
+                            stager.stage_step(ckpt_stage_bytes)
                         it0 = ckpt_series.iterations[0].reopen()
                         it0.set_time(step * config.dt, config.dt)
                         sp = it0.particles["all_species"]
@@ -449,7 +487,9 @@ def run_openpmd_scaled(machine: Machine, nodes: int,
                                peak_host_bytes=peak_host,
                                drain_wait_seconds=wait_s,
                                drain_seconds=drain_s,
-                               mem_report=budget.report())
+                               mem_report=budget.report(),
+                               gpu_report=(stager.report()
+                                           if stager is not None else {}))
 
 
 # -- checkpoint-restart orchestration (functional, fault-injected) ------------
@@ -588,6 +628,7 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
                       max_restarts: int = 8,
                       checkpoint_policy: CheckpointPolicy | None = None,
                       compute_seconds_per_step: float = 0.0,
+                      hybrid: HybridStager | None = None,
                       ) -> ResilientRunReport:
     """Run a functional BIT1 simulation under a fault plan, restarting
     from the last valid checkpoint whenever a node crash kills the job.
@@ -626,14 +667,25 @@ def run_crash_restart(config: Bit1Config, comm: VirtualComm, posix: PosixIO,
     time between checkpoints, an async flush is still in flight at any
     same-interval crash and the ring contributes nothing.
 
+    ``hybrid`` (a live :class:`~repro.gpu.hybrid.HybridStager`) marks
+    the simulation state as device-resident: every multi-level
+    checkpoint pays the D2H drain into the L0 memory tier, and every
+    tier recovery pays the H2D restore back onto the replacement node's
+    devices.  Requires ``checkpoint_policy`` (the staging target is the
+    store's node-local tier).
+
     Because particle order, RNG state and rank assignment all survive
     the round trip, a recovered run's final state is bit-identical to a
     fault-free run of the same config and seed — for every tier
     combination.
     """
+    if hybrid is not None and checkpoint_policy is None:
+        raise ValueError("hybrid checkpoint staging requires a "
+                         "checkpoint_policy (the multi-level store)")
     injector = (install_faults(posix, plan, policy)
                 if plan is not None else None)
-    store = (MultiLevelStore(posix, comm, outdir, checkpoint_policy)
+    store = (MultiLevelStore(posix, comm, outdir, checkpoint_policy,
+                             hybrid=hybrid)
              if checkpoint_policy is not None else None)
     sim = Bit1Simulation(config, comm)
     out = _make_writer(writer, posix, comm, outdir)
