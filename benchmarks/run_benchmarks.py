@@ -25,8 +25,10 @@ import datetime
 import json
 import os
 import platform
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
@@ -53,6 +55,7 @@ from repro.experiments.points import (                     # noqa: E402
 from repro.experiments.gpu import gpu_report               # noqa: E402
 from repro.experiments.serving import serving_report       # noqa: E402
 from repro.experiments.weak_scaling import run_weak_scaling  # noqa: E402
+from repro.tuning import TuningSpace, tune                 # noqa: E402
 from repro.workloads.presets import paper_use_case         # noqa: E402
 
 
@@ -134,6 +137,29 @@ def _gpu_point(mode: str, nodes: int, staging_mib: int) -> None:
           f"{rep['peak_staging_bytes'] / 2**20:.1f} MiB", flush=True)
 
 
+def _tuner_point(nodes: int, quick: bool) -> None:
+    """One cold-then-warm autotuner search on a private sweep cache;
+    prints the probes-evaluated vs probes-cached split behind the
+    >= 95 % second-run cache-hit acceptance.  The suite-wide
+    ``REPRO_SWEEP_CACHE=""`` disable is deliberately overridden here —
+    the cache *is* what this point measures.  Wall time (dominated by
+    the cold search) is what the harness records."""
+    space = TuningSpace.quick() if quick else TuningSpace()
+    cfg = paper_use_case().with_(last_step=4_000, dmpstep=2_000)
+    cache = tempfile.mkdtemp(prefix="repro-tune-bench-")
+    try:
+        kw = dict(space=space, config=cfg, population=8, seed=0,
+                  cache_dir=cache)
+        cold = tune(dardel(), nodes, **kw)
+        warm = tune(dardel(), nodes, **kw)
+        print(f"  cold {cold.probes_evaluated}/{cold.probes_cached} "
+              f"probes (eval/cached), warm {warm.probes_evaluated}/"
+              f"{warm.probes_cached} -> {warm.cached_fraction:.0%} cached, "
+              f"best {cold.best.label()}", flush=True)
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+
+
 def build_suite(quick: bool) -> dict:
     """name -> zero-arg callable; quick mode shrinks the node counts."""
     fig8_nodes = 5 if quick else 200
@@ -170,6 +196,8 @@ def build_suite(quick: bool) -> dict:
         f"gpu_gds_point_{point_nodes}nodes":
             lambda: _gpu_point("gds", point_nodes,
                                80 if quick else 2),
+        f"tuner_cold_warm_point_{point_nodes}nodes":
+            lambda: _tuner_point(point_nodes, quick),
         "recovery_tiered_partner":
             lambda: _recovery_point(
                 CheckpointPolicy.partner(l3_interval=0)),

@@ -108,8 +108,15 @@ _REGISTRY: dict[str, type[Compressor]] = {"none": NullCompressor}
 
 
 def register(cls: type[Compressor]) -> type[Compressor]:
-    """Class decorator adding a codec to the registry."""
-    _REGISTRY[cls.name] = cls
+    """Class decorator adding a codec to the registry.
+
+    The key is lowercased to match :func:`get_compressor`'s lookup —
+    storing ``cls.name`` verbatim left any mixed-case codec permanently
+    unreachable (registered as ``"Blosc"``, looked up as ``"blosc"``).
+    """
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no registry name")
+    _REGISTRY[cls.name.lower()] = cls
     return cls
 
 

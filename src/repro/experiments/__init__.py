@@ -22,6 +22,7 @@ from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.serving import ServingResult, run_serving
 from repro.experiments.streaming import StreamingResult, run_streaming
 from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.tuning import TuningExperimentResult, run_tuning
 from repro.experiments.weak_scaling import run_weak_scaling
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "ServingResult",
     "StreamingResult",
     "Table2Result",
+    "TuningExperimentResult",
     "run_agg_sweep",
     "run_fig2",
     "run_fig3",
@@ -56,5 +58,6 @@ __all__ = [
     "run_serving",
     "run_streaming",
     "run_table2",
+    "run_tuning",
     "run_weak_scaling",
 ]

@@ -31,6 +31,7 @@ from repro.experiments import (
     run_serving,
     run_streaming,
     run_table2,
+    run_tuning,
     run_weak_scaling,
 )
 from repro.experiments.common import subset
@@ -38,7 +39,7 @@ from repro.experiments.paper_data import FIG6_SWEEP, NODE_COUNTS
 
 ALL = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
        "table2", "postproc", "weak_scaling", "sensitivity", "resilience",
-       "resilience_ml", "streaming", "serving", "gpu", "agg")
+       "resilience_ml", "streaming", "serving", "gpu", "agg", "tune")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,6 +82,14 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             artifact_path="results/gpu_staging.json").render(),
         "agg": lambda: run_agg_sweep(quick=args.quick).render(),
+        "tune": lambda: run_tuning(
+            quick=args.quick,
+            artifact_path="results/tuned_configs.json").render(),
+        # service-mode health check: re-validate the existing artifact's
+        # recommendations against the current model source, no retuning
+        "tune_check": lambda: run_tuning(
+            quick=args.quick, regression_only=True,
+            artifact_path="results/tuned_configs.json").render(),
     }
     for name in args.experiments:
         fn = table.get(name)

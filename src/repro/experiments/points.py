@@ -80,6 +80,52 @@ def engine_report(machine, nodes, config=None, num_aggregators=None,
     return out
 
 
+def tuning_report(machine, nodes, config=None, engine_ext=".bp4",
+                  aggs_per_node=1.0, stripe_count=None, stripe_size=None,
+                  compressor=None, async_drain=False, queue_depth=2,
+                  ranks_per_node=128, compute_seconds_per_step=0.0,
+                  seed=0) -> dict:
+    """One joint-configuration probe of the I/O autotuner.
+
+    The tuner's whole search space in one point function: engine ×
+    aggregators-per-node × Lustre striping × compression × drain mode ×
+    queue depth.  ``aggs_per_node`` (not an absolute aggregator count)
+    keeps candidates comparable across node counts; ``queue_depth`` is
+    the number of per-step staging buffers each aggregator may hold
+    while async-draining — it maps onto the engine's
+    ``host_memory_bound`` (BP5 ``MaxShmSize``) as ``depth × the
+    aggregator's per-step diagnostic volume`` and is inert when
+    ``async_drain`` is off.
+    """
+    if config is None:
+        from repro.workloads.presets import paper_use_case
+        config = paper_use_case()
+    num_aggregators = max(1, int(round(nodes * aggs_per_node)))
+    host_memory_bound = None
+    if async_drain:
+        model = Bit1DataModel(config, nodes * ranks_per_node)
+        step_bytes = (model.diag_bytes_per_rank_per_event()
+                      * nodes * ranks_per_node / num_aggregators)
+        host_memory_bound = max(int(queue_depth * step_bytes), 1 << 20)
+    res = run_openpmd_scaled(
+        machine, nodes, config=config, ranks_per_node=ranks_per_node,
+        num_aggregators=num_aggregators, compressor=compressor,
+        stripe_count=stripe_count, stripe_size=stripe_size,
+        engine_ext=engine_ext, async_drain=async_drain,
+        host_memory_bound=host_memory_bound,
+        compute_seconds_per_step=compute_seconds_per_step, seed=seed)
+    out = _report(res)
+    out.update(
+        makespan=res.comm.max_time(),
+        aggregation_s=sum(p.total_us("aggregation") for p in res.profiles)
+        / 1e6,
+        peak_host_bytes=res.peak_host_bytes,
+        drain_wait_s=res.drain_wait_seconds,
+        host_memory_bound=host_memory_bound,
+    )
+    return out
+
+
 def openpmd_profile(machine, nodes, compressor=None, seed=0) -> dict:
     """One profiled openPMD run, metrics folded from its event stream.
 

@@ -50,7 +50,8 @@ def source_fingerprint() -> str:
 
     Results are addressed by *what computed them*, not just by their
     parameters: any edit to the model invalidates the whole cache.
-    Computed once per process.
+    Computed once per process; long-lived services that must notice
+    on-disk source edits call :func:`invalidate_fingerprint` first.
     """
     global _fingerprint
     if _fingerprint is None:
@@ -68,22 +69,84 @@ def source_fingerprint() -> str:
     return _fingerprint
 
 
+def invalidate_fingerprint() -> None:
+    """Drop the memoised source fingerprint; the next key recomputes it.
+
+    A process that outlives edits to ``src/repro`` (the tuner's
+    regression mode, a notebook kernel, any long-lived service) would
+    otherwise keep trusting the fingerprint captured at first use and
+    silently serve cache entries computed by a *different* model.
+    """
+    global _fingerprint
+    _fingerprint = None
+
+
+def _canonical_key(key: Any):
+    """Canonical, type-tagged form of one dict key.
+
+    ``str()``-coercion (the old scheme) let ``{1: "x"}`` and
+    ``{"1": "x"}`` alias one cache key; every key is now tagged with
+    its type so distinct keys stay distinct.  Numbers share one "num"
+    tag because Python dict keys already identify ``True == 1 == 1.0``
+    (they cannot coexist in one dict), so equal dicts must keep equal
+    canonical forms.
+    """
+    if isinstance(key, str):
+        return ["str", key]
+    if isinstance(key, (bool, int, float)):
+        f = float(key)
+        if f != f:
+            return ["num", "nan"]
+        if f in (float("inf"), float("-inf")):
+            return ["num", repr(f)]
+        if f == int(f):
+            return ["num", int(key)]
+        return ["num", repr(f)]
+    if key is None:
+        return ["none"]
+    if isinstance(key, tuple):
+        return ["tuple", [_canonical_key(k) for k in key]]
+    raise TypeError(
+        f"cannot canonicalise a {type(key).__name__} dict key into a "
+        "sweep cache key")
+
+
 def _canonical(value: Any):
-    """Reduce a parameter value to a canonical JSON-able form."""
+    """Reduce a parameter value to a canonical strict-JSON-able form.
+
+    Containers are wrapped in tagged objects (``__map__``/``__seq__``/
+    ``__dataclass__``) so no user value can forge the canonical form of
+    a different type, dict keys keep their type (see
+    :func:`_canonical_key`), non-finite floats become explicit tags
+    (``json.dumps`` would otherwise emit non-JSON ``NaN``/``Infinity``
+    tokens), and 0-d numpy arrays — which *have* an ``__len__``
+    attribute but no length — canonicalise like the scalar they wrap
+    instead of failing keying and silently bypassing the cache.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        out = {f.name: _canonical(getattr(value, f.name))
-               for f in dataclasses.fields(value)}
-        out["__type__"] = type(value).__name__
-        return out
+        cls = type(value)
+        return {"__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+                "fields": {f.name: _canonical(getattr(value, f.name))
+                           for f in dataclasses.fields(value)}}
     if isinstance(value, dict):
-        return {str(k): _canonical(v)
-                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+        items = [[_canonical_key(k), _canonical(v)]
+                 for k, v in value.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0]))
+        return {"__map__": items}
     if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
+        return {"__seq__": [_canonical(v) for v in value]}
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value != value:
+            return ["float", "nan"]
+        if value in (float("inf"), float("-inf")):
+            return ["float", repr(value)]
         return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and getattr(value, "ndim", None) == 0:
+        return _canonical(value.item())  # numpy scalar / 0-d array
     if hasattr(value, "item") and not hasattr(value, "__len__"):
-        return value.item()  # numpy scalar
+        return _canonical(value.item())  # non-numpy scalar wrapper
     raise TypeError(
         f"cannot canonicalise a {type(value).__name__} into a sweep cache "
         "key; pass plain data / dataclasses or disable the cache")
@@ -109,8 +172,11 @@ def point_key(fn: Callable, params: dict) -> str:
         "mem": mem_fingerprint(),
         "serving": serving_fingerprint(),
     }
+    # allow_nan=False: non-finite floats were tagged by _canonical, so a
+    # bare NaN here means a canonicalisation hole — fail loudly
     return hashlib.sha256(
-        json.dumps(spec, sort_keys=True).encode()).hexdigest()
+        json.dumps(spec, sort_keys=True, allow_nan=False).encode()
+    ).hexdigest()
 
 
 def default_cache_dir() -> str:
@@ -176,14 +242,33 @@ def _store(cache_dir: str, key: str, value: Any) -> None:
         pass
 
 
-def sweep(fn: Callable, points: Sequence[dict], jobs: int | None = None,
-          cache_dir: str | None = None) -> list:
+@dataclass
+class BatchResult:
+    """What one :func:`sweep_batch` call returned, probe by probe."""
+
+    #: results in point order
+    results: list
+    #: per-point: True when the result came from the cache
+    hits: list[bool]
+    #: the evaluated/cached split of this batch
+    stats: SweepStats
+
+    @property
+    def cached_fraction(self) -> float:
+        """Fraction of probes served from cache (1.0 for an empty batch)."""
+        total = len(self.hits)
+        return sum(self.hits) / total if total else 1.0
+
+
+def sweep_batch(fn: Callable, points: Sequence[dict],
+                jobs: int | None = None,
+                cache_dir: str | None = None) -> BatchResult:
     """Evaluate ``fn(**p)`` for every point, parallel and memoised.
 
-    Returns results in point order.  Cached points are never evaluated;
-    misses run in a forked process pool when more than one is pending
-    (and ``jobs`` allows it), in the caller's process otherwise.
-    :data:`LAST_STATS` records the evaluated/cached split.
+    The batch-probe API behind :func:`sweep`: identical semantics, but
+    the return value carries the per-point hit/miss split so callers
+    that issue many small batches (the autotuner) can account probes
+    without racing on the module-level stats globals.
     """
     global LAST_STATS
     points = list(points)
@@ -234,4 +319,19 @@ def sweep(fn: Callable, points: Sequence[dict], jobs: int | None = None,
     SESSION_STATS.evaluated += stats.evaluated
     SESSION_STATS.cached += stats.cached
     SESSION_STATS.jobs = max(SESSION_STATS.jobs, stats.jobs)
-    return results
+    missed = set(misses)
+    return BatchResult(results=results,
+                       hits=[i not in missed for i in range(len(points))],
+                       stats=stats)
+
+
+def sweep(fn: Callable, points: Sequence[dict], jobs: int | None = None,
+          cache_dir: str | None = None) -> list:
+    """Evaluate ``fn(**p)`` for every point, parallel and memoised.
+
+    Returns results in point order.  Cached points are never evaluated;
+    misses run in a forked process pool when more than one is pending
+    (and ``jobs`` allows it), in the caller's process otherwise.
+    :data:`LAST_STATS` records the evaluated/cached split.
+    """
+    return sweep_batch(fn, points, jobs=jobs, cache_dir=cache_dir).results

@@ -1,0 +1,170 @@
+"""The autotuner's joint configuration space.
+
+One :class:`Candidate` is everything the paper tunes by hand across
+Tables II-III plus the drain knobs later PRs added: file engine
+(BP4/BP5), aggregators per node, Lustre stripe count/size, compression
+codec, async drain on/off and staging queue depth.  A
+:class:`TuningSpace` is one finite axis per dimension; the search
+(:mod:`repro.tuning.search`) only ever proposes candidates on the grid,
+so every probe is a cacheable, bit-reproducible
+:func:`repro.experiments.points.tuning_report` evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Iterator
+
+from repro.util.units import MiB
+
+#: the candidate fields the search moves along, in climb order
+DIMENSIONS = ("engine_ext", "aggs_per_node", "stripe_count",
+              "stripe_size", "compressor", "async_drain", "queue_depth")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint configuration space."""
+
+    engine_ext: str = ".bp4"
+    aggs_per_node: float = 1.0
+    stripe_count: int = 1
+    stripe_size: int = 1 * MiB
+    compressor: str | None = None
+    async_drain: bool = False
+    queue_depth: int = 2
+
+    def num_aggregators(self, nodes: int) -> int:
+        return max(1, int(round(nodes * self.aggs_per_node)))
+
+    def params(self, machine, nodes: int, config,
+               compute_seconds_per_step: float = 0.0, seed: int = 0) -> dict:
+        """The :func:`~repro.experiments.points.tuning_report` kwargs."""
+        return {
+            "machine": machine, "nodes": nodes, "config": config,
+            "engine_ext": self.engine_ext,
+            "aggs_per_node": self.aggs_per_node,
+            "stripe_count": self.stripe_count,
+            "stripe_size": self.stripe_size,
+            "compressor": self.compressor,
+            "async_drain": self.async_drain,
+            "queue_depth": self.queue_depth,
+            "compute_seconds_per_step": compute_seconds_per_step,
+            "seed": seed,
+        }
+
+    def label(self) -> str:
+        """Compact human-readable form (tables, traces, logs)."""
+        return (f"{self.engine_ext.strip('.')} "
+                f"{self.aggs_per_node:g}agg/node "
+                f"-c{self.stripe_count} -S{self.stripe_size // MiB}M "
+                f"{self.compressor or 'raw'} "
+                f"{'async q%d' % self.queue_depth if self.async_drain else 'sync'}")
+
+    def to_dict(self) -> dict:
+        """JSON-able form for the ``tuned_configs.json`` artifact."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Candidate":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """Finite axes, one per :data:`DIMENSIONS` entry."""
+
+    engine_ext: tuple[str, ...] = (".bp4", ".bp5")
+    aggs_per_node: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0)
+    stripe_count: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48)
+    stripe_size: tuple[int, ...] = tuple(s * MiB for s in (1, 2, 4, 8, 16))
+    compressor: tuple[str | None, ...] = (None, "blosc", "bzip2")
+    async_drain: tuple[bool, ...] = (False, True)
+    queue_depth: tuple[int, ...] = (1, 2, 4)
+
+    @classmethod
+    def quick(cls) -> "TuningSpace":
+        """A tiny space for CI smokes and tests (16 configurations)."""
+        return cls(engine_ext=(".bp4", ".bp5"), aggs_per_node=(1.0, 2.0),
+                   stripe_count=(1, 8), stripe_size=(1 * MiB,),
+                   compressor=(None,), async_drain=(False, True),
+                   queue_depth=(2,))
+
+    def axis(self, dim: str) -> tuple:
+        if dim not in DIMENSIONS:
+            raise KeyError(f"unknown tuning dimension {dim!r}")
+        return getattr(self, dim)
+
+    def size(self) -> int:
+        return math.prod(len(self.axis(d)) for d in DIMENSIONS)
+
+    def contains(self, cand: Candidate) -> bool:
+        return all(getattr(cand, d) in self.axis(d) for d in DIMENSIONS)
+
+    def for_machine(self, machine) -> "TuningSpace":
+        """Clip the striping axis to what the machine's Lustre allows.
+
+        A stripe count beyond the OST count is unsatisfiable (Discoverer
+        has 4 OSTs); probing it would either fail or silently alias the
+        maximum.
+        """
+        osts = max(s.num_osts for s in machine.storage
+                   if s.kind == "lustre")
+        counts = tuple(c for c in self.stripe_count if c <= osts)
+        return replace(self, stripe_count=counts or (osts,))
+
+    def clip(self, cand: Candidate) -> Candidate:
+        """Snap a candidate onto the grid (nearest value per axis)."""
+        changes = {}
+        for dim in DIMENSIONS:
+            axis = self.axis(dim)
+            value = getattr(cand, dim)
+            if value not in axis:
+                numeric = [a for a in axis
+                           if isinstance(a, (int, float))
+                           and isinstance(value, (int, float))]
+                changes[dim] = (min(numeric, key=lambda a: abs(a - value))
+                                if numeric else axis[0])
+        return replace(cand, **changes) if changes else cand
+
+    def sample(self, n: int, seed: int = 0,
+               include: tuple[Candidate, ...] = ()) -> list[Candidate]:
+        """``n`` distinct candidates, deterministic in ``seed``.
+
+        ``include`` entries (clipped onto the grid) are always present
+        and count toward ``n`` — the search seeds the paper-reported
+        configuration this way so the tuner can only match or beat it.
+        """
+        rng = random.Random(seed)
+        out: list[Candidate] = []
+        seen: set[Candidate] = set()
+        for cand in include:
+            cand = self.clip(cand)
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+        limit = min(n, self.size())
+        attempts = 0
+        while len(out) < limit and attempts < 200 * n:
+            attempts += 1
+            cand = Candidate(**{d: rng.choice(self.axis(d))
+                                for d in DIMENSIONS})
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+        return out
+
+    def neighbours(self, cand: Candidate) -> Iterator[Candidate]:
+        """Coordinate moves: one axis step away along each dimension."""
+        for dim in DIMENSIONS:
+            axis = self.axis(dim)
+            try:
+                i = axis.index(getattr(cand, dim))
+            except ValueError:
+                continue  # off-grid candidate: no moves on this axis
+            for j in (i - 1, i + 1):
+                if 0 <= j < len(axis):
+                    yield replace(cand, **{dim: axis[j]})

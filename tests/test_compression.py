@@ -34,6 +34,31 @@ class TestRegistry:
         with pytest.raises(KeyError):
             get_compressor("zstd")
 
+    def test_mixed_case_registration_reachable(self):
+        """Regression (ISSUE 10): ``register`` stored ``cls.name``
+        verbatim while ``get_compressor`` lowercases its lookup, so any
+        codec registered under a mixed-case name was unreachable."""
+        from repro.compression.api import _REGISTRY, register
+
+        @register
+        class MixedCase(NullCompressor):
+            name = "MiXeDcAsE"
+
+        try:
+            assert isinstance(get_compressor("mixedcase"), MixedCase)
+            assert isinstance(get_compressor("MiXeDcAsE"), MixedCase)
+            assert "mixedcase" in available_compressors()
+        finally:
+            _REGISTRY.pop("mixedcase", None)
+
+    def test_unnamed_codec_rejected_at_registration(self):
+        from repro.compression.api import register
+
+        with pytest.raises(ValueError):
+            @register
+            class Nameless(NullCompressor):
+                name = ""
+
 
 class TestShuffle:
     def test_roundtrip_exact(self):

@@ -9,14 +9,26 @@ unit level (point_key / sweep) and at the driver level (run_fig5).
 
 from __future__ import annotations
 
+import copy
 import os
+from dataclasses import dataclass
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.presets import dardel
 from repro.experiments import sweep as sw
 from repro.experiments.fig5 import run_fig5
-from repro.experiments.sweep import point_key, reset_stats, sweep
+from repro.experiments.sweep import (
+    _canonical,
+    invalidate_fingerprint,
+    point_key,
+    reset_stats,
+    sweep,
+    sweep_batch,
+)
 
 
 def _cube(x):
@@ -101,6 +113,156 @@ class TestPointKey:
         assert deeper_key != markov_key
         # restoring the ambient config restores the key
         assert point_key(_cube, {"x": 3}) == base
+
+
+@dataclass(frozen=True)
+class _Nested:
+    a: object
+    b: object
+
+
+def _canon_str(value) -> str:
+    import json
+    return json.dumps(_canonical(value), sort_keys=True, allow_nan=False)
+
+
+_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-1000, 1000),
+    st.floats(allow_nan=True, allow_infinity=True), st.text(max_size=8),
+    st.sampled_from([np.int64(3), np.float64(2.5), np.array(7)]))
+_keys = st.one_of(
+    st.integers(-5, 5), st.text(max_size=4), st.booleans(), st.none(),
+    st.tuples(st.integers(-3, 3), st.text(max_size=2)))
+_params = st.recursive(
+    _scalars,
+    lambda kids: st.one_of(
+        st.lists(kids, max_size=3),
+        st.tuples(kids, kids),
+        st.dictionaries(_keys, kids, max_size=3),
+        st.builds(_Nested, kids, kids)),
+    max_leaves=8)
+
+
+class TestCanonicalKeying:
+    """The dict-key aliasing bugfix and its neighbours (ISSUE 10)."""
+
+    def test_int_vs_str_dict_key_collision_pinned(self):
+        """The verified bug: ``str()``-coerced keys let ``{1: "x"}`` and
+        ``{"1": "x"}`` alias one cache key and serve stale results."""
+        assert _canonical({1: "x"}) != _canonical({"1": "x"})
+        assert (point_key(_cube, {"d": {1: "x"}})
+                != point_key(_cube, {"d": {"1": "x"}}))
+
+    def test_equal_dicts_with_bool_int_keys_share_a_key(self):
+        """``{True: v}`` and ``{1: v}`` are the *same* dict (bool keys
+        hash as their numeric value), so they must share a key."""
+        assert (point_key(_cube, {"d": {True: "x"}})
+                == point_key(_cube, {"d": {1: "x"}}))
+        assert (point_key(_cube, {"d": {1.0: "x"}})
+                == point_key(_cube, {"d": {1: "x"}}))
+
+    def test_tuple_key_does_not_alias_its_str_repr(self):
+        assert (point_key(_cube, {"d": {(1, 2): "x"}})
+                != point_key(_cube, {"d": {"(1, 2)": "x"}}))
+
+    def test_nested_mixed_key_dicts(self):
+        a = {"outer": {1: {"x": 1}}, "n": 3}
+        b = {"outer": {"1": {"x": 1}}, "n": 3}
+        assert point_key(_cube, {"p": a}) != point_key(_cube, {"p": b})
+
+    def test_zero_d_numpy_array_is_keyable(self):
+        """0-d arrays *have* ``__len__`` (it raises) — the old guard
+        rejected them, silently bypassing the cache for those points."""
+        assert _canonical(np.array(3.0)) == 3.0
+        assert (point_key(_cube, {"x": np.array(3.0)})
+                == point_key(_cube, {"x": 3.0}))
+        assert (point_key(_cube, {"x": np.int64(7)})
+                == point_key(_cube, {"x": 7}))
+
+    def test_non_finite_floats_tagged_and_distinct(self):
+        assert _canonical(float("nan")) == ["float", "nan"]
+        keys = {point_key(_cube, {"x": v})
+                for v in (float("nan"), float("inf"), float("-inf"))}
+        assert len(keys) == 3
+        # NaN params are stable: the same NaN yields the same key
+        assert (point_key(_cube, {"x": float("nan")})
+                == point_key(_cube, {"x": float("nan")}))
+
+    def test_tagged_forms_cannot_be_forged_by_user_values(self):
+        # a literal list that spells the NaN tag is not NaN
+        assert (point_key(_cube, {"x": ["float", "nan"]})
+                != point_key(_cube, {"x": float("nan")}))
+        # a dict shaped like a dataclass encoding is not that dataclass
+        dc = _Nested(a=1, b=2)
+        forged = {"__dataclass__":
+                  f"{_Nested.__module__}.{_Nested.__qualname__}",
+                  "fields": {"a": 1, "b": 2}}
+        assert point_key(_cube, {"x": dc}) != point_key(_cube, {"x": forged})
+
+    def test_unkeyable_dict_key_raises(self):
+        with pytest.raises(TypeError):
+            point_key(_cube, {"d": {frozenset({1}): "x"}})
+
+    # -- the hypothesis property of ISSUE 10 -----------------------------
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=_params, b=_params)
+    def test_distinct_canonical_params_never_share_a_key(self, a, b):
+        """Keys collide exactly when the canonical forms coincide."""
+        same_key = (point_key(_cube, {"x": a}) == point_key(_cube, {"x": b}))
+        assert same_key == (_canon_str(a) == _canon_str(b))
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=_params)
+    def test_identical_params_always_share_a_key(self, a):
+        assert (point_key(_cube, {"x": a})
+                == point_key(_cube, {"x": copy.deepcopy(a)}))
+
+
+class TestFingerprintInvalidation:
+    @pytest.fixture()
+    def restore_fingerprint(self):
+        # teardown runs after monkeypatch restores _SRC_ROOT, so the
+        # memo recomputes from the real tree for later tests
+        yield
+        invalidate_fingerprint()
+
+    def test_edited_source_changes_key_only_after_invalidation(
+            self, restore_fingerprint, monkeypatch, tmp_path):
+        src = tmp_path / "model.py"
+        src.write_text("ANSWER = 1\n")
+        monkeypatch.setattr(sw, "_SRC_ROOT", str(tmp_path))
+        invalidate_fingerprint()
+        before = point_key(_cube, {"x": 1})
+
+        src.write_text("ANSWER = 2\n")
+        # the per-process memo keeps serving the stale fingerprint...
+        assert point_key(_cube, {"x": 1}) == before
+        # ...until a long-lived service explicitly invalidates it
+        invalidate_fingerprint()
+        assert point_key(_cube, {"x": 1}) != before
+
+
+class TestBatchAPI:
+    def test_per_point_hits_and_stats(self, tmp_path, touch_log):
+        first = sweep_batch(_touch, [{"x": 1}, {"x": 2}], jobs=1,
+                            cache_dir=str(tmp_path))
+        assert first.results == [2, 3]
+        assert first.hits == [False, False]
+        assert first.cached_fraction == 0.0
+
+        second = sweep_batch(_touch, [{"x": 1}, {"x": 3}], jobs=1,
+                             cache_dir=str(tmp_path))
+        assert second.results == [2, 4]
+        assert second.hits == [True, False]
+        assert second.stats.evaluated == 1
+        assert second.stats.cached == 1
+        assert second.cached_fraction == 0.5
+
+    def test_empty_batch(self):
+        out = sweep_batch(_cube, [], jobs=1, cache_dir="")
+        assert out.results == [] and out.hits == []
+        assert out.cached_fraction == 1.0
 
 
 class TestSweepCache:
